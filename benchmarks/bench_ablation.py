@@ -1,0 +1,106 @@
+"""Ablation: the engineering choices behind the round elimination engine.
+
+DESIGN.md calls out two solvability-preserving deviations from the
+paper's literal constructions — reduced label universes and domination
+pruning.  This experiment measures what each buys and verifies that
+neither changes any decision:
+
+* alphabet sizes and wall-clock of one f-step with/without domination;
+* decisions (0-round solvability at depths 0/1) across the ablation grid;
+* literal (``universe_mode="full"``) vs reduced operators on problems
+  small enough for the power set.
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.lcl import catalog
+from repro.roundelim.gap import speedup
+from repro.roundelim.ops import R, R_bar, simplify
+from repro.roundelim.sequence import ProblemSequence
+
+PROBLEMS = [
+    ("consensus", lambda: catalog.consensus(3)),
+    ("sinkless", lambda: catalog.sinkless_orientation(3)),
+    ("echo", lambda: catalog.echo(2)),
+    ("echo2", lambda: catalog.echo2()),
+    ("mis", lambda: catalog.mis(2)),
+    ("3-coloring", lambda: catalog.coloring(3, 2)),
+]
+
+
+def run_experiment():
+    lines = ["Ablation: domination pruning and reduced universes", ""]
+    lines.append(
+        f"  {'problem':<12} {'|f| dom':>8} {'|f| nodom':>10} {'t dom':>8} {'t nodom':>9} agree"
+    )
+    agreement = []
+    for name, build in PROBLEMS:
+        sizes = {}
+        times = {}
+        statuses = {}
+        for domination in (True, False):
+            problem = build()
+            start = time.perf_counter()
+            try:
+                sequence = ProblemSequence(
+                    problem, use_domination=domination, max_universe=8192
+                )
+                sizes[domination] = len(sequence.problem(1).sigma_out)
+            except Exception:
+                sizes[domination] = -1
+            times[domination] = time.perf_counter() - start
+            result = speedup(
+                problem, max_steps=1, use_domination=domination, max_universe=8192
+            )
+            statuses[domination] = (result.status, result.constant_rounds)
+        agrees = statuses[True] == statuses[False]
+        agreement.append((name, agrees))
+        lines.append(
+            f"  {name:<12} {sizes[True]:>8} {sizes[False]:>10} "
+            f"{times[True]:>8.3f} {times[False]:>9.3f} {agrees}"
+        )
+
+    lines.append("")
+    lines.append("  literal (full power set) vs reduced operators:")
+    full_agreement = []
+    for name, build in PROBLEMS:
+        problem = build()
+        if 2 ** len(problem.sigma_out) > 4096:
+            lines.append(f"  {name:<12} full mode out of range (by design)")
+            continue
+        reduced = simplify(R_bar(R(problem)), domination=True)
+        intermediate = simplify(R(problem, universe_mode="full"), domination=True)
+        literal = simplify(
+            R_bar(intermediate, universe_mode="full", max_universe=8192),
+            domination=True,
+        )
+        from repro.roundelim.zero_round import find_zero_round_algorithm
+
+        same = (find_zero_round_algorithm(reduced) is None) == (
+            find_zero_round_algorithm(literal) is None
+        )
+        full_agreement.append((name, same))
+        lines.append(
+            f"  {name:<12} |reduced f|={len(reduced.sigma_out)} "
+            f"|literal f|={len(literal.sigma_out)} decision-agree={same}"
+        )
+    return agreement, full_agreement, "\n".join(lines)
+
+
+def test_ablation(once):
+    agreement, full_agreement, report = once(run_experiment)
+    write_report("ablation", report)
+    assert all(agrees for _, agrees in agreement)
+    assert all(same for _, same in full_agreement)
+
+
+def test_kernel_f_step_with_domination(benchmark):
+    problem = catalog.mis(2)
+    benchmark(lambda: simplify(R_bar(R(problem)), domination=True))
+
+
+def test_kernel_f_step_without_domination(benchmark):
+    problem = catalog.mis(2)
+    benchmark(lambda: simplify(R_bar(R(problem)), domination=False))

@@ -1,0 +1,80 @@
+"""Experiment D-paths: the §1.4 decidability procedures.
+
+Regenerates the decidable trichotomy on directed paths/cycles for the
+catalog problems (O(1) / Θ(log* n) / Θ(n) / unsolvable), times the
+automaton classification on random LCLs, and runs the Question 1.7
+semidecision on both sides of the gap.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.decidability import (
+    classify_cycle_problem,
+    classify_path_problem,
+    semidecide_constant_time,
+)
+from repro.lcl import catalog
+from repro.lcl.random_problems import random_lcl
+
+EXPECTED_CYCLES = [
+    ("trivial", lambda: catalog.trivial(2), "O(1)"),
+    ("consensus", lambda: catalog.consensus(2), "O(1)"),
+    ("3-coloring", lambda: catalog.coloring(3, 2), "Theta(log* n)"),
+    ("mis", lambda: catalog.mis(2), "Theta(log* n)"),
+    ("maximal-matching", lambda: catalog.maximal_matching(2), "Theta(log* n)"),
+    ("2-coloring", lambda: catalog.two_coloring(2), "Theta(n)"),
+    ("source-sink-alternation", lambda: catalog.edge_orientation_consistent(2), "Theta(n)"),
+]
+
+
+def run_experiment():
+    lines = ["D-paths: decidable classification on directed paths/cycles", ""]
+    outcomes = {}
+    for name, build, expected in EXPECTED_CYCLES:
+        problem = build()
+        on_cycles = classify_cycle_problem(problem)
+        on_paths = classify_path_problem(problem)
+        outcomes[name] = (on_cycles, on_paths)
+        lines.append(
+            f"  {name:<24} cycles={on_cycles.complexity:<15} paths={on_paths.complexity}"
+        )
+
+    lines.append("")
+    histogram = {}
+    for seed in range(200):
+        verdict = classify_cycle_problem(random_lcl(seed, num_labels=3, max_degree=2))
+        histogram[verdict.complexity] = histogram.get(verdict.complexity, 0) + 1
+    lines.append(f"  200 random 3-label LCLs on cycles: {histogram}")
+
+    lines.append("")
+    for problem in (catalog.echo(2), catalog.sinkless_orientation(3)):
+        verdict = semidecide_constant_time(problem, max_steps=3)
+        lines.append("  " + verdict.summary())
+    return outcomes, histogram, "\n".join(lines)
+
+
+def test_decidability(once):
+    outcomes, histogram, report = once(run_experiment)
+    write_report("decidability", report)
+
+    for name, build, expected in EXPECTED_CYCLES:
+        on_cycles, _ = outcomes[name]
+        assert on_cycles.complexity == expected, name
+    # Paths agree with cycles on these problems except where endpoint
+    # conditions matter; spot-check the main classes.
+    assert outcomes["3-coloring"][1].complexity == "Theta(log* n)"
+    assert outcomes["trivial"][1].complexity == "O(1)"
+    # The trichotomy is exhaustive on random problems.
+    assert set(histogram) <= {"O(1)", "Theta(log* n)", "Theta(n)", "unsolvable"}
+
+
+def test_kernel_classification(benchmark):
+    problem = catalog.maximal_matching(2)
+    result = benchmark(lambda: classify_cycle_problem(problem))
+    assert result.complexity == "Theta(log* n)"
+
+
+def test_kernel_random_classification(benchmark):
+    problems = [random_lcl(seed, num_labels=4, max_degree=2) for seed in range(20)]
+    benchmark(lambda: [classify_cycle_problem(p) for p in problems])

@@ -1,0 +1,58 @@
+"""Experiment T-3.11b: scaling the pipeline down the echo ladder.
+
+The ``echo_chain(k)`` family has LOCAL complexity exactly ``⌈k/2⌉`` and
+alphabet ``4·3^{k-1}``, so it measures how the whole stack — reduced
+universes, 0-round decision, multi-step lifting — scales with the
+elimination depth and the label count: the ladder reaches a synthesized,
+verified **3-round** algorithm from a 324-label problem.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.lcl import catalog
+from repro.roundelim.gap import speedup, verify_on_random_forests
+
+DEPTHS = [1, 2, 3, 4, 5]
+
+
+def run_ladder():
+    import time
+
+    lines = ["T-3.11b: the echo ladder (depth k -> ceil(k/2) rounds)", ""]
+    lines.append(
+        f"  {'k':>2} {'|labels|':>9} {'rounds':>7} {'alphabets along f^i':<28} {'time':>7}"
+    )
+    outcomes = []
+    for depth in DEPTHS:
+        problem = catalog.echo_chain(depth)
+        start = time.perf_counter()
+        result = speedup(problem, max_steps=4, max_universe=20000)
+        elapsed = time.perf_counter() - start
+        verified = (
+            verify_on_random_forests(result, component_sizes=(7, 4), trials=2)
+            if result.algorithm is not None
+            else False
+        )
+        outcomes.append((depth, result, verified))
+        lines.append(
+            f"  {depth:>2} {len(problem.sigma_out):>9} {str(result.constant_rounds):>7} "
+            f"{str(result.alphabet_sizes):<28} {elapsed:>6.1f}s  verified={verified}"
+        )
+    return outcomes, "\n".join(lines)
+
+
+def test_echo_ladder(once):
+    outcomes, report = once(run_ladder)
+    write_report("echo_ladder", report)
+    for depth, result, verified in outcomes:
+        assert result.status == "constant", depth
+        assert result.constant_rounds == (depth + 1) // 2, depth
+        assert verified, depth
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_kernel_ladder_step(benchmark, depth):
+    problem = catalog.echo_chain(depth)
+    result = benchmark(lambda: speedup(problem, max_steps=3, max_universe=20000))
+    assert result.status == "constant"

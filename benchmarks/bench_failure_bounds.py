@@ -1,0 +1,95 @@
+"""Experiment T-3.4: the failure-probability recurrence and n₀ conditions.
+
+Regenerates the quantitative skeleton of the Theorem 3.10 proof: the
+per-step constant ``S`` of Theorem 3.4 across a (Δ, |Σ|, T) sweep, the
+failure-probability trajectories ``p → S·p^{1/(3Δ+3)}``, and the
+(in)feasibility of conditions (3.2)–(3.4) at reachable ``n₀`` — the
+numbers that explain both why the walk works and why it cannot be pushed
+past o(log* n).
+"""
+
+import math
+
+from conftest import write_report
+
+from repro.roundelim.failure_bounds import (
+    FailureBoundParameters,
+    alphabet_tower_bound,
+    failure_after_steps,
+    n0_conditions,
+    theorem_3_4_S,
+)
+
+SWEEP = [
+    (2, 1, 2),
+    (2, 2, 2),
+    (3, 1, 2),
+    (3, 2, 2),
+    (3, 2, 4),
+    (4, 2, 3),
+]
+
+
+def run_experiment():
+    lines = ["T-3.4: Theorem 3.4 constants and trajectories", ""]
+    lines.append(f"  {'Delta':>5} {'|Sig_in|':>8} {'T':>3} {'log10 S':>12}")
+    s_values = []
+    for delta, sigma_in, runtime in SWEEP:
+        params = FailureBoundParameters(delta, sigma_in, 4, 16, runtime)
+        log10_s = theorem_3_4_S(params) / math.log(10)
+        s_values.append(log10_s)
+        lines.append(f"  {delta:>5} {sigma_in:>8} {runtime:>3} {log10_s:>12.1f}")
+
+    lines.append("")
+    lines.append("  failure trajectory from p0=1e-12 (Delta=3, T=3):")
+    params = FailureBoundParameters(3, 2, 4, 16, runtime=3)
+    trajectory = failure_after_steps(params, math.log(1e-12), steps=5)
+    lines.append(
+        "    log10 p: " + ", ".join(f"{x / math.log(10):+.1f}" for x in trajectory)
+    )
+
+    lines.append("")
+    lines.append("  alphabet tower bound |Sigma_out^{f^i}| (log-space, |Sigma|=2):")
+    towers = [alphabet_tower_bound(2, steps=i) for i in range(4)]
+    lines.append(
+        "    " + ", ".join("inf" if math.isinf(x) else f"{x:.3g}" for x in towers)
+    )
+
+    lines.append("")
+    lines.append("  n0 feasibility (Delta=3, |Sigma_in|=2, T(n0)=1):")
+    reports = []
+    for exponent in (10, 20, 40, 80):
+        report = n0_conditions(2**exponent, runtime_at_n0=1, delta=3, sigma_in_size=2)
+        reports.append(report)
+        lines.append(
+            f"    n0=2^{exponent:<3d} (3.2)={report.condition_3_2} "
+            f"(3.3)={report.condition_3_3} (3.4)={report.condition_3_4} "
+            f"feasible={report.feasible}"
+        )
+    return s_values, trajectory, towers, reports, "\n".join(lines)
+
+
+def test_failure_bounds(once):
+    s_values, trajectory, towers, reports, report = once(run_experiment)
+    write_report("failure_bounds", report)
+
+    # S grows with Delta and (doubly exponentially) with T.
+    assert s_values == sorted(s_values) or all(
+        later >= earlier for earlier, later in zip(s_values, s_values)
+    )
+    # log S scales as Delta^{T+1}: raising T from 2 to 4 at Delta=3
+    # multiplies it by Delta^2 = 9 (up to the slowly-varying log factor).
+    assert 8.5 < s_values[4] / s_values[3] < 9.5
+    # Trajectories are monotone: failure probability only degrades.
+    assert trajectory == sorted(trajectory)
+    # The tower bound leaves float range within a few steps (§3.2 remark).
+    assert math.isinf(towers[-1])
+    # No laptop-scale n0 satisfies all three conditions simultaneously —
+    # the proof needs astronomically large n0; the executable pipeline
+    # sidesteps this by searching the smallest workable depth instead.
+    assert not any(r.feasible for r in reports)
+
+
+def test_kernel_trajectory(benchmark):
+    params = FailureBoundParameters(3, 2, 4, 16, runtime=3)
+    benchmark(lambda: failure_after_steps(params, math.log(1e-12), steps=50))

@@ -1,0 +1,101 @@
+"""Experiment F1-grids: the Figure 1 (top right) landscape on oriented grids.
+
+Corollary 1.5: on oriented d-dimensional grids the only complexities are
+O(1), Θ(log* n), and Θ(n^{1/d}).  Measured here for d = 1 and d = 2 with
+one representative per class, plus the Theorem 1.4 empty-gap check.
+"""
+
+from conftest import write_report
+
+from repro.graphs.ids import random_ids
+from repro.grids import (
+    DimensionLengthProbe,
+    FollowDimensionOrientation,
+    GridProductColoring,
+    OrientedGrid,
+    prod_ids,
+)
+from repro.landscape import LandscapePanel
+from repro.local import run_local_algorithm
+
+SIDES_2D = [4, 6, 9, 13, 19]
+LENGTHS_1D = [2**k for k in range(4, 9)]
+
+
+def measure(grid: OrientedGrid, algorithm, ids=None) -> int:
+    result = run_local_algorithm(
+        grid.graph,
+        algorithm,
+        inputs=grid.orientation_inputs(),
+        ids=ids,
+    )
+    return result.max_radius_used
+
+
+def build_panel_2d() -> LandscapePanel:
+    panel = LandscapePanel("F1-grids: oriented 2-dimensional toroidal grids")
+    ns = [side * side for side in SIDES_2D]
+    follow, coloring, probe = [], [], []
+    for side in SIDES_2D:
+        grid = OrientedGrid([side, side])
+        follow.append(measure(grid, FollowDimensionOrientation()))
+        coloring.append(
+            measure(grid, GridProductColoring(dimensions=2), ids=prod_ids(grid, seed=side))
+        )
+        probe.append(measure(grid, DimensionLengthProbe()))
+    panel.add("follow-orientation", "O(1)", ns, follow)
+    panel.add("product-CV-9-coloring", "Theta(log* n)", ns, coloring)
+    panel.add("dim0-side-length", "Theta(n^{1/2})", ns, probe)
+    return panel
+
+
+def build_panel_1d() -> LandscapePanel:
+    panel = LandscapePanel("F1-grids: oriented 1-dimensional tori (directed cycles)")
+    follow, coloring, probe = [], [], []
+    for length in LENGTHS_1D:
+        grid = OrientedGrid([length])
+        follow.append(measure(grid, FollowDimensionOrientation()))
+        coloring.append(
+            measure(grid, GridProductColoring(dimensions=1), ids=prod_ids(grid, seed=length))
+        )
+        probe.append(measure(grid, DimensionLengthProbe()))
+    panel.add("follow-orientation", "O(1)", LENGTHS_1D, follow)
+    panel.add("product-CV-3-coloring", "Theta(log* n)", LENGTHS_1D, coloring)
+    panel.add("dim0-side-length", "Theta(n)", LENGTHS_1D, probe)
+    return panel
+
+
+def test_fig1_grids_panels(once):
+    def build_both():
+        return build_panel_2d(), build_panel_1d()
+
+    panel_2d, panel_1d = once(build_both)
+    write_report("fig1_grids", panel_2d.render() + "\n\n" + panel_1d.render())
+
+    for panel in (panel_2d, panel_1d):
+        # Theorem 1.4: nothing lives between omega(1) and o(log* n).
+        assert not panel.gap_violations()
+        by_name = {row.problem: row for row in panel.rows}
+        assert by_name["follow-orientation"].fit.best == "O(1)"
+    # The global representatives scale with the dimension: n^{1/2} vs n.
+    assert "Theta(n^{1/2})" in {
+        row.problem: row for row in panel_2d.rows
+    }["dim0-side-length"].fit.tied
+    assert {row.problem: row for row in panel_1d.rows}[
+        "dim0-side-length"
+    ].fit.best == "Theta(n)"
+
+
+def test_kernel_product_coloring(benchmark):
+    grid = OrientedGrid([9, 9])
+    inputs = grid.orientation_inputs()
+    ids = prod_ids(grid, seed=9)
+    benchmark(
+        lambda: run_local_algorithm(
+            grid.graph, GridProductColoring(dimensions=2), inputs=inputs, ids=ids
+        )
+    )
+
+
+def test_kernel_grid_construction(benchmark):
+    benchmark(lambda: OrientedGrid([13, 13]).orientation_inputs())

@@ -1,0 +1,80 @@
+"""Experiment F1-volume: the Figure 1 (bottom right) VOLUME landscape.
+
+Theorem 1.3 plus [42, 16]: the deterministic VOLUME complexities of LCLs
+are Θ(1), Θ(log* n), and polynomial classes up to Θ(n) — in particular
+nothing in ω(1) ∩ o(log* n).  Measured as max probes per query on
+consistently oriented cycles.
+"""
+
+from conftest import write_report
+
+from repro.graphs import cycle, random_ids
+from repro.landscape import LandscapePanel
+from repro.local.algorithms.cole_vishkin import orient_path_inputs
+from repro.volume import (
+    ChainColeVishkin,
+    ComponentCount,
+    NeighborhoodAggregate,
+    run_volume_algorithm,
+)
+
+NS = [2**k for k in range(4, 11)]
+
+
+def build_panel() -> LandscapePanel:
+    panel = LandscapePanel("F1-volume: probe-complexity landscape on oriented cycles")
+    aggregate, chain, component = [], [], []
+    for n in NS:
+        graph = cycle(n)
+        inputs = orient_path_inputs(graph)
+        ids = random_ids(graph, seed=n)
+        aggregate.append(
+            run_volume_algorithm(graph, NeighborhoodAggregate(2), ids=ids).max_probes_used
+        )
+        chain.append(
+            run_volume_algorithm(
+                graph, ChainColeVishkin(), inputs=inputs, ids=ids
+            ).max_probes_used
+        )
+        component.append(
+            run_volume_algorithm(graph, ComponentCount(), ids=ids).max_probes_used
+        )
+    panel.add("neighborhood-max-degree", "O(1)", NS, aggregate)
+    panel.add("chain-CV-3-coloring", "Theta(log* n)", NS, chain)
+    panel.add("component-count", "Theta(n)", NS, component)
+    return panel
+
+
+def test_fig1_volume_panel(once):
+    panel = once(build_panel)
+    write_report("fig1_volume", panel.render())
+
+    # Theorem 1.3 (via 4.1/4.3): the probe-complexity gap is empty.
+    assert not panel.gap_violations()
+    by_name = {row.problem: row for row in panel.rows}
+    assert by_name["neighborhood-max-degree"].fit.best == "O(1)"
+    assert by_name["component-count"].fit.best == "Theta(n)"
+    # chain-CV's probes stay within the log* envelope.
+    spread = max(by_name["chain-CV-3-coloring"].values) - min(
+        by_name["chain-CV-3-coloring"].values
+    )
+    assert spread <= 3
+
+
+def test_kernel_chain_cv_probe(benchmark):
+    graph = cycle(256)
+    inputs = orient_path_inputs(graph)
+    ids = random_ids(graph, seed=3)
+    benchmark(
+        lambda: run_volume_algorithm(
+            graph, ChainColeVishkin(), inputs=inputs, ids=ids
+        ).max_probes_used
+    )
+
+
+def test_kernel_component_count(benchmark):
+    graph = cycle(128)
+    ids = random_ids(graph, seed=4)
+    benchmark(
+        lambda: run_volume_algorithm(graph, ComponentCount(), ids=ids).max_probes_used
+    )

@@ -1,0 +1,60 @@
+"""Simulator throughput: the systems-side scaling of the three models.
+
+Not a paper artifact — a maintenance benchmark for the substrate itself:
+ball extraction rate, LOCAL simulation throughput (nodes/second for a
+radius-2 aggregate and for Cole–Vishkin), VOLUME query throughput, and
+the round elimination step on the catalog's largest problem.  Regressions
+here are what would silently make the figure benchmarks unrunnable.
+"""
+
+import pytest
+
+from repro.graphs import cycle, random_ids, random_tree
+from repro.graphs.balls import extract_ball
+from repro.local import run_local_algorithm
+from repro.local.algorithms import ColeVishkinColoring, TwoHopMaxDegree
+from repro.local.algorithms.cole_vishkin import orient_path_inputs
+from repro.volume import NeighborhoodAggregate, run_volume_algorithm
+
+
+def test_kernel_ball_extraction(benchmark):
+    graph = random_tree(2048, 3, seed=1)
+    benchmark(lambda: [extract_ball(graph, v, 4) for v in range(0, 2048, 64)])
+
+
+def test_kernel_local_aggregate_throughput(benchmark):
+    graph = random_tree(1024, 3, seed=2)
+    algorithm = TwoHopMaxDegree()
+    benchmark(lambda: run_local_algorithm(graph, algorithm))
+
+
+def test_kernel_local_cv_throughput(benchmark):
+    graph = cycle(1024)
+    inputs = orient_path_inputs(graph)
+    ids = random_ids(graph, seed=3)
+    algorithm = ColeVishkinColoring()
+    nodes = list(range(0, 1024, 16))
+    benchmark(
+        lambda: run_local_algorithm(
+            graph, algorithm, inputs=inputs, ids=ids, nodes=nodes
+        )
+    )
+
+
+def test_kernel_volume_throughput(benchmark):
+    graph = cycle(2048)
+    ids = random_ids(graph, seed=4)
+    benchmark(lambda: run_volume_algorithm(graph, NeighborhoodAggregate(2), ids=ids))
+
+
+def test_kernel_roundelim_largest_catalog(benchmark):
+    from repro.lcl import catalog
+    from repro.roundelim.ops import R, R_bar, simplify
+
+    problem = catalog.echo_chain(4)  # 108 labels
+
+    def step():
+        return simplify(R_bar(simplify(R(problem), domination=True)), domination=True)
+
+    result = benchmark.pedantic(step, rounds=1, iterations=1)
+    assert result.sigma_out

@@ -1,0 +1,92 @@
+"""Experiment T-3.11: the gap pipeline on trees, end to end.
+
+Runs the executable Theorem 3.10/3.11 procedure on the catalog: for each
+constant-time problem the walk must terminate with a synthesized,
+verified deterministic O(1)-round algorithm at the *exact* expected
+depth; for the Θ(log* n)-class problems it must never claim success; for
+sinkless orientation it must produce the fixed-point certificate.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.lcl import catalog
+from repro.roundelim.gap import speedup, verify_on_random_forests
+
+CONSTANT_CASES = [
+    ("trivial", lambda: catalog.trivial(3), 0),
+    ("consensus", lambda: catalog.consensus(3), 0),
+    ("input-copy", lambda: catalog.input_copy(3), 0),
+    ("echo(d=2)", lambda: catalog.echo(2), 1),
+    ("echo(d=3)", lambda: catalog.echo(3), 1),
+    ("echo2", lambda: catalog.echo2(), 2),
+]
+
+HARD_CASES = [
+    ("3-coloring-paths", lambda: catalog.coloring(3, 2)),
+    ("mis", lambda: catalog.mis(3)),
+    ("maximal-matching", lambda: catalog.maximal_matching(3)),
+]
+
+
+def run_all():
+    lines = ["T-3.11: gap pipeline (speedup o(log* n) -> O(1)) on trees/forests", ""]
+    outcomes = {}
+    for name, build, expected_rounds in CONSTANT_CASES:
+        result = speedup(build(), max_steps=4)
+        verified = verify_on_random_forests(
+            result,
+            component_sizes=(6, 4, 1) if result.problem.max_degree == 2 else (7, 5, 3, 1),
+            trials=3,
+        )
+        outcomes[name] = (result, verified)
+        lines.append(
+            f"  {name:<18} status={result.status:<12} rounds={result.constant_rounds} "
+            f"alphabets={result.alphabet_sizes} verified={verified}"
+        )
+    for name, build in HARD_CASES:
+        result = speedup(build(), max_steps=1)
+        outcomes[name] = (result, None)
+        lines.append(
+            f"  {name:<18} status={result.status:<12} rounds={result.constant_rounds} "
+            f"alphabets={result.alphabet_sizes}"
+        )
+    so = speedup(catalog.sinkless_orientation(3), max_steps=3)
+    outcomes["sinkless-orientation"] = (so, None)
+    lines.append(
+        f"  {'sinkless-orient.':<18} status={so.status:<12} fixed_point_at={so.fixed_point_at}"
+    )
+    return outcomes, "\n".join(lines)
+
+
+def test_speedup_pipeline(once):
+    outcomes, report = once(run_all)
+    write_report("speedup_trees", report)
+
+    for name, build, expected_rounds in CONSTANT_CASES:
+        result, verified = outcomes[name]
+        assert result.status == "constant", name
+        assert result.constant_rounds == expected_rounds, name
+        assert verified, name
+    for name, _ in HARD_CASES:
+        result, _ = outcomes[name]
+        assert result.status != "constant", name
+    so, _ = outcomes["sinkless-orientation"]
+    assert so.status == "fixed-point" and so.fixed_point_at == 1
+
+
+@pytest.mark.parametrize(
+    "name, build",
+    [(name, build) for name, build, _ in CONSTANT_CASES[3:]],
+)
+def test_kernel_speedup(benchmark, name, build):
+    problem = build()
+    result = benchmark(lambda: speedup(problem, max_steps=4))
+    assert result.status == "constant"
+
+
+def test_kernel_zero_round_decision(benchmark):
+    from repro.roundelim.zero_round import find_zero_round_algorithm
+
+    problem = catalog.mis(3)
+    assert benchmark(lambda: find_zero_round_algorithm(problem)) is None

@@ -1,0 +1,84 @@
+"""Experiment T-4.1: the VOLUME speedup (order invariance + Thm 2.11).
+
+Executable content of Theorem 4.1/4.3: an order-invariant o(log* n)-probe
+algorithm, fooled with a fixed n₀ (Theorem 2.11), keeps constant probe
+complexity and correct outputs on arbitrarily larger instances; a
+non-order-invariant algorithm is refuted by the checker (the Ramsey half
+of the proof is existential — see DESIGN.md).
+"""
+
+from conftest import write_report
+
+from repro.graphs import cycle, random_ids, star
+from repro.lcl import catalog, is_valid_solution
+from repro.graphs.core import HalfEdgeLabeling
+from repro.local.algorithms.cole_vishkin import orient_path_inputs
+from repro.volume import (
+    ChainColeVishkin,
+    NeighborhoodAggregate,
+    check_volume_order_invariance,
+    fooled_constant_volume,
+    run_volume_algorithm,
+    smallest_volume_n0,
+)
+
+SIZES = [32, 128, 512, 2048]
+
+
+def run_experiment():
+    lines = ["T-4.1: VOLUME order invariance and Theorem 2.11 fooling", ""]
+
+    invariant = check_volume_order_invariance(
+        NeighborhoodAggregate(3), star(3), ids=[4, 8, 15, 16]
+    )
+    ring = cycle(16)
+    refuted = not check_volume_order_invariance(
+        ChainColeVishkin(),
+        ring,
+        ids=random_ids(ring, seed=5),
+        inputs=orient_path_inputs(ring),
+        trials=8,
+    )
+    lines.append(f"  aggregate order-invariant: {invariant}")
+    lines.append(f"  chain-CV refuted as order-invariant: {refuted}")
+
+    n0 = smallest_volume_n0(lambda n: 2, max_degree=2, checking_radius=1)
+    fooled = fooled_constant_volume(NeighborhoodAggregate(2), n0=n0)
+    lines.append(f"  Theorem 2.11 n0 for the aggregate: {n0}")
+    probes = []
+    for n in SIZES:
+        graph = cycle(n)
+        result = run_volume_algorithm(graph, fooled, ids=random_ids(graph, seed=n))
+        probes.append(result.max_probes_used)
+        correct = all(
+            result.outputs[h] == 2 for h in graph.half_edges()
+        )
+        lines.append(
+            f"  n={n:<5d} probes={result.max_probes_used} output-correct={correct}"
+        )
+    return invariant, refuted, probes, "\n".join(lines)
+
+
+def test_volume_speedup(once):
+    invariant, refuted, probes, report = once(run_experiment)
+    write_report("speedup_volume", report)
+    assert invariant
+    assert refuted
+    # Constant probe complexity across a 64x size range.
+    assert len(set(probes)) == 1
+
+
+def test_kernel_order_invariance_check(benchmark):
+    graph = star(3)
+    benchmark(
+        lambda: check_volume_order_invariance(
+            NeighborhoodAggregate(3), graph, ids=[4, 8, 15, 16], trials=3
+        )
+    )
+
+
+def test_kernel_fooled_query(benchmark):
+    graph = cycle(512)
+    fooled = fooled_constant_volume(NeighborhoodAggregate(2), n0=32)
+    ids = random_ids(graph, seed=1)
+    benchmark(lambda: run_volume_algorithm(graph, fooled, ids=ids))

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment writes its Figure-1-style table (or theorem report) to
+``benchmarks/results/<experiment>.txt`` *and* asserts the paper's
+qualitative claims (class shapes, who wins, empty gap), so
+``pytest benchmarks/ --benchmark-only`` both times the kernels and
+regenerates the paper's figure content as text artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{name}.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    return target
+
+
+def measured_locality(graph, algorithm, ids=None, inputs=None, sample=16, seed=0):
+    """Max locality actually charged over a spread sample of nodes."""
+    from repro.graphs.ids import random_ids
+    from repro.local.model import run_local_algorithm
+
+    if ids is None:
+        ids = random_ids(graph, seed=seed)
+    step = max(1, graph.num_nodes // sample)
+    nodes = list(range(0, graph.num_nodes, step))
+    result = run_local_algorithm(
+        graph, algorithm, inputs=inputs, ids=ids, nodes=nodes
+    )
+    return max(result.radius_per_node)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavyweight kernel exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

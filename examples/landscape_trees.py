@@ -1,0 +1,93 @@
+"""The Figure-1 trees panel, measured: classes O(1), Θ(log* n), Θ(log n), Θ(n).
+
+Runs one representative algorithm per inhabited complexity class on
+bounded-degree trees across a grid of sizes, records the locality each
+node *actually used* (the simulator's charge meter), fits the growth
+shape, and prints the landscape table — including the mechanical check
+that no measured series falls in the paper's forbidden ω(1)–o(log* n)
+band (Theorem 1.1).
+
+Run:  python examples/landscape_trees.py
+"""
+
+from repro.graphs import complete_regular_tree, path, random_ids, random_tree
+from repro.landscape import LandscapePanel
+from repro.local import run_local_algorithm
+from repro.local.algorithms import (
+    AdaptivePeeling,
+    ColorClassMIS,
+    LinialColoring,
+    TwoHopMaxDegree,
+)
+from repro.local.model import LocalAlgorithm
+
+
+class EccentricityProbe(LocalAlgorithm):
+    """A genuinely global problem: output the node's eccentricity."""
+
+    name = "eccentricity-probe"
+
+    def radius(self, n):
+        return max(1, n)
+
+    def run(self, ctx):
+        radius = 1
+        while radius <= ctx.declared_n:
+            ball = ctx.ball(radius)
+            if max(ball.distance) < radius:
+                # The whole component is strictly inside the ball.
+                return {p: max(ball.distance) for p in range(ctx.degree)}
+            radius = min(2 * radius, ctx.declared_n)
+            if radius == ctx.declared_n:
+                ball = ctx.ball(radius)
+                return {p: max(ball.distance) for p in range(ctx.degree)}
+        raise RuntimeError("graph larger than declared n")
+
+
+def measured_locality(graph, algorithm, seed, sample=24):
+    step = max(1, graph.num_nodes // sample)
+    nodes = list(range(0, graph.num_nodes, step))
+    result = run_local_algorithm(
+        graph,
+        algorithm,
+        ids=random_ids(graph, seed=seed),
+        nodes=nodes,
+    )
+    return max(result.radius_per_node)
+
+
+def balanced_tree(n, _delta, _seed):
+    """The complete binary-branching tree with ~n nodes (rake depth log n)."""
+    depth = max(1, (n // 3).bit_length())
+    return complete_regular_tree(3, depth)
+
+
+def main() -> None:
+    ns = [2**k for k in range(5, 11)]
+    panel = LandscapePanel("LCL landscape on trees (Figure 1, top left)")
+
+    rows = [
+        ("two-hop-max-degree", "O(1)", lambda: TwoHopMaxDegree(), random_tree),
+        ("linial-(Δ+1)-coloring", "Theta(log* n)", lambda: LinialColoring(3), random_tree),
+        (
+            "mis-by-color-sweep",
+            "Theta(log* n)",
+            lambda: ColorClassMIS(LinialColoring(3)),
+            random_tree,
+        ),
+        ("rake-decomposition-depth", "Theta(log n)", lambda: AdaptivePeeling(), balanced_tree),
+        ("eccentricity", "Theta(n)", lambda: EccentricityProbe(), lambda n, d, seed: path(n)),
+    ]
+    for name, expected, make_algorithm, make_graph in rows:
+        values = []
+        for n in ns:
+            graph = make_graph(n, 3, 7)
+            values.append(measured_locality(graph, make_algorithm(), seed=n))
+        panel.add(name, expected, ns, values)
+
+    print(panel.render())
+    assert not panel.gap_violations(), "Theorem 1.1: the gap must be empty"
+
+
+if __name__ == "__main__":
+    main()

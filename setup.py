@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Kept for environments without PEP 660 support (no `wheel` module);
+# configuration lives in pyproject.toml.
+setup()

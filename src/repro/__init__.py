@@ -1,0 +1,33 @@
+"""repro — executable reproduction of "The Landscape of Distributed
+Complexities on Trees and Beyond" (Brandt, Grunau, Rozhoň; PODC 2022).
+
+Subpackage map:
+
+* :mod:`repro.graphs` — port-numbered half-edge graphs and generators;
+* :mod:`repro.lcl` — LCL problems (general and node-edge-checkable),
+  solution checking, the problem catalog, random problems, text format;
+* :mod:`repro.roundelim` — the round elimination operators R / R̄, the
+  problem sequence, 0-round decidability, the Lemma 3.9 lifting and the
+  Theorem 3.10/3.11 gap pipeline;
+* :mod:`repro.local` — the LOCAL model simulator and classic algorithms;
+* :mod:`repro.volume` — the VOLUME / LCA probe models (Theorem 4.1);
+* :mod:`repro.grids` — oriented grids and PROD-LOCAL (Theorem 5.1);
+* :mod:`repro.rooted` — rooted trees, certificates (§1.4 companion);
+* :mod:`repro.decidability` — classification procedures (§1.4);
+* :mod:`repro.landscape` — empirical complexity-class fitting (Figure 1).
+
+The most-used entry points are re-exported here:
+
+>>> import repro
+>>> result = repro.speedup(repro.catalog.echo(3))
+>>> result.status
+'constant'
+"""
+
+from repro.exceptions import ReproError
+from repro.lcl import catalog
+from repro.roundelim.gap import speedup
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "catalog", "speedup", "__version__"]

@@ -1,0 +1,260 @@
+"""Command-line interface: ``lcl-landscape``.
+
+Subcommands:
+
+* ``show <problem>``        — print a catalog problem (or parse a file);
+* ``classify <problem>``    — decide its complexity on directed paths and
+  cycles (§1.4 trichotomy);
+* ``speedup <problem>``     — run the Theorem 3.10/3.11 gap pipeline
+  (Question 1.7 semidecision) and, on success, verify the synthesized
+  algorithm on random forests;
+* ``catalog``               — list the built-in problems.
+
+Problems are named like ``mis``, ``coloring:3``, ``sinkless:3``,
+``echo:2`` — see ``lcl-landscape catalog`` — or given as ``file:PATH``
+in the :mod:`repro.lcl.fmt` text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ReproError
+from repro.lcl import catalog
+from repro.lcl.fmt import parse as parse_problem
+from repro.lcl.nec import NodeEdgeCheckableLCL
+
+#: name -> (builder taking one optional int parameter, description)
+CATALOG: Dict[str, tuple] = {
+    "trivial": (lambda k: catalog.trivial(k or 3), "everything allowed (O(1))"),
+    "consensus": (lambda k: catalog.consensus(k or 3), "one common value (O(1))"),
+    "input-copy": (lambda k: catalog.input_copy(k or 3), "output your input (O(1))"),
+    "echo": (lambda k: catalog.echo(k or 3), "copy the opposite input (1 round)"),
+    "echo2": (lambda k: catalog.echo2(), "two-hop echo on paths (2 rounds)"),
+    "coloring": (
+        lambda k: catalog.coloring(k or 3, max(2, (k or 3) - 1)),
+        "proper k-coloring (Theta(log* n) for k = Delta+1)",
+    ),
+    "mis": (lambda k: catalog.mis(k or 3), "maximal independent set (Theta(log* n))"),
+    "matching": (
+        lambda k: catalog.maximal_matching(k or 3),
+        "maximal matching (Theta(log* n))",
+    ),
+    "weak-coloring": (
+        lambda k: catalog.weak_coloring(2, k or 3),
+        "weak 2-coloring",
+    ),
+    "sinkless": (
+        lambda k: catalog.sinkless_orientation(k or 3),
+        "sinkless orientation (round-elimination fixed point)",
+    ),
+    "2-coloring": (lambda k: catalog.two_coloring(k or 2), "proper 2-coloring (Theta(n))"),
+}
+
+
+def resolve_problem(spec: str) -> NodeEdgeCheckableLCL:
+    """Parse ``name``, ``name:param`` or ``file:PATH`` into a problem."""
+    if spec.startswith("file:"):
+        with open(spec[len("file:") :], "r", encoding="utf-8") as handle:
+            return parse_problem(handle.read())
+    name, _, parameter = spec.partition(":")
+    if name not in CATALOG:
+        known = ", ".join(sorted(CATALOG))
+        raise ReproError(f"unknown problem {name!r}; known: {known}")
+    builder, _ = CATALOG[name]
+    return builder(int(parameter) if parameter else None)
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    problem = resolve_problem(args.problem)
+    print(problem.summary())
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    for name, (_, description) in sorted(CATALOG.items()):
+        print(f"{name:<14} {description}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    from repro.decidability import classify_cycle_problem, classify_path_problem
+
+    problem = resolve_problem(args.problem)
+    print(f"problem: {problem.name}")
+    print(f"on directed cycles: {classify_cycle_problem(problem)}")
+    print(f"on directed paths:  {classify_path_problem(problem)}")
+    return 0
+
+
+def cmd_landscape(args: argparse.Namespace) -> int:
+    from repro.landscape import LandscapePanel
+
+    if args.panel == "trees":
+        from repro.graphs import path, random_tree
+        from repro.local.algorithms import LinialColoring, TwoHopMaxDegree
+        from repro.graphs.ids import random_ids
+        from repro.local.model import run_local_algorithm
+
+        ns = [2**k for k in range(5, 5 + args.points)]
+        panel = LandscapePanel("LCL landscape on trees")
+
+        def locality(graph, algorithm, seed):
+            nodes = list(range(0, graph.num_nodes, max(1, graph.num_nodes // 8)))
+            result = run_local_algorithm(
+                graph, algorithm, ids=random_ids(graph, seed=seed), nodes=nodes
+            )
+            return max(result.radius_per_node)
+
+        panel.add(
+            "two-hop-max-degree",
+            "O(1)",
+            ns,
+            [locality(random_tree(n, 3, seed=n), TwoHopMaxDegree(), n) for n in ns],
+        )
+        panel.add(
+            "linial-coloring",
+            "Theta(log* n)",
+            ns,
+            [locality(random_tree(n, 3, seed=n), LinialColoring(3), n) for n in ns],
+        )
+    elif args.panel == "volume":
+        from repro.graphs import cycle
+        from repro.graphs.ids import random_ids
+        from repro.local.algorithms.cole_vishkin import orient_path_inputs
+        from repro.volume import (
+            ChainColeVishkin,
+            ComponentCount,
+            NeighborhoodAggregate,
+            run_volume_algorithm,
+        )
+
+        ns = [2**k for k in range(4, 4 + args.points)]
+        panel = LandscapePanel("VOLUME landscape on oriented cycles")
+        rows = [
+            ("neighborhood-max-degree", "O(1)", lambda: NeighborhoodAggregate(2), False),
+            ("chain-CV-3-coloring", "Theta(log* n)", ChainColeVishkin, True),
+            ("component-count", "Theta(n)", ComponentCount, False),
+        ]
+        for name, expected, build, needs_orientation in rows:
+            values = []
+            for n in ns:
+                graph = cycle(n)
+                inputs = orient_path_inputs(graph) if needs_orientation else None
+                result = run_volume_algorithm(
+                    graph, build(), inputs=inputs, ids=random_ids(graph, seed=n)
+                )
+                values.append(result.max_probes_used)
+            panel.add(name, expected, ns, values)
+    else:  # grids
+        from repro.grids import (
+            DimensionLengthProbe,
+            FollowDimensionOrientation,
+            GridProductColoring,
+            OrientedGrid,
+            prod_ids,
+        )
+        from repro.local.model import run_local_algorithm
+
+        sides = [4 + 3 * k for k in range(args.points)]
+        ns = [side * side for side in sides]
+        panel = LandscapePanel("LCL landscape on oriented 2-d grids")
+        follow, coloring, probe = [], [], []
+        for side in sides:
+            grid = OrientedGrid([side, side])
+            inputs = grid.orientation_inputs()
+            follow.append(
+                run_local_algorithm(
+                    grid.graph, FollowDimensionOrientation(), inputs=inputs
+                ).max_radius_used
+            )
+            coloring.append(
+                run_local_algorithm(
+                    grid.graph,
+                    GridProductColoring(dimensions=2),
+                    inputs=inputs,
+                    ids=prod_ids(grid, seed=side),
+                ).max_radius_used
+            )
+            probe.append(
+                run_local_algorithm(
+                    grid.graph, DimensionLengthProbe(), inputs=inputs
+                ).max_radius_used
+            )
+        panel.add("follow-orientation", "O(1)", ns, follow)
+        panel.add("product-CV-coloring", "Theta(log* n)", ns, coloring)
+        panel.add("dim0-side-length", "Theta(n^{1/2})", ns, probe)
+
+    print(panel.render())
+    return 1 if panel.gap_violations() else 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.roundelim.gap import speedup, verify_on_random_forests
+
+    problem = resolve_problem(args.problem)
+    result = speedup(problem, max_steps=args.max_steps)
+    print(result.summary())
+    if result.status == "constant" and not args.no_verify:
+        sizes = (6, 4, 1) if problem.max_degree <= 2 else (7, 5, 3, 1)
+        ok = verify_on_random_forests(result, component_sizes=sizes, trials=args.trials)
+        print(f"verification on random forests: {'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lcl-landscape",
+        description=(
+            "Executable machinery of 'The Landscape of Distributed "
+            "Complexities on Trees and Beyond' (PODC 2022)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="print a problem definition")
+    show.add_argument("problem")
+    show.set_defaults(handler=cmd_show)
+
+    listing = commands.add_parser("catalog", help="list built-in problems")
+    listing.set_defaults(handler=cmd_catalog)
+
+    classify = commands.add_parser(
+        "classify", help="decide the complexity on directed paths/cycles"
+    )
+    classify.add_argument("problem")
+    classify.set_defaults(handler=cmd_classify)
+
+    speedup = commands.add_parser(
+        "speedup", help="run the Theorem 3.10/3.11 gap pipeline"
+    )
+    speedup.add_argument("problem")
+    speedup.add_argument("--max-steps", type=int, default=4)
+    speedup.add_argument("--trials", type=int, default=3)
+    speedup.add_argument("--no-verify", action="store_true")
+    speedup.set_defaults(handler=cmd_speedup)
+
+    landscape = commands.add_parser(
+        "landscape", help="measure a Figure-1 landscape panel"
+    )
+    landscape.add_argument("panel", choices=["trees", "grids", "volume"])
+    landscape.add_argument("--points", type=int, default=5)
+    landscape.set_defaults(handler=cmd_landscape)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Decision procedures for LCL complexities (§1.4)."""
+
+from repro.decidability.automata import LabelAutomaton
+from repro.decidability.paths import (
+    Classification,
+    classify_cycle_problem,
+    classify_path_problem,
+)
+from repro.decidability.fixed_points import (
+    FixedPointCertificate,
+    find_fixed_point_certificate,
+)
+from repro.decidability.constant_time import (
+    ConstantTimeVerdict,
+    semidecide_constant_time,
+)
+
+__all__ = [
+    "LabelAutomaton",
+    "Classification",
+    "classify_cycle_problem",
+    "classify_path_problem",
+    "FixedPointCertificate",
+    "find_fixed_point_certificate",
+    "ConstantTimeVerdict",
+    "semidecide_constant_time",
+]

@@ -1,0 +1,263 @@
+"""The label automaton of an LCL on directed paths and cycles.
+
+§1.4 recalls that on paths and cycles the LOCAL complexity of an LCL
+without inputs is decidable, with only three possible classes
+``O(1) / Θ(log* n) / Θ(n)`` [41, 17, 21, 22].  The decision procedures
+(:mod:`repro.decidability.paths`) run on the *automaton view* built here,
+following the automata-theoretic lens of Chang–Studený–Suomela [22]:
+
+Writing a solution on a directed path as the label sequence
+``L₁ R₁ | L₂ R₂ | …`` (``Lᵢ``/``Rᵢ`` the half-edge labels of node ``i``
+toward its predecessor/successor), correctness decomposes into
+``{Lᵢ, Rᵢ} ∈ N²`` per node and ``{Rᵢ, L_{i+1}} ∈ E`` per edge, so the
+solutions on long (directed) paths/cycles are exactly the walks of a
+finite digraph on the ``R``-labels:
+
+    ``a → b``  iff  ``∃ L: {a, L} ∈ E and {L, b} ∈ N²``.
+
+Cycle solutions of length ``n`` = closed walks of length ``n``; path
+solutions additionally need legal start/end states from ``N¹``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import DecidabilityError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+class LabelAutomaton:
+    """The walk digraph on ``R``-labels, with witnesses and SCC analysis."""
+
+    def __init__(self, problem: NodeEdgeCheckableLCL):
+        if problem.has_inputs:
+            raise DecidabilityError(
+                "the path/cycle classification implemented here covers LCLs "
+                "without inputs (with inputs the problem is PSPACE-hard [3])"
+            )
+        if problem.max_degree < 2:
+            raise DecidabilityError("paths/cycles need degree-2 constraints")
+        self.problem = problem
+        # A problem "without inputs" still has a g for its unique input
+        # label, acting as a global output whitelist (Definition 2.3).
+        unique_input = next(iter(problem.sigma_in))
+        allowed = problem.allowed_outputs(unique_input)
+        self.states: List[Any] = sorted(
+            (a for a in problem.sigma_out if a in allowed), key=label_sort_key
+        )
+        #: arcs[a] = {b: witness L} for arcs a -> b.
+        self.arcs: Dict[Any, Dict[Any, Any]] = {a: {} for a in self.states}
+        for a in self.states:
+            for left in self.states:
+                if not problem.allows_edge(a, left):
+                    continue
+                for b in self.states:
+                    if b in self.arcs[a]:
+                        continue
+                    if problem.allows_node([left, b]):
+                        self.arcs[a][b] = left
+
+    # ------------------------------------------------------------ basic ops
+    def successors(self, state: Any) -> List[Any]:
+        return sorted(self.arcs[state], key=label_sort_key)
+
+    def has_arc(self, a: Any, b: Any) -> bool:
+        return b in self.arcs[a]
+
+    def self_loop_states(self) -> List[Any]:
+        """States with ``a → a``: period-1 patterns (the O(1) witnesses)."""
+        return [a for a in self.states if a in self.arcs[a]]
+
+    # ------------------------------------------------- path-end conditions
+    def legal_start_states(self) -> List[Any]:
+        """States usable as ``R₁`` of a degree-1 path start."""
+        n1 = self.problem.node_constraints.get(1, frozenset())
+        return [a for a in self.states if Multiset([a]) in n1]
+
+    def legal_end_states(self) -> List[Any]:
+        """States ``R_{n-1}`` whose successor node can be a path end."""
+        n1 = self.problem.node_constraints.get(1, frozenset())
+        ends = []
+        for a in self.states:
+            for left in self.states:
+                if self.problem.allows_edge(a, left) and Multiset([left]) in n1:
+                    ends.append(a)
+                    break
+        return ends
+
+    # --------------------------------------------------------------- graphy
+    def reachable_from(self, sources) -> Set[Any]:
+        seen = set(sources)
+        stack = list(sources)
+        while stack:
+            state = stack.pop()
+            for nxt in self.arcs[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def co_reachable_to(self, targets) -> Set[Any]:
+        reverse: Dict[Any, Set[Any]] = {a: set() for a in self.states}
+        for a, outs in self.arcs.items():
+            for b in outs:
+                reverse[b].add(a)
+        seen = set(targets)
+        stack = list(targets)
+        while stack:
+            state = stack.pop()
+            for prv in reverse[state]:
+                if prv not in seen:
+                    seen.add(prv)
+                    stack.append(prv)
+        return seen
+
+    def strongly_connected_components(self) -> List[Set[Any]]:
+        """Tarjan's algorithm (iterative), deterministic order."""
+        index: Dict[Any, int] = {}
+        lowlink: Dict[Any, int] = {}
+        on_stack: Set[Any] = set()
+        stack: List[Any] = []
+        components: List[Set[Any]] = []
+        counter = [0]
+
+        def strongconnect(root: Any) -> None:
+            work = [(root, iter(self.successors(root)))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for nxt in successors:
+                    if nxt not in index:
+                        index[nxt] = lowlink[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(self.successors(nxt))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+
+        for state in self.states:
+            if state not in index:
+                strongconnect(state)
+        return components
+
+    def component_cycle_gcd(self, component: Set[Any]) -> Optional[int]:
+        """gcd of all cycle lengths inside the component (None if acyclic).
+
+        Standard trick: pick a root, assign BFS potentials; the gcd of
+        ``potential(u) + 1 - potential(v)`` over internal arcs ``u → v``
+        equals the cycle-length gcd.
+        """
+        internal_arcs = [
+            (u, v) for u in component for v in self.arcs[u] if v in component
+        ]
+        if not internal_arcs:
+            return None
+        root = min(component, key=label_sort_key)
+        potential: Dict[Any, int] = {root: 0}
+        frontier = [root]
+        while frontier:
+            u = frontier.pop()
+            for v in self.arcs[u]:
+                if v in component and v not in potential:
+                    potential[v] = potential[u] + 1
+                    frontier.append(v)
+        gcd = 0
+        for u, v in internal_arcs:
+            gcd = math.gcd(gcd, potential[u] + 1 - potential[v])
+        return abs(gcd) if gcd else None
+
+    def flexible_states(self) -> List[Any]:
+        """States inside an SCC whose cycle lengths have gcd 1.
+
+        A flexible state admits closed walks of *every* sufficiently large
+        length — the automaton-side witness for Θ(log* n)-solvability on
+        cycles (fill the gaps between ruling-set anchors with walks of the
+        required lengths).
+        """
+        flexible: List[Any] = []
+        for component in self.strongly_connected_components():
+            gcd = self.component_cycle_gcd(component)
+            if gcd == 1:
+                flexible.extend(component)
+        return sorted(flexible, key=label_sort_key)
+
+    # ------------------------------------------------------- length algebra
+    def _step_matrix(self) -> Dict[Any, Set[Any]]:
+        return {a: set(self.arcs[a]) for a in self.states}
+
+    def solvable_cycle_lengths(self, upto: int) -> List[int]:
+        """All ``3 <= n <= upto`` such that an ``n``-cycle is solvable.
+
+        An ``n``-cycle solution is exactly a closed walk of length ``n``
+        in the automaton, found here by dynamic programming over
+        walk-reachability — the ground truth that the classification's
+        gcd reasoning is validated against (and, in tests, cross-checked
+        with the exponential brute-force solver on concrete cycles).
+        """
+        lengths: List[int] = []
+        arcs = self._step_matrix()
+        # reach[a][b] = walk of current length from a to b exists.
+        reach: Dict[Any, Set[Any]] = {a: set(arcs[a]) for a in self.states}
+        for length in range(2, upto + 1):
+            reach = {
+                a: {c for b in reach[a] for c in arcs[b]} for a in self.states
+            }
+            if length >= 3 and any(a in reach[a] for a in self.states):
+                lengths.append(length)
+        return lengths
+
+    def solvable_path_lengths(self, upto: int) -> List[int]:
+        """All ``2 <= n <= upto`` such that an ``n``-node path is solvable.
+
+        A path solution is a walk of ``n - 2`` arcs from a legal start
+        state to a legal end state (``n = 2``: a single state that is both).
+        """
+        starts = set(self.legal_start_states())
+        ends = set(self.legal_end_states())
+        lengths: List[int] = []
+        if starts & ends:
+            lengths.append(2)
+        arcs = self._step_matrix()
+        current = set(starts)
+        for n in range(3, upto + 1):
+            current = {b for a in current for b in arcs[a]}
+            if current & ends:
+                lengths.append(n)
+            if not current:
+                break
+        return lengths
+
+    def has_cycle(self) -> bool:
+        return any(
+            self.component_cycle_gcd(component) is not None
+            for component in self.strongly_connected_components()
+        )
+
+    def __repr__(self) -> str:
+        arc_count = sum(len(outs) for outs in self.arcs.values())
+        return f"LabelAutomaton(states={len(self.states)}, arcs={arc_count})"

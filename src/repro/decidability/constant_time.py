@@ -1,0 +1,85 @@
+"""Question 1.7: semideciding constant-time solvability on trees.
+
+The paper observes that Theorem 3.11 reduces Question 1.7 ("is it
+decidable whether an LCL can be solved in constant time on trees?") to
+the semidecidability of Ω(log* n) lower bounds, because the *positive*
+direction is semidecidable: ``Π`` is constant-time solvable **iff** some
+``f^k(Π)`` admits a deterministic 0-round algorithm (forward direction by
+the Theorem 3.10 walk; backward by ``k`` applications of Lemma 3.9).
+
+:func:`semidecide_constant_time` runs that loop with a step budget and
+reports one of three verdicts; ``CONSTANT`` verdicts come with the
+synthesized algorithm, ``NOT_CONSTANT`` verdicts with a fixed-point
+certificate — only ``INCONCLUSIVE`` reflects the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm
+from repro.roundelim.gap import GapResult, speedup
+
+CONSTANT = "CONSTANT"
+NOT_CONSTANT = "NOT_CONSTANT"
+INCONCLUSIVE = "INCONCLUSIVE"
+
+
+@dataclass(frozen=True)
+class ConstantTimeVerdict:
+    problem: NodeEdgeCheckableLCL
+    verdict: str
+    #: Rounds of the synthesized algorithm (CONSTANT only).
+    rounds: Optional[int]
+    #: The synthesized deterministic LOCAL algorithm (CONSTANT only).
+    algorithm: Optional[LocalAlgorithm]
+    #: The underlying gap-pipeline result.
+    gap_result: GapResult
+
+    def summary(self) -> str:
+        if self.verdict == CONSTANT:
+            return (
+                f"{self.problem.name}: constant-time solvable "
+                f"({self.rounds} rounds, algorithm synthesized)"
+            )
+        if self.verdict == NOT_CONSTANT:
+            return (
+                f"{self.problem.name}: not o(log* n)-solvable "
+                f"(round-elimination fixed point at depth "
+                f"{self.gap_result.fixed_point_at})"
+            )
+        return f"{self.problem.name}: inconclusive within the step budget"
+
+
+def semidecide_constant_time(
+    problem: NodeEdgeCheckableLCL,
+    max_steps: int = 4,
+    max_universe: int = 4096,
+) -> ConstantTimeVerdict:
+    """Run the Question 1.7 semidecision loop on a node-edge-checkable LCL."""
+    result = speedup(problem, max_steps=max_steps, max_universe=max_universe)
+    if result.status == "constant":
+        return ConstantTimeVerdict(
+            problem=problem,
+            verdict=CONSTANT,
+            rounds=result.constant_rounds,
+            algorithm=result.algorithm,
+            gap_result=result,
+        )
+    if result.status == "fixed-point":
+        return ConstantTimeVerdict(
+            problem=problem,
+            verdict=NOT_CONSTANT,
+            rounds=None,
+            algorithm=None,
+            gap_result=result,
+        )
+    return ConstantTimeVerdict(
+        problem=problem,
+        verdict=INCONCLUSIVE,
+        rounds=None,
+        algorithm=None,
+        gap_result=result,
+    )

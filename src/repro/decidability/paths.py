@@ -1,0 +1,167 @@
+"""Classification of LCLs without inputs on directed paths and cycles.
+
+§1.4: "in paths and cycles the only LOCAL complexities are O(1),
+Θ(log* n), and Θ(n), and it can be decided in polynomial time into which
+class a given LCL problem falls, provided that the LCL does not have
+inputs" [41, 17, 21, 22].  This module implements that decision on the
+:class:`~repro.decidability.automata.LabelAutomaton` view:
+
+* **UNSOLVABLE** — beyond some length no solution exists at all (the
+  automaton admits no long-enough walks);
+* **GLOBAL (Θ(n))** — solvable for infinitely many lengths, but the
+  automaton has no *flexible* state on the relevant walks: solutions
+  exist only for lengths in restricted residue classes, or cannot be
+  stitched together locally, so nodes must see a constant fraction of the
+  instance;
+* **LOG_STAR (Θ(log* n))** — a flexible state exists (closed walks of all
+  large lengths through one state): anchor nodes via an O(log* n) ruling
+  set and fill the stretches between anchors with walks of the required
+  lengths; the matching lower bound is Linial's [36] unless the next
+  condition holds;
+* **CONSTANT (O(1))** — a *period-1* pattern exists (a self-loop
+  ``s → s``, i.e. labels ``(L, s)`` with ``{s, L} ∈ E`` and
+  ``{L, s} ∈ N²``), reachable within a constant affix from legal path
+  ends where applicable: every node outputs the repeating pattern (and
+  nodes within a constant distance of a path end output the affix), with
+  no symmetry breaking needed thanks to the consistent orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set
+
+from repro.decidability.automata import LabelAutomaton
+from repro.lcl.nec import NodeEdgeCheckableLCL
+
+CONSTANT = "O(1)"
+LOG_STAR = "Theta(log* n)"
+GLOBAL = "Theta(n)"
+UNSOLVABLE = "unsolvable"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A decided complexity class plus its certificate."""
+
+    complexity: str
+    #: A self-loop state (CONSTANT), flexible state (LOG_STAR), or None.
+    witness: Optional[Any]
+    explanation: str
+
+    def __str__(self) -> str:
+        return f"{self.complexity} ({self.explanation})"
+
+
+def classify_cycle_problem(problem: NodeEdgeCheckableLCL) -> Classification:
+    """Decide the complexity of an input-free LCL on long directed cycles."""
+    automaton = LabelAutomaton(problem)
+    if not automaton.has_cycle():
+        return Classification(
+            UNSOLVABLE, None, "the label automaton is acyclic: no long solutions"
+        )
+    loops = automaton.self_loop_states()
+    if loops:
+        witness = loops[0]
+        return Classification(
+            CONSTANT,
+            witness,
+            f"period-1 pattern through state {witness!r} "
+            f"(witness left-label {automaton.arcs[witness][witness]!r})",
+        )
+    flexible = automaton.flexible_states()
+    if flexible:
+        return Classification(
+            LOG_STAR,
+            flexible[0],
+            f"flexible state {flexible[0]!r} admits closed walks of every "
+            "large length; no period-1 pattern exists",
+        )
+    return Classification(
+        GLOBAL,
+        None,
+        "solutions exist only for restricted cycle lengths "
+        "(every strongly connected component has cycle-gcd > 1)",
+    )
+
+
+def classify_path_problem(problem: NodeEdgeCheckableLCL) -> Classification:
+    """Decide the complexity of an input-free LCL on long directed paths.
+
+    Same trichotomy as cycles, but walks must start and end at legal
+    degree-1 states, and the CONSTANT/LOG_STAR witnesses must be reachable
+    from a legal start *and* co-reachable to a legal end (the constant
+    affixes near the two path ends).
+    """
+    automaton = LabelAutomaton(problem)
+    starts = automaton.legal_start_states()
+    ends = automaton.legal_end_states()
+    if not starts or not ends:
+        return Classification(
+            UNSOLVABLE, None, "no legal path endpoint states (N^1 unusable)"
+        )
+    reachable = automaton.reachable_from(starts)
+    co_reachable = automaton.co_reachable_to(ends)
+    live = reachable & co_reachable
+    if not live:
+        return Classification(
+            UNSOLVABLE, None, "no walk connects a legal start to a legal end"
+        )
+    if not _has_cycle_within(automaton, live):
+        return Classification(
+            UNSOLVABLE,
+            None,
+            "only finitely many path lengths are solvable (no live cycle)",
+        )
+    loops = [state for state in automaton.self_loop_states() if state in live]
+    if loops:
+        witness = loops[0]
+        return Classification(
+            CONSTANT,
+            witness,
+            f"period-1 pattern through live state {witness!r} with constant "
+            "affixes to both path ends",
+        )
+    flexible = [state for state in automaton.flexible_states() if state in live]
+    if flexible:
+        return Classification(
+            LOG_STAR,
+            flexible[0],
+            f"live flexible state {flexible[0]!r}; no period-1 pattern",
+        )
+    return Classification(
+        GLOBAL,
+        None,
+        "live solutions exist but only for restricted lengths",
+    )
+
+
+def _has_cycle_within(automaton: LabelAutomaton, allowed: Set[Any]) -> bool:
+    """Is there a directed cycle using only ``allowed`` states?"""
+    colors = {state: 0 for state in allowed}  # 0 new, 1 active, 2 done
+
+    def dfs(root: Any) -> bool:
+        stack = [(root, iter(automaton.successors(root)))]
+        colors[root] = 1
+        while stack:
+            node, successors = stack[-1]
+            found = False
+            for nxt in successors:
+                if nxt not in allowed:
+                    continue
+                if colors[nxt] == 1:
+                    return True
+                if colors[nxt] == 0:
+                    colors[nxt] = 1
+                    stack.append((nxt, iter(automaton.successors(nxt))))
+                    found = True
+                    break
+            if not found:
+                colors[node] = 2
+                stack.pop()
+        return False
+
+    for state in allowed:
+        if colors[state] == 0 and dfs(state):
+            return True
+    return False

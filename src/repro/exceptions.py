@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``KeyError`` from internal bugs, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Malformed graph structure (bad ports, dangling half-edges, ...)."""
+
+
+class LabelingError(ReproError):
+    """A half-edge labeling is structurally invalid for its graph."""
+
+
+class ProblemDefinitionError(ReproError):
+    """An LCL problem definition is inconsistent or incomplete."""
+
+
+class SimulationError(ReproError):
+    """A model simulation (LOCAL / VOLUME / PROD-LOCAL) cannot proceed."""
+
+
+class ProbeError(SimulationError):
+    """An invalid probe was issued in the VOLUME / LCA model."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm produced output outside its declared contract."""
+
+
+class UnsolvableError(ReproError):
+    """The requested instance admits no correct solution."""
+
+
+class DecidabilityError(ReproError):
+    """A decision procedure was invoked outside its supported fragment."""

@@ -1,0 +1,42 @@
+"""Graph substrate: port-numbered half-edge graphs, generators, balls, IDs."""
+
+from repro.graphs.core import Graph, HalfEdge, HalfEdgeLabeling
+from repro.graphs.balls import Ball, extract_ball
+from repro.graphs.generators import (
+    caterpillar,
+    complete_regular_tree,
+    cycle,
+    disjoint_union,
+    path,
+    random_forest,
+    random_tree,
+    skip_list_graph,
+    spider,
+    star,
+)
+from repro.graphs.ids import (
+    adversarial_ids,
+    random_ids,
+    sequential_ids,
+)
+
+__all__ = [
+    "Graph",
+    "HalfEdge",
+    "HalfEdgeLabeling",
+    "Ball",
+    "extract_ball",
+    "path",
+    "cycle",
+    "star",
+    "spider",
+    "caterpillar",
+    "complete_regular_tree",
+    "random_tree",
+    "random_forest",
+    "disjoint_union",
+    "skip_list_graph",
+    "sequential_ids",
+    "random_ids",
+    "adversarial_ids",
+]

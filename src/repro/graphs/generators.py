@@ -1,0 +1,163 @@
+"""Graph generators for the paper's graph classes.
+
+Everything here produces :class:`~repro.graphs.core.Graph` instances:
+paths and cycles (the decidability fragment of §1.4), bounded-degree trees
+and forests (the class ``T`` / ``F`` of §2), and the skip-list shortcut
+graphs used to exhibit the "dense region" of complexities between
+``Θ(log log* n)`` and ``Θ(log* n)`` on general graphs (§1, discussion of
+[11]).  Oriented grids live in :mod:`repro.grids.oriented` because they
+carry extra structure (coordinates, orientations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.core import Graph
+
+
+def path(num_nodes: int) -> Graph:
+    """A path on ``num_nodes`` nodes (0 - 1 - ... - n-1)."""
+    return Graph(num_nodes, [(i, i + 1) for i in range(num_nodes - 1)])
+
+
+def cycle(num_nodes: int) -> Graph:
+    """A cycle on ``num_nodes >= 3`` nodes."""
+    if num_nodes < 3:
+        raise GraphError("a simple cycle needs at least 3 nodes")
+    edges = [(i, i + 1) for i in range(num_nodes - 1)] + [(num_nodes - 1, 0)]
+    return Graph(num_nodes, edges)
+
+
+def star(num_leaves: int) -> Graph:
+    """A star: node 0 adjacent to ``num_leaves`` leaves."""
+    return Graph(num_leaves + 1, [(0, i) for i in range(1, num_leaves + 1)])
+
+
+def spider(num_legs: int, leg_length: int) -> Graph:
+    """A spider: ``num_legs`` paths of ``leg_length`` edges glued at node 0."""
+    edges: List[Tuple[int, int]] = []
+    next_index = 1
+    for _ in range(num_legs):
+        previous = 0
+        for _ in range(leg_length):
+            edges.append((previous, next_index))
+            previous = next_index
+            next_index += 1
+    return Graph(next_index, edges)
+
+
+def caterpillar(spine_length: int, legs_per_node: int = 1) -> Graph:
+    """A caterpillar: a spine path with pendant leaves on every spine node."""
+    edges = [(i, i + 1) for i in range(spine_length - 1)]
+    next_index = spine_length
+    for v in range(spine_length):
+        for _ in range(legs_per_node):
+            edges.append((v, next_index))
+            next_index += 1
+    return Graph(next_index, edges)
+
+
+def complete_regular_tree(delta: int, depth: int) -> Graph:
+    """The complete Δ-regular tree of the given depth.
+
+    The root has ``delta`` children; every internal node has ``delta - 1``
+    children (so internal degrees are exactly Δ); leaves are at ``depth``.
+    ``depth == 0`` yields a single node.
+    """
+    if delta < 2:
+        raise GraphError("complete_regular_tree needs delta >= 2")
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    next_index = 1
+    for level in range(depth):
+        new_frontier = []
+        for v in frontier:
+            fanout = delta if level == 0 else delta - 1
+            for _ in range(fanout):
+                edges.append((v, next_index))
+                new_frontier.append(next_index)
+                next_index += 1
+        frontier = new_frontier
+    return Graph(next_index, edges)
+
+
+def random_tree(num_nodes: int, max_degree: int, seed: int = 0) -> Graph:
+    """A uniform-ish random tree with maximum degree at most ``max_degree``.
+
+    Built by random attachment: node ``i`` attaches to a uniformly random
+    earlier node that still has spare degree.  This covers irregular trees
+    with all degrees ``1 .. Δ``, which is exactly the generality the
+    paper's round elimination extension addresses.
+    """
+    if num_nodes < 1:
+        raise GraphError("random_tree needs at least one node")
+    if num_nodes > 1 and max_degree < 2:
+        raise GraphError("max_degree must be >= 2 for a tree with >= 2 nodes")
+    rng = random.Random(seed)
+    degrees = [0] * num_nodes
+    edges: List[Tuple[int, int]] = []
+    available: List[int] = [0]
+    for v in range(1, num_nodes):
+        u = rng.choice(available)
+        edges.append((u, v))
+        degrees[u] += 1
+        degrees[v] += 1
+        if degrees[u] >= max_degree:
+            available.remove(u)
+        if degrees[v] < max_degree:
+            available.append(v)
+        if not available:
+            raise GraphError("degree budget exhausted; increase max_degree")
+    return Graph(num_nodes, edges)
+
+
+def random_forest(
+    component_sizes: Sequence[int], max_degree: int, seed: int = 0
+) -> Graph:
+    """A forest whose components are random trees of the given sizes."""
+    trees = [
+        random_tree(size, max_degree, seed=seed + 7919 * i)
+        for i, size in enumerate(component_sizes)
+    ]
+    return disjoint_union(trees)
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """The disjoint union of the given graphs (indices shifted)."""
+    edges: List[Tuple[int, int]] = []
+    offset = 0
+    for g in graphs:
+        for u, _, v, _ in g.edges():
+            edges.append((u + offset, v + offset))
+        offset += g.num_nodes
+    return Graph(offset, edges)
+
+
+def skip_list_graph(num_nodes: int, levels: Optional[int] = None) -> Graph:
+    """A path plus deterministic skip-list shortcuts.
+
+    Node ``i`` is additionally joined to ``i + 2**j`` whenever
+    ``i % 2**j == 0``, for ``1 <= j <= levels``.  A radius-``t`` ball in
+    this graph contains a ``2^Θ(t)``-radius ball of the underlying path, so
+    path problems of locality ``Θ(log* n)`` become solvable with locality
+    ``Θ(log log* n)`` here — the mechanism behind the dense region of
+    complexities on general graphs ([11], discussed in §1).
+
+    The max degree grows with ``levels`` (≈ ``2 + 2*levels``); the paper's
+    construction keeps degrees constant at the cost of a much more
+    intricate gadget.  See DESIGN.md (substitutions) for why this is an
+    acceptable stand-in for landscape-shape experiments.
+    """
+    if num_nodes < 2:
+        raise GraphError("skip_list_graph needs at least 2 nodes")
+    if levels is None:
+        levels = max(1, (num_nodes - 1).bit_length() - 1)
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    for j in range(1, levels + 1):
+        step = 1 << j
+        for i in range(0, num_nodes - step, step):
+            edges.append((i, i + step))
+    return Graph(num_nodes, edges)

@@ -1,0 +1,53 @@
+"""Identifier assignments for the LOCAL / VOLUME models.
+
+Deterministic algorithms receive globally unique identifiers from a
+polynomial range (Definition 2.1).  The assignment is adversarial in the
+model, so tests and benchmarks exercise several schemes:
+
+* :func:`sequential_ids` — ``1 .. n`` (what the LCA model assumes),
+* :func:`random_ids` — a random injection into ``[1, n**exponent]``,
+* :func:`adversarial_ids` — a worst-case-flavored assignment that sorts
+  IDs against a caller-provided key (e.g. to break algorithms that
+  accidentally rely on ID order correlating with topology).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.exceptions import GraphError
+from repro.graphs.core import Graph
+
+
+def sequential_ids(graph: Graph) -> List[int]:
+    """IDs ``1 .. n`` in node-index order."""
+    return list(range(1, graph.num_nodes + 1))
+
+
+def random_ids(graph: Graph, seed: int = 0, exponent: int = 3) -> List[int]:
+    """Distinct random IDs from the polynomial range ``[1, n**exponent]``."""
+    if exponent < 1:
+        raise GraphError("exponent must be >= 1")
+    n = graph.num_nodes
+    rng = random.Random(seed)
+    universe = max(n, n**exponent)
+    return rng.sample(range(1, universe + 1), n)
+
+
+def adversarial_ids(
+    graph: Graph, key: Callable[[int], float], exponent: int = 3
+) -> List[int]:
+    """Distinct IDs assigned so that ``key(v)`` order equals ID order.
+
+    Nodes are ranked by ``key`` (ties broken by index) and the i-th ranked
+    node receives the i-th smallest ID drawn from a stretched polynomial
+    range, so that *relative order* is fully controlled by the caller.
+    """
+    n = graph.num_nodes
+    ranked = sorted(range(n), key=lambda v: (key(v), v))
+    stride = max(1, n ** (exponent - 1))
+    ids = [0] * n
+    for rank, v in enumerate(ranked):
+        ids[v] = 1 + rank * stride
+    return ids

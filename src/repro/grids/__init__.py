@@ -1,0 +1,31 @@
+"""Oriented d-dimensional toroidal grids and the PROD-LOCAL model (§5)."""
+
+from repro.grids.oriented import OrientedGrid
+from repro.grids.prod_local import (
+    check_prod_order_invariance,
+    combined_ids,
+    prod_ids,
+)
+from repro.grids.algorithms import (
+    DimensionLengthProbe,
+    FollowDimensionOrientation,
+    GridProductColoring,
+)
+from repro.grids.speedup import (
+    coordinate_ids_in_ball,
+    coordinate_prod_ids,
+    fooled_grid_algorithm,
+)
+
+__all__ = [
+    "OrientedGrid",
+    "prod_ids",
+    "combined_ids",
+    "check_prod_order_invariance",
+    "GridProductColoring",
+    "FollowDimensionOrientation",
+    "DimensionLengthProbe",
+    "fooled_grid_algorithm",
+    "coordinate_ids_in_ball",
+    "coordinate_prod_ids",
+]

@@ -1,0 +1,97 @@
+"""Oriented d-dimensional toroidal grids (§5).
+
+An oriented grid is a torus whose edges carry a dimension label from
+``[d]`` and a consistent orientation within each dimension (§1.3, §5).
+Both pieces of structure are exposed the way the rest of the library
+expects: as *input labels* ``(dimension, direction)`` on half-edges, with
+``direction = +1`` on the half-edge pointing "forward" along its
+dimension.  Nodes are indexed in row-major order of their coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.core import Graph, HalfEdgeLabeling
+
+
+class OrientedGrid:
+    """A toroidal oriented grid with side lengths ``sides``.
+
+    ``sides[i] >= 3`` is required so the torus stays a simple graph
+    (side 2 would create parallel edges, side 1 self-loops).
+    """
+
+    def __init__(self, sides: Sequence[int]):
+        self.sides = tuple(sides)
+        if not self.sides:
+            raise GraphError("need at least one dimension")
+        if any(side < 3 for side in self.sides):
+            raise GraphError("toroidal sides must be >= 3 to stay simple")
+        self.dimensions = len(self.sides)
+        self.num_nodes = 1
+        for side in self.sides:
+            self.num_nodes *= side
+        edges: List[Tuple[int, int]] = []
+        for coords in self.coordinates():
+            v = self.index_of(coords)
+            for dim in range(self.dimensions):
+                forward = self.index_of(self._shift(coords, dim, +1))
+                edges.append((v, forward))
+        # Deduplicate (each edge appears once as (v, forward)).
+        self.graph = Graph(self.num_nodes, edges)
+
+    # ----------------------------------------------------------- coordinates
+    def coordinates(self):
+        return itertools.product(*(range(side) for side in self.sides))
+
+    def index_of(self, coords: Sequence[int]) -> int:
+        index = 0
+        for coordinate, side in zip(coords, self.sides):
+            index = index * side + (coordinate % side)
+        return index
+
+    def coords_of(self, index: int) -> Tuple[int, ...]:
+        coords = []
+        for side in reversed(self.sides):
+            coords.append(index % side)
+            index //= side
+        return tuple(reversed(coords))
+
+    def _shift(self, coords: Sequence[int], dim: int, delta: int) -> Tuple[int, ...]:
+        shifted = list(coords)
+        shifted[dim] = (shifted[dim] + delta) % self.sides[dim]
+        return tuple(shifted)
+
+    def neighbor_along(self, v: int, dim: int, delta: int) -> int:
+        return self.index_of(self._shift(self.coords_of(v), dim, delta))
+
+    # -------------------------------------------------------------- labeling
+    def orientation_inputs(self) -> HalfEdgeLabeling:
+        """Input labels ``(dimension, ±1)`` on every half-edge."""
+        labeling = HalfEdgeLabeling(self.graph)
+        for v in range(self.num_nodes):
+            coords = self.coords_of(v)
+            for dim in range(self.dimensions):
+                forward = self.index_of(self._shift(coords, dim, +1))
+                backward = self.index_of(self._shift(coords, dim, -1))
+                port_forward = self.graph.port_to(v, forward)
+                port_backward = self.graph.port_to(v, backward)
+                if port_forward is None or port_backward is None:
+                    raise GraphError("grid adjacency inconsistent")
+                labeling[(v, port_forward)] = (dim, +1)
+                labeling[(v, port_backward)] = (dim, -1)
+        return labeling
+
+    def port_along(self, v: int, dim: int, delta: int) -> int:
+        """The port of ``v`` leading one step along ``dim``."""
+        neighbor = self.neighbor_along(v, dim, delta)
+        port = self.graph.port_to(v, neighbor)
+        if port is None:
+            raise GraphError("grid adjacency inconsistent")
+        return port
+
+    def __repr__(self) -> str:
+        return f"OrientedGrid(sides={self.sides})"

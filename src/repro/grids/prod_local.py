@@ -1,0 +1,99 @@
+"""The PROD-LOCAL model (Definition 5.2).
+
+In PROD-LOCAL every node receives ``d`` identifiers, one per dimension,
+with ``id_i(u) = id_i(v)`` iff ``u`` and ``v`` share the ``i``-th
+coordinate.  We represent them as a per-node *tuple*; Proposition 5.3's
+direction "LOCAL ⇒ PROD-LOCAL is at least as strong" is realized by
+:func:`combined_ids`, which flattens the tuple into the globally unique
+integer ``Σ id_i · n^{c(i-1)}`` so ordinary LOCAL algorithms run
+unchanged.
+
+Order invariance for PROD-LOCAL (used by Prop. 5.4/5.5) compares the
+*pooled* order of all per-dimension identifiers, which is what
+:func:`check_prod_order_invariance` perturbs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.core import HalfEdgeLabeling
+from repro.grids.oriented import OrientedGrid
+from repro.local.model import LocalAlgorithm, run_local_algorithm
+
+
+def prod_ids(grid: OrientedGrid, seed: int = 0, exponent: int = 2) -> List[Tuple[int, ...]]:
+    """Per-node tuples of d per-dimension identifiers.
+
+    For each dimension ``i``, the ``sides[i]`` coordinate values receive
+    distinct random identifiers from a polynomial range; nodes sharing a
+    coordinate share that identifier, exactly as Definition 5.2 demands.
+    Identifier pools of different dimensions are disjoint (offset per
+    dimension) so the pooled order is total.
+    """
+    rng = random.Random(seed)
+    universe = max(4, grid.num_nodes**exponent)
+    coordinate_ids: List[List[int]] = []
+    for dim, side in enumerate(grid.sides):
+        values = rng.sample(range(1, universe + 1), side)
+        offset = dim * universe
+        coordinate_ids.append([value + offset for value in values])
+    tuples: List[Tuple[int, ...]] = []
+    for v in range(grid.num_nodes):
+        coords = grid.coords_of(v)
+        tuples.append(
+            tuple(coordinate_ids[dim][coords[dim]] for dim in range(grid.dimensions))
+        )
+    return tuples
+
+
+def combined_ids(id_tuples: Sequence[Tuple[int, ...]], base: Optional[int] = None) -> List[int]:
+    """Proposition 5.3: flatten d-tuples into globally unique integers.
+
+    ``I = Σ_i id_i · base^(i-1)`` with ``base`` exceeding every
+    per-dimension identifier; distinct tuples give distinct integers.
+    """
+    if base is None:
+        base = 1 + max(value for ids in id_tuples for value in ids)
+    flattened = []
+    for ids in id_tuples:
+        total = 0
+        for value in reversed(ids):
+            total = total * base + value
+        flattened.append(total)
+    if len(set(flattened)) != len(flattened):
+        raise ValueError("combined identifiers collided; tuples were not unique")
+    return flattened
+
+
+def check_prod_order_invariance(
+    algorithm: LocalAlgorithm,
+    grid: OrientedGrid,
+    id_tuples: Sequence[Tuple[int, ...]],
+    trials: int = 5,
+    seed: int = 0,
+) -> bool:
+    """Rerun under pooled-order-preserving reassignments of the d id pools.
+
+    Definition 5.2's order-invariance compares ``id_i(u)`` against
+    ``id_j(v)`` across dimensions, so the reassignment remaps the *pooled*
+    set of identifier values monotonically.
+    """
+    inputs = grid.orientation_inputs()
+    baseline = run_local_algorithm(
+        grid.graph, algorithm, inputs=inputs, ids=list(id_tuples)
+    )
+    rng = random.Random(seed)
+    pooled = sorted({value for ids in id_tuples for value in ids})
+    for _ in range(trials):
+        fresh = sorted(rng.sample(range(1, 50 * (len(pooled) + 1)), len(pooled)))
+        remap = dict(zip(pooled, fresh))
+        reassigned = [tuple(remap[value] for value in ids) for ids in id_tuples]
+        rerun = run_local_algorithm(
+            grid.graph, algorithm, inputs=inputs, ids=reassigned
+        )
+        for half_edge, label in baseline.outputs.items():
+            if rerun.outputs.get(half_edge) != label:
+                return False
+    return True

@@ -1,0 +1,16 @@
+"""Empirical complexity landscapes (Figure 1): growth fitting and reports."""
+
+from repro.landscape.fit import (
+    GROWTH_SHAPES,
+    FitResult,
+    fit_growth,
+)
+from repro.landscape.report import LandscapePanel, SeriesRow
+
+__all__ = [
+    "GROWTH_SHAPES",
+    "FitResult",
+    "fit_growth",
+    "LandscapePanel",
+    "SeriesRow",
+]

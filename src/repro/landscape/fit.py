@@ -1,0 +1,117 @@
+"""Growth-shape fitting for measured localities / probe counts.
+
+Figure 1 plots complexity *classes*; our benchmarks measure concrete
+locality/probe series over a grid of ``n`` and need to attribute each
+series to a class.  :func:`fit_growth` fits every candidate shape
+``value ≈ a · shape(n) + b`` (non-negative slope, least squares) and
+scores it by residual error, preferring simpler shapes on near-ties so
+that a flat series is reported as ``O(1)`` rather than as a degenerate
+``Θ(log n)`` with slope 0.
+
+The candidate set mirrors the classes appearing in the paper's four
+panels; callers can restrict it (e.g. the grid panel only distinguishes
+``O(1) / Θ(log* n) / Θ(n^{1/d})``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.numbers import iterated_log
+
+#: Candidate shapes, ordered from simplest to fastest-growing; ties in
+#: fit quality resolve toward the earlier entry.
+GROWTH_SHAPES: Dict[str, Callable[[float], float]] = {
+    "O(1)": lambda n: 1.0,
+    "Theta(log log* n)": lambda n: math.log2(max(2, iterated_log(n))),
+    "Theta(log* n)": lambda n: float(iterated_log(n)),
+    "Theta(log log n)": lambda n: math.log2(max(2.0, math.log2(max(2.0, n)))),
+    "Theta(log n)": lambda n: math.log2(max(2.0, n)),
+    "Theta(n^{1/3})": lambda n: n ** (1.0 / 3.0),
+    "Theta(n^{1/2})": lambda n: math.sqrt(n),
+    "Theta(n)": lambda n: float(n),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one series against the candidate shapes.
+
+    At laptop-reachable ``n``, some classes are *affinely equivalent* on
+    any sample — ``Θ(log* n)`` and ``Θ(log log* n)`` take two or three
+    values on the whole range and fit each other exactly — so a single
+    "best" label would overclaim.  ``best`` is the simplest class among
+    the statistically tied front-runners; ``tied`` lists every class
+    whose residual is within the tie tolerance of the minimum, and
+    downstream gap checks treat a series as gap-violating only when *all*
+    of its tied classes lie in the forbidden band.
+    """
+
+    best: str
+    #: Every class fitting within the tie tolerance of the best residual,
+    #: in candidate (simplest-first) order.
+    tied: Tuple[str, ...]
+    #: Normalized residual (RMS error / max |value|) per candidate.
+    scores: Dict[str, float]
+    slope: float
+    intercept: float
+
+    def __str__(self) -> str:
+        return f"{self.best} (residual {self.scores[self.best]:.3f})"
+
+
+def _least_squares(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Fit ``y = a x + b`` with ``a >= 0``; return (a, b, rms residual)."""
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        slope = 0.0
+    else:
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+        slope = max(0.0, slope)
+    intercept = mean_y - slope * mean_x
+    residual = math.sqrt(
+        sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)) / count
+    )
+    return slope, intercept, residual
+
+
+def fit_growth(
+    ns: Sequence[int],
+    values: Sequence[float],
+    shapes: Optional[Dict[str, Callable[[float], float]]] = None,
+    tie_tolerance: float = 0.01,
+) -> FitResult:
+    """Attribute a measured series to its best-fitting growth class.
+
+    ``tie_tolerance`` is relative to the series' value range: a simpler
+    shape within that margin of the best residual wins (Occam tie-break).
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need two or more (n, value) samples")
+    shapes = shapes or GROWTH_SHAPES
+    scale = max((abs(v) for v in values), default=1.0) or 1.0
+
+    fits: Dict[str, Tuple[float, float, float]] = {}
+    scores: Dict[str, float] = {}
+    for name, shape in shapes.items():
+        xs = [shape(n) for n in ns]
+        slope, intercept, residual = _least_squares(xs, values)
+        fits[name] = (slope, intercept, residual)
+        scores[name] = residual / scale
+
+    best_residual = min(scores.values())
+    tied = tuple(
+        name for name in shapes if scores[name] <= best_residual + tie_tolerance
+    )
+    best = tied[0]
+    slope, intercept, _ = fits[best]
+    return FitResult(
+        best=best, tied=tied, scores=scores, slope=slope, intercept=intercept
+    )

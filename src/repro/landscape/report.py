@@ -1,0 +1,115 @@
+"""Figure-1-style landscape panels assembled from measured series.
+
+Each benchmark produces one :class:`LandscapePanel` per Figure-1 panel:
+rows pair a problem with its theoretically expected class, the measured
+locality/probe series, and the class fitted by
+:func:`repro.landscape.fit.fit_growth`.  The renderer prints the same
+information the paper's figure conveys — which classes are inhabited —
+and :meth:`LandscapePanel.gap_violations` mechanically checks the
+theorems' red region: no measured series may be ω(1) yet o(log* n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.landscape.fit import GROWTH_SHAPES, FitResult, fit_growth
+
+#: Classes lying inside the forbidden gap of Theorems 1.1/1.3/1.4.
+GAP_CLASSES = ("Theta(log log* n)",)
+
+
+@dataclass
+class SeriesRow:
+    """One problem's measured complexity series."""
+
+    problem: str
+    expected: str
+    ns: Sequence[int]
+    values: Sequence[float]
+    #: Restrict candidate shapes for this row (panel-specific classes).
+    shapes: Optional[Dict[str, Callable[[float], float]]] = None
+    fit: FitResult = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.fit = fit_growth(self.ns, list(self.values), shapes=self.shapes)
+
+    @property
+    def fitted(self) -> str:
+        return self.fit.best
+
+    @property
+    def matches_expectation(self) -> bool:
+        """The expected class fits as well as any other (tie-aware)."""
+        return self.expected in self.fit.tied
+
+    @property
+    def in_gap(self) -> bool:
+        """Every comparably-fitting class lies in the forbidden band.
+
+        Tie-aware: a series whose tie set contains any class outside the
+        gap (e.g. O(1) or Theta(log* n)) is *not* evidence of a gap
+        inhabitant — at reachable n, Theta(log* n) and Theta(log log* n)
+        are affinely indistinguishable step functions.
+        """
+        return all(name in GAP_CLASSES for name in self.fit.tied)
+
+
+@dataclass
+class LandscapePanel:
+    """A Figure-1 panel: titled collection of series rows."""
+
+    title: str
+    rows: List[SeriesRow] = field(default_factory=list)
+
+    def add(
+        self,
+        problem: str,
+        expected: str,
+        ns: Sequence[int],
+        values: Sequence[float],
+        shapes: Optional[Dict[str, Callable[[float], float]]] = None,
+    ) -> SeriesRow:
+        row = SeriesRow(problem, expected, ns, values, shapes=shapes)
+        self.rows.append(row)
+        return row
+
+    def gap_violations(self, gap_classes: Sequence[str] = GAP_CLASSES) -> List[SeriesRow]:
+        """Rows whose fitted class lies in the forbidden ω(1)–o(log* n) gap.
+
+        The general-graphs panel legitimately contains such rows (the
+        dense region of [11]); the tree / grid / VOLUME panels must not —
+        that is exactly what Theorems 1.1, 1.3 and 1.4 assert.
+        """
+        return [
+            row
+            for row in self.rows
+            if all(name in gap_classes for name in row.fit.tied)
+        ]
+
+    def render(self) -> str:
+        lines = [f"== {self.title} =="]
+        if not self.rows:
+            return lines[0] + "\n  (empty)"
+        ns = self.rows[0].ns
+        header = f"  {'problem':<32} {'expected':<20} {'fitted':<20} " + " ".join(
+            f"n={n}" for n in ns
+        )
+        lines.append(header)
+        for row in self.rows:
+            values = " ".join(f"{v:>{len(f'n={n}')}.4g}" for n, v in zip(row.ns, row.values))
+            fitted = row.fitted + ("~" if len(row.fit.tied) > 1 else "")
+            flag = "" if row.matches_expectation else "  [fit != expected]"
+            lines.append(
+                f"  {row.problem:<32} {row.expected:<20} {fitted:<20} {values}{flag}"
+            )
+        violations = self.gap_violations()
+        if violations:
+            lines.append(
+                "  !! series in the forbidden gap: "
+                + ", ".join(row.problem for row in violations)
+            )
+        else:
+            lines.append("  gap (omega(1) .. o(log* n)): empty, as the theorem predicts")
+        return "\n".join(lines)

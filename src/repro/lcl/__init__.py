@@ -1,0 +1,22 @@
+"""LCL problems: general form, node-edge-checkable form, checker, catalog."""
+
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.lcl.problem import LCLProblem
+from repro.lcl.checker import (
+    CheckReport,
+    check_solution,
+    is_valid_solution,
+)
+from repro.lcl import catalog
+from repro.lcl.random_problems import random_lcl, random_lcl_batch
+
+__all__ = [
+    "NodeEdgeCheckableLCL",
+    "LCLProblem",
+    "CheckReport",
+    "check_solution",
+    "is_valid_solution",
+    "catalog",
+    "random_lcl",
+    "random_lcl_batch",
+]

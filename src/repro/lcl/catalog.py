@@ -1,0 +1,502 @@
+"""A catalog of concrete LCL problems in node-edge-checkable form.
+
+These are the standard benchmark problems of the LCL literature, encoded
+exactly as §2.1 prescribes (half-edge labels; node/edge constraints; ``g``
+for input-dependent problems):
+
+* symmetry breaking (class Θ(log* n) on trees): proper ``k``-coloring,
+  maximal independent set, maximal matching, weak coloring;
+* the round-elimination classic sinkless orientation (the canonical
+  fixed point, Ω(log log n) randomized / Ω(log n) deterministic);
+* O(1)-class problems (trivial and consensus-style);
+* problems *with inputs* — the paper's round-elimination extension is
+  specifically about these: list-coloring-style restrictions and the
+  ``echo`` family (copy the input across an edge), which need exactly
+  ``k`` rounds and exercise the Lemma 3.9 lifting nontrivially;
+* global problems (proper 2-coloring) for the decidability fragment.
+
+All constructors take ``max_degree`` (the Δ of the graph class) and return
+:class:`~repro.lcl.nec.NodeEdgeCheckableLCL` instances whose node
+constraints cover all degrees ``1 .. Δ`` unless a problem deliberately
+forbids some degrees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.lcl.nec import NodeEdgeCheckableLCL, all_multisets
+from repro.utils.multiset import Multiset
+
+#: The conventional single input label for problems "without inputs".
+NO_INPUT = "*"
+
+
+def _no_input_g(sigma_out: Iterable[Any]) -> dict:
+    return {NO_INPUT: frozenset(sigma_out)}
+
+
+# --------------------------------------------------------------------- O(1)
+def trivial(max_degree: int, labels: Sequence[str] = ("T",)) -> NodeEdgeCheckableLCL:
+    """Everything is allowed: the archetypal 0-round problem."""
+    labels = tuple(labels)
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints={
+            d: all_multisets(labels, d) for d in range(1, max_degree + 1)
+        },
+        edge_constraint=all_multisets(labels, 2),
+        g=_no_input_g(labels),
+        name="trivial",
+    )
+
+
+def consensus(max_degree: int, values: Sequence[str] = ("0", "1")) -> NodeEdgeCheckableLCL:
+    """All half-edges of the graph must carry one common value.
+
+    Each node must be internally constant and each edge monochromatic, so
+    any connected component is forced to a single value.  0-round solvable
+    (every node deterministically picks the same canonical value), despite
+    *looking* global — a useful sanity case for the A_det construction.
+    """
+    values = tuple(values)
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=values,
+        node_constraints={
+            d: [Multiset([v] * d) for v in values] for d in range(1, max_degree + 1)
+        },
+        edge_constraint=[Multiset([v, v]) for v in values],
+        g=_no_input_g(values),
+        name="consensus",
+    )
+
+
+# ------------------------------------------------------------- Θ(log* n) class
+def coloring(num_colors: int, max_degree: int) -> NodeEdgeCheckableLCL:
+    """Proper ``num_colors``-coloring of nodes.
+
+    A node copies its color to all incident half-edges; an edge must see
+    two distinct colors.  For ``num_colors >= Δ + 1`` this is the classic
+    Θ(log* n) problem on trees (class (B) of §1.1); for ``num_colors = 2``
+    it is global on paths and unsolvable on odd cycles.
+    """
+    if num_colors < 1:
+        raise ProblemDefinitionError("need at least one color")
+    colors = tuple(f"c{i}" for i in range(num_colors))
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=colors,
+        node_constraints={
+            d: [Multiset([c] * d) for c in colors] for d in range(1, max_degree + 1)
+        },
+        edge_constraint=[
+            Multiset([a, b]) for a, b in itertools.combinations(colors, 2)
+        ],
+        g=_no_input_g(colors),
+        name=f"{num_colors}-coloring",
+    )
+
+
+def mis(max_degree: int) -> NodeEdgeCheckableLCL:
+    """Maximal independent set in the standard pointer encoding.
+
+    ``M``: the node is in the set (all half-edges ``M``).
+    Non-set nodes emit exactly one pointer ``P`` toward a set neighbor
+    (certifying maximality) and ``O`` elsewhere.  Edge constraint forbids
+    adjacent set nodes (``{M, M}``) and forces every pointer to land on a
+    set node.
+    """
+    labels = ("M", "P", "O")
+    node_constraints = {}
+    for d in range(1, max_degree + 1):
+        configurations = [Multiset(["M"] * d)]
+        configurations.append(Multiset(["P"] + ["O"] * (d - 1)))
+        node_constraints[d] = configurations
+    edge = [Multiset(p) for p in (("M", "P"), ("M", "O"), ("O", "O"))]
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g=_no_input_g(labels),
+        name="mis",
+    )
+
+
+def maximal_matching(max_degree: int) -> NodeEdgeCheckableLCL:
+    """Maximal matching in the standard encoding.
+
+    A matched node emits ``M`` on its matching edge and ``O`` elsewhere; an
+    unmatched node emits ``P`` everywhere.  Edges: ``{M, M}`` (a matching
+    edge), ``{O, O}`` (both endpoints matched elsewhere), ``{O, P}``
+    (unmatched next to matched — fine); ``{P, P}`` is forbidden, which is
+    exactly maximality.
+    """
+    labels = ("M", "P", "O")
+    node_constraints = {}
+    for d in range(1, max_degree + 1):
+        node_constraints[d] = [
+            Multiset(["M"] + ["O"] * (d - 1)),
+            Multiset(["P"] * d),
+        ]
+    edge = [Multiset(p) for p in (("M", "M"), ("O", "O"), ("O", "P"))]
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g=_no_input_g(labels),
+        name="maximal-matching",
+    )
+
+
+def weak_coloring(num_colors: int, max_degree: int) -> NodeEdgeCheckableLCL:
+    """Weak coloring: every node has >= 1 neighbor of a different color.
+
+    Encoded with labels ``(color, flag)``: a node uses one ``"p"`` flag (a
+    pointer to a differing neighbor) and ``"o"`` flags elsewhere; an edge
+    with a ``"p"`` side must have distinct colors.
+    """
+    colors = tuple(f"c{i}" for i in range(num_colors))
+    labels = tuple((c, f) for c in colors for f in ("p", "o"))
+    node_constraints = {}
+    for d in range(1, max_degree + 1):
+        configurations = []
+        for c in colors:
+            configurations.append(Multiset([(c, "p")] + [(c, "o")] * (d - 1)))
+        node_constraints[d] = configurations
+    edge = []
+    for (c1, f1), (c2, f2) in itertools.combinations_with_replacement(labels, 2):
+        if ("p" in (f1, f2)) and c1 == c2:
+            continue
+        edge.append(Multiset([(c1, f1), (c2, f2)]))
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g=_no_input_g(labels),
+        name=f"weak-{num_colors}-coloring",
+    )
+
+
+def edge_coloring(num_colors: int, max_degree: int) -> NodeEdgeCheckableLCL:
+    """Proper edge coloring: incident edges get distinct colors.
+
+    Both half-edges of an edge carry the edge's color (edge constraint:
+    monochromatic pairs), and a node's incident colors are pairwise
+    distinct (node constraint: rainbow multisets).  For
+    ``num_colors >= 2Δ - 1`` this is in the Θ(log* n) class on trees; with
+    2 colors on paths it alternates, i.e. is global — both ends are
+    exercised by the decidability tests.
+    """
+    if num_colors < 1:
+        raise ProblemDefinitionError("need at least one color")
+    colors = tuple(f"e{i}" for i in range(num_colors))
+    node_constraints = {
+        d: [Multiset(combo) for combo in itertools.combinations(colors, d)]
+        for d in range(1, max_degree + 1)
+    }
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=colors,
+        node_constraints=node_constraints,
+        edge_constraint=[Multiset([c, c]) for c in colors],
+        g=_no_input_g(colors),
+        name=f"{num_colors}-edge-coloring",
+    )
+
+
+# --------------------------------------------------------- round-elim classics
+def sinkless_orientation(delta: int) -> NodeEdgeCheckableLCL:
+    """Sinkless orientation on graphs of maximum degree ``delta``.
+
+    Every edge is oriented (``{I, O}`` on its two half-edges: the ``O``
+    endpoint is the tail).  Nodes of degree exactly ``delta`` must not be
+    sinks (>= 1 outgoing half-edge); smaller degrees are unconstrained, the
+    standard convention that makes the problem solvable on trees.  The
+    canonical round-elimination fixed point [14, 15].
+    """
+    if delta < 2:
+        raise ProblemDefinitionError("sinkless orientation needs delta >= 2")
+    labels = ("I", "O")
+    node_constraints = {}
+    for d in range(1, delta + 1):
+        configurations = list(all_multisets(labels, d))
+        if d == delta:
+            configurations = [c for c in configurations if "O" in c]
+        node_constraints[d] = configurations
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=[Multiset(["I", "O"])],
+        g=_no_input_g(labels),
+        name=f"sinkless-orientation(delta={delta})",
+    )
+
+
+# ------------------------------------------------------------- with inputs
+def echo(max_degree: int, values: Sequence[str] = ("0", "1")) -> NodeEdgeCheckableLCL:
+    """"Edge echo": on each half-edge output the *opposite* input label.
+
+    Outputs are pairs ``(mine, guess)``; ``g`` pins ``mine`` to the local
+    input, and the edge constraint requires the two guesses to be crossed
+    copies of the two ``mine`` components.  Needs exactly 1 round (look
+    across the edge), so it is the minimal problem whose O(1) algorithm is
+    *not* 0-round — the first interesting case for the gap pipeline, and a
+    problem with genuine inputs (the setting the paper extends round
+    elimination to).
+    """
+    values = tuple(values)
+    labels = tuple((mine, guess) for mine in values for guess in values)
+    node_constraints = {
+        d: all_multisets(labels, d) for d in range(1, max_degree + 1)
+    }
+    edge = []
+    for (m1, g1), (m2, g2) in itertools.combinations_with_replacement(labels, 2):
+        if g1 == m2 and g2 == m1:
+            edge.append(Multiset([(m1, g1), (m2, g2)]))
+    return NodeEdgeCheckableLCL(
+        sigma_in=values,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g={v: frozenset(l for l in labels if l[0] == v) for v in values},
+        name="echo",
+    )
+
+
+def echo_chain(depth: int, values: Sequence[str] = ("0", "1")) -> NodeEdgeCheckableLCL:
+    """The depth-``k`` echo family on paths: complexity exactly ``k``.
+
+    Output labels are ``(k+1)``-tuples ``(v₀, v₁, …, v_k)`` on each
+    half-edge of a degree-<=2 node, with ``"-"`` as the "nothing there"
+    sentinel near path ends:
+
+    * ``v₀`` is pinned to the local input by ``g``;
+    * for odd ``i``, the edge constraint forces ``vᵢ`` to equal the other
+      endpoint's ``v_{i-1}`` (one hop of information per level);
+    * for even ``i >= 2``, the node constraint forces ``vᵢ`` on one
+      half-edge to equal ``v_{i-1}`` on the node's *other* half-edge.
+
+    Unfolding the chain, ``v_i`` names an input ``⌈i/2⌉`` hops away (the
+    node-checked levels reference the writer's *own* other half-edge and
+    cost no extra radius; only the edge-checked levels cross an edge), so
+    the problem has LOCAL complexity exactly ``⌈k/2⌉`` while staying
+    radius-1 checkable — a ladder for exercising arbitrarily many round
+    elimination / lifting steps (with inputs, the paper's setting).
+    ``echo_chain(1)`` is :func:`echo` up to label shape and
+    ``echo_chain(3)`` matches :func:`echo2`; the pipeline synthesizes and
+    verifies the 3-round algorithm for ``echo_chain(5)`` (324 labels).
+    """
+    if depth < 1:
+        raise ProblemDefinitionError("echo_chain needs depth >= 1")
+    values = tuple(values)
+    sentinel = "-"
+    extended = values + (sentinel,)
+
+    def component_domains() -> List[Tuple[str, ...]]:
+        # v0, v1 never see a path end at distance 0/1 from their own node
+        # (v1 is the direct opposite, which always exists); deeper levels
+        # may run off the path and use the sentinel.
+        domains: List[Tuple[str, ...]] = [values, values]
+        for _ in range(2, depth + 1):
+            domains.append(extended)
+        return domains
+
+    labels = tuple(itertools.product(*component_domains()))
+
+    def node_ok_pair(first, second) -> bool:
+        for i in range(2, depth + 1, 2):
+            if first[i] != second[i - 1] or second[i] != first[i - 1]:
+                return False
+        return True
+
+    def node_ok_end(label) -> bool:
+        # Degree-1 node: every "other half-edge" reference is the sentinel.
+        return all(label[i] == sentinel for i in range(2, depth + 1, 2))
+
+    def edge_ok(first, second) -> bool:
+        if first[1] != second[0] or second[1] != first[0]:
+            return False
+        for i in range(3, depth + 1, 2):
+            if first[i] != second[i - 1] or second[i] != first[i - 1]:
+                return False
+        return True
+
+    node_constraints: dict = {
+        1: [Multiset([label]) for label in labels if node_ok_end(label)],
+        2: [],
+    }
+    for first in labels:
+        for second in labels:
+            if node_ok_pair(first, second):
+                node_constraints[2].append(Multiset([first, second]))
+    edge = [
+        Multiset([first, second])
+        for first, second in itertools.combinations_with_replacement(labels, 2)
+        if edge_ok(first, second)
+    ]
+    return NodeEdgeCheckableLCL(
+        sigma_in=values,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g={v: frozenset(l for l in labels if l[0] == v) for v in values},
+        name=f"echo-chain({depth})",
+    )
+
+
+def echo2(values: Sequence[str] = ("0", "1")) -> NodeEdgeCheckableLCL:
+    """"Two-hop echo" on paths: certify the input *two* hops away.
+
+    Output labels are quadruples ``(here, across, far, far2)`` on each
+    half-edge of a degree-<=2 node, with ``"-"`` as the "nothing there"
+    sentinel at path ends:
+
+    * ``here`` is pinned to the local input by ``g``;
+    * the edge constraint forces ``across`` to equal the other endpoint's
+      ``here`` (one hop of information);
+    * the node constraint forces ``far`` on one half-edge to equal
+      ``across`` on the node's *other* half-edge (so ``far`` names the
+      input across the other edge — still one hop to compute);
+    * the edge constraint additionally forces ``far2`` to equal the other
+      endpoint's ``far`` — the input of the node *two hops away in this
+      direction*, which genuinely requires radius 2 to compute.
+
+    Locally checkable with radius 1 but LOCAL complexity exactly 2, so it
+    drives the gap pipeline through two elimination / lifting steps, with
+    inputs — the setting the paper's round-elimination extension targets.
+    """
+    values = tuple(values)
+    sentinel = "-"
+    extended = values + (sentinel,)
+    labels = tuple(
+        (here, across, far, far2)
+        for here in values
+        for across in values
+        for far in extended
+        for far2 in extended
+    )
+    node_constraints: dict = {1: [], 2: []}
+    for label in labels:
+        if label[2] == sentinel:
+            node_constraints[1].append(Multiset([label]))
+    for first in labels:
+        for second in labels:
+            if first[2] == second[1] and second[2] == first[1]:
+                node_constraints[2].append(Multiset([first, second]))
+    edge = []
+    for first, second in itertools.combinations_with_replacement(labels, 2):
+        if (
+            first[1] == second[0]
+            and second[1] == first[0]
+            and first[3] == second[2]
+            and second[3] == first[2]
+        ):
+            edge.append(Multiset([first, second]))
+    return NodeEdgeCheckableLCL(
+        sigma_in=values,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g={v: frozenset(l for l in labels if l[0] == v) for v in values},
+        name="echo2",
+    )
+
+
+def forbidden_input_output(max_degree: int) -> NodeEdgeCheckableLCL:
+    """A list-coloring-flavored input problem.
+
+    Inputs are "forbidden colors" from {0,1,2}; a node must output on each
+    half-edge a color different from that half-edge's forbidden color, all
+    its half-edges must agree (it is a node coloring), and edges must be
+    properly colored.  With 3 colors and forbidden lists this sits in the
+    Θ(log* n) class on paths and exercises ``g`` nontrivially.
+    """
+    colors = ("c0", "c1", "c2")
+    forbidden = ("f0", "f1", "f2")
+    node_constraints = {
+        d: [Multiset([c] * d) for c in colors] for d in range(1, max_degree + 1)
+    }
+    edge = [Multiset([a, b]) for a, b in itertools.combinations(colors, 2)]
+    g = {
+        f: frozenset(c for c in colors if c[1] != f[1])
+        for f in forbidden
+    }
+    return NodeEdgeCheckableLCL(
+        sigma_in=forbidden,
+        sigma_out=colors,
+        node_constraints=node_constraints,
+        edge_constraint=edge,
+        g=g,
+        name="forbidden-color",
+    )
+
+
+def input_copy(max_degree: int, values: Sequence[str] = ("0", "1")) -> NodeEdgeCheckableLCL:
+    """Output your own input on every half-edge: 0 rounds, with inputs."""
+    values = tuple(values)
+    outputs = tuple(f"out{v}" for v in values)
+    return NodeEdgeCheckableLCL(
+        sigma_in=values,
+        sigma_out=outputs,
+        node_constraints={
+            d: all_multisets(outputs, d) for d in range(1, max_degree + 1)
+        },
+        edge_constraint=all_multisets(outputs, 2),
+        g={v: frozenset([f"out{v}"]) for v in values},
+        name="input-copy",
+    )
+
+
+# ------------------------------------------------------------------ global
+def two_coloring(max_degree: int) -> NodeEdgeCheckableLCL:
+    """Proper 2-coloring: Θ(n) on paths, unsolvable on odd cycles."""
+    return coloring(2, max_degree)
+
+
+def edge_orientation_consistent(max_degree: int) -> NodeEdgeCheckableLCL:
+    """Orient every edge; every node must be all-in (a sink) or all-out.
+
+    On paths and cycles this forces sources and sinks to alternate — a
+    period-2 pattern, hence a Θ(n) problem (and unsolvable on odd
+    cycles), exactly like proper 2-coloring.  Included for the
+    decidability fragment as a second member of the global class.
+    """
+    labels = ("I", "O")
+    node_constraints = {
+        d: [Multiset(["I"] * d), Multiset(["O"] * d)] for d in range(1, max_degree + 1)
+    }
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO_INPUT],
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=[Multiset(["I", "O"])],
+        g=_no_input_g(labels),
+        name="consistent-orientation",
+    )
+
+
+def standard_catalog(max_degree: int = 3) -> List[NodeEdgeCheckableLCL]:
+    """The default problem set used by tests and benchmarks."""
+    return [
+        trivial(max_degree),
+        consensus(max_degree),
+        coloring(max_degree + 1, max_degree),
+        edge_coloring(2 * max_degree - 1, max_degree),
+        mis(max_degree),
+        maximal_matching(max_degree),
+        weak_coloring(2, max_degree),
+        sinkless_orientation(max_degree),
+        echo(max_degree),
+        forbidden_input_output(max_degree),
+        input_copy(max_degree),
+        two_coloring(max_degree),
+        edge_orientation_consistent(max_degree),
+    ]

@@ -1,0 +1,164 @@
+"""Solution checking and local failure events (Definition 2.4).
+
+For node-edge-checkable problems the paper defines exactly when a labeling
+is *incorrect on an edge* (edge configuration or ``g`` violated at either
+endpoint) and *incorrect at a node* (node configuration or ``g`` violated
+at an incident half-edge).  :func:`check_solution` reports both lists,
+which is what the failure-probability analysis of §3.2 counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.exceptions import LabelingError
+from repro.graphs.core import Graph, HalfEdgeLabeling
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of checking one labeling against one problem instance."""
+
+    failed_nodes: Tuple[int, ...]
+    #: Edges as ``(u, v)`` with ``u < v``.
+    failed_edges: Tuple[Tuple[int, int], ...]
+    #: Half-edges that are missing an output label entirely.
+    unlabeled: Tuple[Tuple[int, int], ...]
+
+    @property
+    def is_valid(self) -> bool:
+        return not (self.failed_nodes or self.failed_edges or self.unlabeled)
+
+    def __str__(self) -> str:
+        if self.is_valid:
+            return "valid"
+        return (
+            f"invalid: {len(self.failed_nodes)} failed nodes, "
+            f"{len(self.failed_edges)} failed edges, "
+            f"{len(self.unlabeled)} unlabeled half-edges"
+        )
+
+
+def check_solution(
+    problem: NodeEdgeCheckableLCL,
+    graph: Graph,
+    inputs: HalfEdgeLabeling,
+    outputs: HalfEdgeLabeling,
+) -> CheckReport:
+    """Check ``outputs`` against ``problem`` on ``(graph, inputs)``.
+
+    Follows Definition 2.4 to the letter:
+
+    * an edge ``e = {u, v}`` fails if its label pair is outside the edge
+      constraint, or either endpoint's output violates ``g`` of its input;
+    * a node ``v`` fails if the multiset of its half-edge labels is outside
+      ``N^{deg(v)}``, or any incident half-edge violates ``g``.
+    """
+    if not inputs.is_total():
+        raise LabelingError("input labeling must be total")
+
+    unlabeled = tuple(h for h in graph.half_edges() if h not in outputs)
+
+    def g_ok(half_edge: Tuple[int, int]) -> bool:
+        if half_edge not in outputs:
+            return False
+        return outputs[half_edge] in problem.allowed_outputs(inputs[half_edge])
+
+    failed_edges: List[Tuple[int, int]] = []
+    for u, pu, v, pv in graph.edges():
+        ok = (
+            (u, pu) in outputs
+            and (v, pv) in outputs
+            and problem.allows_edge(outputs[(u, pu)], outputs[(v, pv)])
+            and g_ok((u, pu))
+            and g_ok((v, pv))
+        )
+        if not ok:
+            failed_edges.append((u, v))
+
+    failed_nodes: List[int] = []
+    for v in range(graph.num_nodes):
+        if graph.degree(v) == 0:
+            # Isolated nodes carry no half-edges; Definition 2.3 constrains
+            # only degrees >= 1, so they are vacuously correct.
+            continue
+        half_edges = [(v, p) for p in range(graph.degree(v))]
+        ok = all(h in outputs for h in half_edges)
+        if ok:
+            ok = problem.allows_node(Multiset(outputs[h] for h in half_edges))
+        if ok:
+            ok = all(g_ok(h) for h in half_edges)
+        if not ok:
+            failed_nodes.append(v)
+
+    return CheckReport(
+        failed_nodes=tuple(failed_nodes),
+        failed_edges=tuple(failed_edges),
+        unlabeled=unlabeled,
+    )
+
+
+def is_valid_solution(
+    problem: NodeEdgeCheckableLCL,
+    graph: Graph,
+    inputs: HalfEdgeLabeling,
+    outputs: HalfEdgeLabeling,
+) -> bool:
+    """Shorthand for ``check_solution(...).is_valid``."""
+    return check_solution(problem, graph, inputs, outputs).is_valid
+
+
+def brute_force_solution(
+    problem: NodeEdgeCheckableLCL,
+    graph: Graph,
+    inputs: HalfEdgeLabeling,
+    limit: Optional[int] = None,
+) -> Optional[HalfEdgeLabeling]:
+    """Find *some* valid output labeling by backtracking, or ``None``.
+
+    A reference oracle for tests and for the decidability modules: it
+    decides solvability of a concrete instance exactly (exponential time;
+    only use on small graphs).  ``limit`` bounds the number of explored
+    assignments as a safety valve.
+    """
+    half_edges = sorted(graph.half_edges())
+    outputs = HalfEdgeLabeling(graph)
+    explored = 0
+
+    def consistent_upto(index: int) -> bool:
+        v, port = half_edges[index]
+        label = outputs[(v, port)]
+        if label not in problem.allowed_outputs(inputs[(v, port)]):
+            return False
+        opposite = graph.opposite((v, port))
+        if opposite in outputs and not problem.allows_edge(label, outputs[opposite]):
+            return False
+        labels = [outputs.get((v, p)) for p in range(graph.degree(v))]
+        if all(x is not None for x in labels):
+            if not problem.allows_node(Multiset(labels)):
+                return False
+        return True
+
+    order = sorted(problem.sigma_out, key=lambda x: (type(x).__qualname__, repr(x)))
+
+    def backtrack(index: int) -> bool:
+        nonlocal explored
+        if index == len(half_edges):
+            return True
+        for label in order:
+            explored += 1
+            if limit is not None and explored > limit:
+                raise LabelingError("brute_force_solution exceeded its search limit")
+            outputs[half_edges[index]] = label
+            if consistent_upto(index) and backtrack(index + 1):
+                return True
+            del outputs._labels[half_edges[index]]
+        return False
+
+    if graph.num_edges == 0:
+        # Isolated nodes have no half-edges; nothing to label.
+        return outputs
+    return outputs if backtrack(0) else None

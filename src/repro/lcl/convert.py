@@ -1,0 +1,202 @@
+"""Lemma 2.6: every LCL reduces to a node-edge-checkable LCL.
+
+The construction (for checking radius ``r = 1``, which the library's
+concrete general problems use): output labels of ``Π'`` are *accepted
+ball descriptions with a marked half-edge* — a full transcript of a
+radius-1 ball (the center's degree, inputs and outputs; for each port the
+neighbor's degree, remote port, inputs and outputs) accepted by ``P``,
+with one of the center's ports marked.  Then
+
+* the node constraint allows exactly the ``d`` markings of one common
+  accepted ball,
+* the edge constraint allows two marked descriptions iff each endpoint's
+  claim about its neighbor matches the other endpoint's self-description
+  (degree, remote port, inputs, outputs), and
+* ``g`` pins the marked half-edge's recorded input to the actual input.
+
+Correctness is Lemma 2.6's BFS-gluing argument; the complexity overhead
+is the ``±r`` rounds of encoding/decoding.  The construction is
+inherently exponential in ``Δ`` and the alphabet sizes — that is true of
+the lemma itself, not of this implementation — so a ``max_labels`` guard
+keeps accidental blow-ups loud.
+
+For ``r > 1`` the same construction applies with radius-``r`` transcripts
+but the enumeration is beyond reasonable materialization; the library's
+pipeline therefore defines its problems node-edge-checkably from the
+start (as the paper itself effectively does via this lemma).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs.balls import Ball
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.lcl.problem import LCLProblem
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+@dataclass(frozen=True)
+class NeighborRecord:
+    """What a radius-1 transcript records about one neighbor."""
+
+    degree: int
+    remote_port: int
+    inputs: Tuple[Any, ...]
+    outputs: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class BallDescription:
+    """A full radius-1 transcript: the ``Σ_out^{Π'}`` payload of Lemma 2.6."""
+
+    center_degree: int
+    center_inputs: Tuple[Any, ...]
+    center_outputs: Tuple[Any, ...]
+    neighbors: Tuple[NeighborRecord, ...]
+
+    def __repr__(self) -> str:  # compact, deterministic
+        return (
+            f"Ball(d={self.center_degree}, in={self.center_inputs}, "
+            f"out={self.center_outputs}, nbrs={self.neighbors})"
+        )
+
+
+#: A label of the converted problem: a transcript plus a marked port.
+MarkedBall = Tuple[BallDescription, int]
+
+
+def _enumerate_neighbor_records(
+    sigma_in: List[Any], sigma_out: List[Any], max_degree: int
+) -> List[NeighborRecord]:
+    records = []
+    for degree in range(1, max_degree + 1):
+        for remote_port in range(degree):
+            for inputs in itertools.product(sigma_in, repeat=degree):
+                for outputs in itertools.product(sigma_out, repeat=degree):
+                    records.append(
+                        NeighborRecord(degree, remote_port, inputs, outputs)
+                    )
+    return records
+
+
+def _synthetic_ball(description: BallDescription) -> Ball:
+    """Materialize a transcript as a Ball for the predicate to inspect."""
+    ball = Ball(radius=1)
+    ball.global_index.append(0)
+    ball.distance.append(0)
+    ball.degrees.append(description.center_degree)
+    ball.ids.append(None)
+    ball.inputs.append(description.center_inputs)
+    ball.bits.append(None)
+    ball.adj.append({})
+    for port, record in enumerate(description.neighbors):
+        local = ball.num_nodes
+        ball.global_index.append(local)
+        ball.distance.append(1)
+        ball.degrees.append(record.degree)
+        ball.ids.append(None)
+        ball.inputs.append(record.inputs)
+        ball.bits.append(None)
+        ball.adj.append({record.remote_port: (0, port)})
+        ball.adj[0][port] = (local, record.remote_port)
+    return ball
+
+
+def _accepted(problem: LCLProblem, description: BallDescription) -> bool:
+    ball = _synthetic_ball(description)
+    local_inputs = tuple(ball.inputs)
+    local_outputs = (description.center_outputs,) + tuple(
+        record.outputs for record in description.neighbors
+    )
+    return bool(problem.accepts(ball, local_inputs, local_outputs))
+
+
+def _edge_keys(label: MarkedBall):
+    """(self-description, claim-about-neighbor) across the marked edge."""
+    description, marked = label
+    self_key = NeighborRecord(
+        degree=description.center_degree,
+        remote_port=marked,
+        inputs=description.center_inputs,
+        outputs=description.center_outputs,
+    )
+    claim_key = description.neighbors[marked]
+    return self_key, claim_key
+
+
+def to_node_edge_checkable(
+    problem: LCLProblem,
+    max_degree: int,
+    max_labels: int = 20000,
+) -> NodeEdgeCheckableLCL:
+    """The Lemma 2.6 normalization of a radius-1 general LCL."""
+    if problem.radius != 1:
+        raise ProblemDefinitionError(
+            "the executable Lemma 2.6 construction materializes radius-1 "
+            "transcripts only (see module docstring)"
+        )
+    sigma_in = sorted(problem.sigma_in, key=label_sort_key)
+    sigma_out = sorted(problem.sigma_out, key=label_sort_key)
+    neighbor_records = _enumerate_neighbor_records(sigma_in, sigma_out, max_degree)
+
+    labels: List[MarkedBall] = []
+    node_constraints: Dict[int, List[Multiset]] = {
+        degree: [] for degree in range(1, max_degree + 1)
+    }
+    for degree in range(1, max_degree + 1):
+        for center_inputs in itertools.product(sigma_in, repeat=degree):
+            for center_outputs in itertools.product(sigma_out, repeat=degree):
+                for neighbors in itertools.product(neighbor_records, repeat=degree):
+                    description = BallDescription(
+                        degree, center_inputs, center_outputs, tuple(neighbors)
+                    )
+                    if not _accepted(problem, description):
+                        continue
+                    marked = [(description, port) for port in range(degree)]
+                    labels.extend(marked)
+                    if len(labels) > max_labels:
+                        raise ProblemDefinitionError(
+                            f"Lemma 2.6 transcript count exceeds max_labels="
+                            f"{max_labels} for {problem.name}"
+                        )
+                    node_constraints[degree].append(Multiset(marked))
+
+    edge_constraint: List[Multiset] = []
+    by_keys: Dict[Tuple, List[MarkedBall]] = {}
+    for label in labels:
+        by_keys.setdefault(_edge_keys(label), []).append(label)
+    for (self1, claim1), group1 in by_keys.items():
+        for (self2, claim2), group2 in by_keys.items():
+            if claim1 != self2 or claim2 != self1:
+                continue
+            for first in group1:
+                for second in group2:
+                    pair = Multiset((first, second))
+                    edge_constraint.append(pair)
+
+    g = {
+        input_label: frozenset(
+            label
+            for label in labels
+            if label[0].center_inputs[label[1]] == input_label
+        )
+        for input_label in sigma_in
+    }
+    return NodeEdgeCheckableLCL(
+        sigma_in=sigma_in,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=edge_constraint,
+        g=g,
+        name=f"nec({problem.name})",
+    )
+
+
+def decode_marked_output(label: MarkedBall) -> Any:
+    """The Π-output on the marked half-edge (the 0-round decoding step)."""
+    description, marked = label
+    return description.center_outputs[marked]

@@ -1,0 +1,131 @@
+"""A text format for node-edge-checkable LCL problems.
+
+Inspired by the syntax of Olivetti's round-eliminator tool: node and edge
+configurations are space-separated label rows, one per line.  The format
+extends it with explicit per-degree sections (the paper handles irregular
+trees) and a ``g`` section (the paper handles inputs):
+
+.. code-block:: text
+
+    # sinkless orientation, Delta = 3
+    problem sinkless-orientation
+    inputs: *
+    outputs: I O
+    node 1:
+      I
+      O
+    node 3:
+      I I O
+      I O O
+      O O O
+    edge:
+      I O
+    g * : I O
+
+Labels are bare tokens (no whitespace); ``#`` starts a comment.  The
+parser/serializer round-trips every catalog problem with string labels;
+problems whose labels are structured objects (round-elimination output,
+Lemma 2.6 transcripts) serialize via their canonical ``repr`` and are
+not meant to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def serialize(problem: NodeEdgeCheckableLCL) -> str:
+    """Render a problem in the text format (string labels only)."""
+    for label in list(problem.sigma_out) + list(problem.sigma_in):
+        if not isinstance(label, str) or any(ch.isspace() for ch in label):
+            raise ProblemDefinitionError(
+                "serialize() supports whitespace-free string labels; "
+                f"got {label!r}"
+            )
+    lines = [f"problem {problem.name}"]
+    lines.append("inputs: " + " ".join(sorted(problem.sigma_in)))
+    lines.append("outputs: " + " ".join(sorted(problem.sigma_out)))
+    for degree in sorted(problem.node_constraints):
+        lines.append(f"node {degree}:")
+        for configuration in sorted(
+            problem.node_constraints[degree], key=lambda c: c.items
+        ):
+            lines.append("  " + " ".join(configuration.items))
+    lines.append("edge:")
+    for configuration in sorted(problem.edge_constraint, key=lambda c: c.items):
+        lines.append("  " + " ".join(configuration.items))
+    for input_label in sorted(problem.sigma_in):
+        allowed = " ".join(sorted(problem.g[input_label]))
+        lines.append(f"g {input_label} : {allowed}")
+    return "\n".join(lines) + "\n"
+
+
+def parse(text: str) -> NodeEdgeCheckableLCL:
+    """Parse the text format back into a problem."""
+    name = "unnamed"
+    sigma_in: List[str] = []
+    sigma_out: List[str] = []
+    node_constraints: Dict[int, List[Multiset]] = {}
+    edge_constraint: List[Multiset] = []
+    g: Dict[str, List[str]] = {}
+    section: Tuple[str, Any] = ("none", None)
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("problem "):
+            name = stripped[len("problem ") :].strip()
+        elif stripped.startswith("inputs:"):
+            sigma_in = stripped[len("inputs:") :].split()
+        elif stripped.startswith("outputs:"):
+            sigma_out = stripped[len("outputs:") :].split()
+        elif stripped.startswith("node ") and stripped.endswith(":"):
+            degree = int(stripped[len("node ") : -1])
+            node_constraints.setdefault(degree, [])
+            section = ("node", degree)
+        elif stripped == "edge:":
+            section = ("edge", None)
+        elif stripped.startswith("g "):
+            body = stripped[2:]
+            if ":" not in body:
+                raise ProblemDefinitionError(f"malformed g line: {raw_line!r}")
+            input_label, allowed = body.split(":", 1)
+            g[input_label.strip()] = allowed.split()
+        elif line.startswith(" ") or line.startswith("\t"):
+            tokens = stripped.split()
+            kind, payload = section
+            if kind == "node":
+                if len(tokens) != payload:
+                    raise ProblemDefinitionError(
+                        f"degree-{payload} configuration has {len(tokens)} labels: {raw_line!r}"
+                    )
+                node_constraints[payload].append(Multiset(tokens))
+            elif kind == "edge":
+                if len(tokens) != 2:
+                    raise ProblemDefinitionError(
+                        f"edge configuration needs 2 labels: {raw_line!r}"
+                    )
+                edge_constraint.append(Multiset(tokens))
+            else:
+                raise ProblemDefinitionError(f"configuration outside a section: {raw_line!r}")
+        else:
+            raise ProblemDefinitionError(f"unrecognized line: {raw_line!r}")
+
+    if not sigma_in or not sigma_out:
+        raise ProblemDefinitionError("missing inputs:/outputs: declarations")
+    if not g:
+        g = {label: list(sigma_out) for label in sigma_in}
+    return NodeEdgeCheckableLCL(
+        sigma_in=sigma_in,
+        sigma_out=sigma_out,
+        node_constraints=node_constraints,
+        edge_constraint=edge_constraint,
+        g=g,
+        name=name,
+    )

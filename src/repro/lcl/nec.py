@@ -1,0 +1,331 @@
+"""Node-edge-checkable LCL problems (Definition 2.3).
+
+A node-edge-checkable LCL is the quintuple
+``(Σ_in, Σ_out, N, E, g)``:
+
+* ``N = (N^1, N^2, ...)`` — for each degree ``i``, the collection of
+  cardinality-``i`` multisets of output labels allowed *around a node*,
+* ``E`` — the collection of cardinality-2 multisets allowed *on an edge*,
+* ``g: Σ_in → 2^{Σ_out}`` — which outputs each input label permits on the
+  same half-edge.
+
+This is the form round elimination operates on; Lemma 2.6 reduces every
+LCL to it at constant additive cost (see :mod:`repro.lcl.convert`).
+
+Labels are arbitrary hashable objects.  After round elimination, labels
+become ``frozenset``s of labels (and then frozensets of frozensets, ...);
+everything here is agnostic to that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def _freeze_configurations(configurations: Iterable) -> FrozenSet[Multiset]:
+    frozen = set()
+    for configuration in configurations:
+        if not isinstance(configuration, Multiset):
+            configuration = Multiset(configuration)
+        frozen.add(configuration)
+    return frozenset(frozen)
+
+
+class NodeEdgeCheckableLCL:
+    """An immutable node-edge-checkable LCL problem.
+
+    Parameters
+    ----------
+    sigma_in, sigma_out:
+        Finite label alphabets.
+    node_constraints:
+        Mapping ``degree -> iterable of multisets`` (each multiset given as
+        a :class:`Multiset` or any iterable of labels of that cardinality).
+        Degrees absent from the mapping (up to ``max_degree``) admit *no*
+        configuration, i.e. nodes of such degrees are forbidden — pass an
+        explicit collection (e.g. via :meth:`all_multisets`) to allow them.
+    edge_constraint:
+        Iterable of cardinality-2 multisets of output labels.
+    g:
+        Mapping from each input label to the set of permitted output
+        labels.  If ``sigma_in`` has a single label the problem is an "LCL
+        without inputs" in the paper's sense.
+    name:
+        Optional human-readable name, propagated through round elimination.
+    """
+
+    __slots__ = (
+        "sigma_in",
+        "sigma_out",
+        "node_constraints",
+        "edge_constraint",
+        "g",
+        "name",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        sigma_in: Iterable[Any],
+        sigma_out: Iterable[Any],
+        node_constraints: Mapping[int, Iterable],
+        edge_constraint: Iterable,
+        g: Mapping[Any, Iterable[Any]],
+        name: str = "unnamed",
+    ):
+        self.sigma_in = frozenset(sigma_in)
+        self.sigma_out = frozenset(sigma_out)
+        self.node_constraints: Dict[int, FrozenSet[Multiset]] = {
+            degree: _freeze_configurations(configurations)
+            for degree, configurations in node_constraints.items()
+        }
+        self.edge_constraint = _freeze_configurations(edge_constraint)
+        self.g: Dict[Any, FrozenSet[Any]] = {
+            label: frozenset(allowed) for label, allowed in g.items()
+        }
+        self.name = name
+        self._validate()
+        self._hash = hash(
+            (
+                self.sigma_in,
+                self.sigma_out,
+                tuple(sorted(self.node_constraints.items())),
+                self.edge_constraint,
+                tuple(sorted(self.g.items(), key=lambda kv: label_sort_key(kv[0]))),
+            )
+        )
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        if not self.sigma_in:
+            raise ProblemDefinitionError("sigma_in must be non-empty")
+        if not self.sigma_out:
+            raise ProblemDefinitionError("sigma_out must be non-empty")
+        for degree, configurations in self.node_constraints.items():
+            if degree < 1:
+                raise ProblemDefinitionError(f"invalid degree {degree} in node constraint")
+            for configuration in configurations:
+                if len(configuration) != degree:
+                    raise ProblemDefinitionError(
+                        f"node configuration {configuration} has wrong cardinality for degree {degree}"
+                    )
+                unknown = configuration.support() - self.sigma_out
+                if unknown:
+                    raise ProblemDefinitionError(
+                        f"node configuration uses labels outside sigma_out: {unknown}"
+                    )
+        for configuration in self.edge_constraint:
+            if len(configuration) != 2:
+                raise ProblemDefinitionError(
+                    f"edge configuration {configuration} must have cardinality 2"
+                )
+            unknown = configuration.support() - self.sigma_out
+            if unknown:
+                raise ProblemDefinitionError(
+                    f"edge configuration uses labels outside sigma_out: {unknown}"
+                )
+        if frozenset(self.g) != self.sigma_in:
+            raise ProblemDefinitionError("g must be defined on exactly sigma_in")
+        for label, allowed in self.g.items():
+            unknown = allowed - self.sigma_out
+            if unknown:
+                raise ProblemDefinitionError(
+                    f"g({label!r}) permits labels outside sigma_out: {unknown}"
+                )
+
+    # ------------------------------------------------------------- structure
+    @property
+    def max_degree(self) -> int:
+        """The largest degree with a (possibly empty) declared constraint."""
+        return max(self.node_constraints, default=0)
+
+    @property
+    def has_inputs(self) -> bool:
+        """True iff correctness can depend on input labels (|Σ_in| > 1)."""
+        return len(self.sigma_in) > 1
+
+    def degrees(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.node_constraints))
+
+    # -------------------------------------------------------------- queries
+    def allows_node(self, labels: Iterable[Any]) -> bool:
+        """Is this multiset of half-edge labels allowed around a node?"""
+        configuration = labels if isinstance(labels, Multiset) else Multiset(labels)
+        allowed = self.node_constraints.get(len(configuration))
+        return allowed is not None and configuration in allowed
+
+    def allows_edge(self, a: Any, b: Any) -> bool:
+        """Is the pair ``{a, b}`` allowed on an edge?"""
+        return Multiset((a, b)) in self.edge_constraint
+
+    def allowed_outputs(self, input_label: Any) -> FrozenSet[Any]:
+        """``g(input_label)``; raises for unknown inputs."""
+        try:
+            return self.g[input_label]
+        except KeyError:
+            raise ProblemDefinitionError(
+                f"{input_label!r} is not in sigma_in of {self.name}"
+            ) from None
+
+    def used_output_labels(self) -> FrozenSet[Any]:
+        """Labels appearing in at least one node AND one edge configuration
+        and permitted by ``g`` for at least one input.
+
+        Labels outside this set can never appear in a correct solution on a
+        graph where every node has an incident edge, so they can be dropped
+        without changing the problem (used by the label-hygiene passes of
+        round elimination).
+        """
+        in_node = set()
+        for configurations in self.node_constraints.values():
+            for configuration in configurations:
+                in_node |= configuration.support()
+        in_edge = set()
+        for configuration in self.edge_constraint:
+            in_edge |= configuration.support()
+        in_g = set()
+        for allowed in self.g.values():
+            in_g |= allowed
+        return frozenset(in_node & in_edge & in_g)
+
+    # ---------------------------------------------------------- transformers
+    def restrict_outputs(self, keep: Iterable[Any]) -> "NodeEdgeCheckableLCL":
+        """The same problem with output labels restricted to ``keep``.
+
+        Configurations mentioning dropped labels are removed; ``g`` is
+        intersected with ``keep``.  This is semantics-preserving when
+        ``keep ⊇ used_output_labels()``.
+        """
+        keep = frozenset(keep)
+        if not keep <= self.sigma_out:
+            raise ProblemDefinitionError("keep must be a subset of sigma_out")
+        return NodeEdgeCheckableLCL(
+            sigma_in=self.sigma_in,
+            sigma_out=keep,
+            node_constraints={
+                degree: [c for c in configurations if c.support() <= keep]
+                for degree, configurations in self.node_constraints.items()
+            },
+            edge_constraint=[
+                c for c in self.edge_constraint if c.support() <= keep
+            ],
+            g={label: allowed & keep for label, allowed in self.g.items()},
+            name=self.name,
+        )
+
+    def rename_outputs(self, mapping: Mapping[Any, Any]) -> "NodeEdgeCheckableLCL":
+        """Apply a bijective relabeling of output labels."""
+        if frozenset(mapping) != self.sigma_out:
+            raise ProblemDefinitionError("mapping must be defined on exactly sigma_out")
+        if len(frozenset(mapping.values())) != len(self.sigma_out):
+            raise ProblemDefinitionError("mapping must be injective")
+        rename = lambda label: mapping[label]
+        return NodeEdgeCheckableLCL(
+            sigma_in=self.sigma_in,
+            sigma_out=frozenset(mapping.values()),
+            node_constraints={
+                degree: [c.map(rename) for c in configurations]
+                for degree, configurations in self.node_constraints.items()
+            },
+            edge_constraint=[c.map(rename) for c in self.edge_constraint],
+            g={label: frozenset(rename(x) for x in allowed) for label, allowed in self.g.items()},
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------ comparison
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeEdgeCheckableLCL):
+            return NotImplemented
+        return (
+            self.sigma_in == other.sigma_in
+            and self.sigma_out == other.sigma_out
+            and self.node_constraints == other.node_constraints
+            and self.edge_constraint == other.edge_constraint
+            and self.g == other.g
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def is_isomorphic(self, other: "NodeEdgeCheckableLCL") -> bool:
+        """Equality up to a bijective renaming of *output* labels.
+
+        Input labels must match exactly (inputs are part of the instance,
+        not of the solution).  Uses backtracking over candidate bijections;
+        intended for the small alphabets of tests and fixed-point checks.
+        """
+        if self.sigma_in != other.sigma_in:
+            return False
+        if len(self.sigma_out) != len(other.sigma_out):
+            return False
+        if sorted(map(len, self.node_constraints.values())) != sorted(
+            map(len, other.node_constraints.values())
+        ):
+            return False
+        mine = sorted(self.sigma_out, key=label_sort_key)
+        theirs = sorted(other.sigma_out, key=label_sort_key)
+
+        def attempt(assignment: Dict[Any, Any], remaining_mine, remaining_theirs) -> bool:
+            if not remaining_mine:
+                return self.rename_outputs(assignment) == other
+            label = remaining_mine[0]
+            for candidate in remaining_theirs:
+                assignment[label] = candidate
+                rest = [x for x in remaining_theirs if x != candidate]
+                if attempt(assignment, remaining_mine[1:], rest):
+                    return True
+                del assignment[label]
+            return False
+
+        return attempt({}, mine, theirs)
+
+    # --------------------------------------------------------------- display
+    def summary(self) -> str:
+        """A multi-line human-readable rendering of the constraints."""
+        def show(label: Any) -> str:
+            if isinstance(label, frozenset):
+                inner = ",".join(sorted(show(x) for x in label))
+                return "{" + inner + "}"
+            return str(label)
+
+        lines = [f"problem {self.name}"]
+        lines.append("  inputs:  " + " ".join(sorted(map(show, self.sigma_in))))
+        lines.append("  outputs: " + " ".join(sorted(map(show, self.sigma_out))))
+        for degree in sorted(self.node_constraints):
+            rendered = sorted(
+                " ".join(show(x) for x in configuration.items)
+                for configuration in self.node_constraints[degree]
+            )
+            lines.append(f"  node[{degree}]: " + (" | ".join(rendered) or "(forbidden)"))
+        rendered = sorted(
+            " ".join(show(x) for x in configuration.items)
+            for configuration in self.edge_constraint
+        )
+        lines.append("  edge:    " + (" | ".join(rendered) or "(forbidden)"))
+        for input_label in sorted(self.sigma_in, key=label_sort_key):
+            allowed = " ".join(sorted(show(x) for x in self.g[input_label]))
+            lines.append(f"  g({show(input_label)}) = {allowed}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeEdgeCheckableLCL(name={self.name!r}, |sigma_in|={len(self.sigma_in)}, "
+            f"|sigma_out|={len(self.sigma_out)}, degrees={self.degrees()})"
+        )
+
+
+def all_multisets(labels: Iterable[Any], cardinality: int) -> Tuple[Multiset, ...]:
+    """All multisets of the given cardinality over ``labels``.
+
+    Convenience for building unconstrained node constraints
+    (``N^i`` = everything).
+    """
+    ordered = sorted(set(labels), key=label_sort_key)
+    return tuple(
+        Multiset(combo)
+        for combo in itertools.combinations_with_replacement(ordered, cardinality)
+    )

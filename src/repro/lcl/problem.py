@@ -1,0 +1,169 @@
+"""General LCL problems (Definition 2.2).
+
+An LCL problem is ``(Σ_in, Σ_out, r, P)`` where ``P`` is a finite
+collection of ``Σ_in``-``Σ_out``-labeled balls of radius ``r``: an output
+labeling is correct iff every node's radius-``r`` ball (with its input and
+output labels) is isomorphic to a member of ``P``.
+
+Enumerating ``P`` explicitly is exponential in ``Δ^r``, so this class
+supports two interchangeable representations:
+
+* a *predicate* ``accepts(ball, inputs, outputs) -> bool`` evaluated on the
+  canonical :class:`~repro.graphs.balls.Ball` around each node (the natural
+  way to define problems programmatically), and
+* an explicit collection of accepted ball *signatures*, obtainable from a
+  predicate on a bounded universe via :meth:`LCLProblem.enumerate_accepted`
+  (used by the Lemma 2.6 conversion and by tests that need ``P`` as data).
+
+Both induce exactly the Definition 2.2 notion of correctness because ball
+signatures coincide iff balls are port-isomorphic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs.balls import Ball, extract_ball
+from repro.graphs.core import Graph, HalfEdgeLabeling
+
+#: ``accepts(ball, inputs_by_local_port, outputs_by_local_port) -> bool``
+#: where the two labelings are tuples indexed like ``ball.inputs``.
+Predicate = Callable[[Ball, Tuple[Tuple[Any, ...], ...], Tuple[Tuple[Any, ...], ...]], bool]
+
+
+class LCLProblem:
+    """A general LCL problem with checking radius ``r``.
+
+    Parameters
+    ----------
+    sigma_in, sigma_out:
+        Finite alphabets.
+    radius:
+        The checking radius ``r >= 1``.
+    accepts:
+        Local correctness predicate (see module docstring).
+    name:
+        Optional human-readable name.
+    """
+
+    def __init__(
+        self,
+        sigma_in: Iterable[Any],
+        sigma_out: Iterable[Any],
+        radius: int,
+        accepts: Predicate,
+        name: str = "unnamed",
+    ):
+        self.sigma_in = frozenset(sigma_in)
+        self.sigma_out = frozenset(sigma_out)
+        if radius < 1:
+            raise ProblemDefinitionError("checking radius must be >= 1")
+        if not self.sigma_in or not self.sigma_out:
+            raise ProblemDefinitionError("alphabets must be non-empty")
+        self.radius = radius
+        self.accepts = accepts
+        self.name = name
+
+    # ---------------------------------------------------------------- checks
+    def ball_labels(
+        self,
+        ball: Ball,
+        labeling: HalfEdgeLabeling,
+        graph: Graph,
+    ) -> Tuple[Tuple[Any, ...], ...]:
+        """Collect a labeling restricted to the ball, indexed locally."""
+        rows = []
+        for local in range(ball.num_nodes):
+            global_v = ball.global_index[local]
+            rows.append(
+                tuple(
+                    labeling.get((global_v, port))
+                    for port in range(graph.degree(global_v))
+                )
+            )
+        return tuple(rows)
+
+    def check_node(
+        self,
+        graph: Graph,
+        node: int,
+        inputs: HalfEdgeLabeling,
+        outputs: HalfEdgeLabeling,
+    ) -> bool:
+        """Is the radius-``r`` ball around ``node`` accepted?"""
+        ball = extract_ball(graph, node, self.radius, input_labeling=inputs)
+        local_inputs = self.ball_labels(ball, inputs, graph)
+        local_outputs = self.ball_labels(ball, outputs, graph)
+        return bool(self.accepts(ball, local_inputs, local_outputs))
+
+    def is_valid(
+        self,
+        graph: Graph,
+        inputs: HalfEdgeLabeling,
+        outputs: HalfEdgeLabeling,
+    ) -> bool:
+        """Global correctness: every node's ball is accepted."""
+        return all(
+            self.check_node(graph, v, inputs, outputs) for v in range(graph.num_nodes)
+        )
+
+    def failed_nodes(
+        self,
+        graph: Graph,
+        inputs: HalfEdgeLabeling,
+        outputs: HalfEdgeLabeling,
+    ) -> Tuple[int, ...]:
+        return tuple(
+            v
+            for v in range(graph.num_nodes)
+            if not self.check_node(graph, v, inputs, outputs)
+        )
+
+    def enumerate_accepted(self, max_degree: int, max_transcripts: int = 20000):
+        """All accepted radius-1 ball transcripts (the explicit ``P``).
+
+        Materializes the Definition 2.2 collection for radius-1 problems
+        as :class:`repro.lcl.convert.BallDescription` objects — the same
+        enumeration the Lemma 2.6 conversion runs on.  Exponential in
+        ``Δ`` and the alphabets; guarded by ``max_transcripts``.
+        """
+        import itertools as it
+
+        from repro.exceptions import ProblemDefinitionError
+        from repro.lcl.convert import (
+            BallDescription,
+            _accepted,
+            _enumerate_neighbor_records,
+        )
+        from repro.utils.multiset import label_sort_key
+
+        if self.radius != 1:
+            raise ProblemDefinitionError(
+                "enumerate_accepted materializes radius-1 transcripts only"
+            )
+        sigma_in = sorted(self.sigma_in, key=label_sort_key)
+        sigma_out = sorted(self.sigma_out, key=label_sort_key)
+        records = _enumerate_neighbor_records(sigma_in, sigma_out, max_degree)
+        accepted = []
+        for degree in range(1, max_degree + 1):
+            for center_inputs in it.product(sigma_in, repeat=degree):
+                for center_outputs in it.product(sigma_out, repeat=degree):
+                    for neighbors in it.product(records, repeat=degree):
+                        description = BallDescription(
+                            degree, center_inputs, center_outputs, tuple(neighbors)
+                        )
+                        if _accepted(self, description):
+                            accepted.append(description)
+                            if len(accepted) > max_transcripts:
+                                raise ProblemDefinitionError(
+                                    "accepted-transcript count exceeds "
+                                    f"max_transcripts={max_transcripts}"
+                                )
+        return accepted
+
+    def __repr__(self) -> str:
+        return (
+            f"LCLProblem(name={self.name!r}, radius={self.radius}, "
+            f"|sigma_in|={len(self.sigma_in)}, |sigma_out|={len(self.sigma_out)})"
+        )

@@ -1,0 +1,80 @@
+"""Random node-edge-checkable LCL generators.
+
+Used by the decidability benchmarks (verdict histograms over random
+problems) and by the fuzz tests that cross-check the round elimination
+operators against their quantifier definitions on arbitrary inputs —
+catalog problems alone would only exercise well-structured constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from repro.lcl.catalog import NO_INPUT
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset
+
+
+def random_lcl(
+    seed: int,
+    num_labels: int = 3,
+    max_degree: int = 2,
+    density: float = 0.4,
+    num_inputs: int = 1,
+    name: Optional[str] = None,
+) -> NodeEdgeCheckableLCL:
+    """A random LCL with independently sampled configurations.
+
+    Every possible node/edge configuration is kept with probability
+    ``density`` (at least one per degree is forced so the problem object
+    stays meaningful); with ``num_inputs > 1``, ``g`` maps each input to a
+    random non-empty label subset.
+    """
+    rng = random.Random(seed)
+    labels = [f"x{i}" for i in range(num_labels)]
+    inputs = (
+        [NO_INPUT]
+        if num_inputs <= 1
+        else [f"i{i}" for i in range(num_inputs)]
+    )
+
+    def sample(universe: List[Multiset]) -> List[Multiset]:
+        kept = [m for m in universe if rng.random() < density]
+        if not kept:
+            kept = [rng.choice(universe)]
+        return kept
+
+    node_constraints = {}
+    for degree in range(1, max_degree + 1):
+        universe = [
+            Multiset(combo)
+            for combo in itertools.combinations_with_replacement(labels, degree)
+        ]
+        node_constraints[degree] = sample(universe)
+    edge_universe = [
+        Multiset(pair)
+        for pair in itertools.combinations_with_replacement(labels, 2)
+    ]
+    g = {}
+    for input_label in inputs:
+        allowed = [label for label in labels if rng.random() < 0.7]
+        g[input_label] = allowed or [rng.choice(labels)]
+    return NodeEdgeCheckableLCL(
+        sigma_in=inputs,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=sample(edge_universe),
+        g=g,
+        name=name or f"random-lcl({seed})",
+    )
+
+
+def random_lcl_batch(
+    count: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> Sequence[NodeEdgeCheckableLCL]:
+    """``count`` independent random problems with derived seeds."""
+    return [random_lcl(base_seed * 10_000 + index, **kwargs) for index in range(count)]

@@ -1,0 +1,35 @@
+"""The LOCAL model: simulator, algorithm protocol, order invariance."""
+
+from repro.local.model import (
+    LocalAlgorithm,
+    NodeContext,
+    SimulationResult,
+    run_local_algorithm,
+)
+from repro.local.iterative import IterativeAlgorithm
+from repro.local.order_invariant import (
+    check_order_invariance,
+    fooled_constant_algorithm,
+    smallest_valid_n0,
+)
+from repro.local.forests import ForestAlgorithm
+from repro.local.randomized import (
+    LubyMIS,
+    RandomizedTrialColoring,
+    estimate_local_failure,
+)
+
+__all__ = [
+    "LocalAlgorithm",
+    "NodeContext",
+    "SimulationResult",
+    "run_local_algorithm",
+    "IterativeAlgorithm",
+    "check_order_invariance",
+    "fooled_constant_algorithm",
+    "smallest_valid_n0",
+    "ForestAlgorithm",
+    "LubyMIS",
+    "RandomizedTrialColoring",
+    "estimate_local_failure",
+]

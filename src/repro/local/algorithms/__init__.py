@@ -1,0 +1,22 @@
+"""Classic LOCAL algorithms populating the Figure-1 landscape panels."""
+
+from repro.local.algorithms.linial import LinialColoring
+from repro.local.algorithms.cole_vishkin import ColeVishkinColoring
+from repro.local.algorithms.mis import ColorClassMIS, GreedyMatchingFromColoring
+from repro.local.algorithms.aggregate import ConstantRadiusAggregate, TwoHopMaxDegree
+from repro.local.algorithms.peeling import AdaptivePeeling
+from repro.local.algorithms.three_coloring import RakeCompressColoring
+from repro.local.algorithms.shortcut import ShortcutColeVishkin, skip_list_inputs
+
+__all__ = [
+    "LinialColoring",
+    "ColeVishkinColoring",
+    "ColorClassMIS",
+    "GreedyMatchingFromColoring",
+    "ConstantRadiusAggregate",
+    "TwoHopMaxDegree",
+    "AdaptivePeeling",
+    "RakeCompressColoring",
+    "ShortcutColeVishkin",
+    "skip_list_inputs",
+]

@@ -1,0 +1,46 @@
+"""Constant-radius aggregate algorithms: the O(1) class.
+
+The paper's running example of a constant-time problem is "find the
+maximum degree of a node in your 2-hop neighborhood" (§1).  These
+algorithms compute such radius-``r`` aggregates; they populate the O(1)
+band of every landscape panel, and their measured locality is constant by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.graphs.balls import Ball
+from repro.local.model import LocalAlgorithm, NodeContext
+
+
+class ConstantRadiusAggregate(LocalAlgorithm):
+    """Label every half-edge with ``aggregate(ball)`` for a fixed radius."""
+
+    def __init__(
+        self,
+        radius: int,
+        aggregate: Callable[[Ball], Any],
+        name: str = "constant-aggregate",
+    ):
+        self._radius = radius
+        self.aggregate = aggregate
+        self.name = name
+
+    def radius(self, n: int) -> int:
+        return self._radius
+
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        ball = ctx.ball(self._radius, ids="none")
+        value = self.aggregate(ball)
+        return {port: value for port in range(ball.center_degree())}
+
+
+def TwoHopMaxDegree() -> ConstantRadiusAggregate:
+    """§1's example O(1) problem: max degree within 2 hops."""
+    return ConstantRadiusAggregate(
+        radius=2,
+        aggregate=lambda ball: max(ball.degrees),
+        name="two-hop-max-degree",
+    )

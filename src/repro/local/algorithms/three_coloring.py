@@ -1,0 +1,161 @@
+"""3-coloring unrooted trees in Θ(log n): the class-(C) witness.
+
+Proper 3-coloring of (unrooted, bounded-degree) trees cannot be done in
+O(log* n) — it sits in the paper's class with deterministic complexity
+Θ(log n) — and the classical algorithm achieving the upper bound is
+rake-and-compress [Miller–Reif; used by Chang–Pettie [21] for the
+Θ(log n) classes]:
+
+1. **peel** the tree: repeatedly remove nodes with at most one remaining
+   neighbor (*rake*) and degree-2 chain nodes that are local ID minima
+   (*compress*); every node records its *anchors* — the at most two
+   neighbors still present when it was removed;
+2. **color back**: in reverse removal order, give every node the smallest
+   color not used by its anchors.  Every tree edge is an anchor edge of
+   its earlier-removed endpoint, so the coloring is proper, and at most
+   two anchors means three colors suffice.
+
+With random identifiers the peeling terminates in O(log n) levels, and a
+node's color depends only on the anchor chain above it, so the adaptive
+implementation below exhibits measured locality Θ(log n) — an *actual
+LCL* of the Θ(log n) class whose output the Definition 2.4 checker
+validates, not just a depth statistic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import AlgorithmError
+from repro.graphs.balls import Ball
+from repro.local.model import LocalAlgorithm, NodeContext
+
+
+def _peel_with_anchors(
+    ball: Ball, rounds: int
+) -> Tuple[List[Optional[int]], List[Tuple[int, ...]]]:
+    """Simulate peeling inside the ball; returns (levels, anchors).
+
+    Boundary nodes (whose edges are not all visible) never peel, which is
+    the pessimistic truncation that makes locally certified levels exact
+    (see :mod:`repro.local.algorithms.peeling`).
+    """
+    levels: List[Optional[int]] = [None] * ball.num_nodes
+    anchors: List[Tuple[int, ...]] = [()] * ball.num_nodes
+
+    def is_boundary(v: int) -> bool:
+        return len(ball.adj[v]) < ball.degrees[v]
+
+    def active_neighbors(v: int) -> List[int]:
+        return [
+            entry[0] for entry in ball.adj[v].values() if levels[entry[0]] is None
+        ]
+
+    for step in range(1, rounds + 1):
+        candidates: Dict[int, Tuple[int, ...]] = {}
+        for v in range(ball.num_nodes):
+            if levels[v] is not None or is_boundary(v):
+                continue
+            remaining = active_neighbors(v)
+            if len(remaining) <= 1:
+                candidates[v] = tuple(remaining)
+                continue
+            if len(remaining) == 2:
+                chain = [
+                    u
+                    for u in remaining
+                    if not is_boundary(u) and len(active_neighbors(u)) == 2
+                ]
+                my_id = ball.ids[v]
+                if my_id is not None and all(
+                    ball.ids[u] is None or my_id < ball.ids[u] for u in chain
+                ):
+                    candidates[v] = tuple(remaining)
+        # Anchors must *survive* the step (the coloring pass needs the
+        # anchor order to strictly climb levels): a candidate is removed
+        # only if it is the ID-minimum among its candidate neighbors.
+        for v, anchor_set in candidates.items():
+            my_id = ball.ids[v]
+            blocked = any(
+                u in candidates
+                and ball.ids[u] is not None
+                and my_id is not None
+                and ball.ids[u] < my_id
+                for u in anchor_set
+            )
+            if not blocked:
+                levels[v] = step
+                anchors[v] = anchor_set
+    return levels, anchors
+
+
+class RakeCompressColoring(LocalAlgorithm):
+    """Adaptive rake-and-compress 3-coloring of trees/forests.
+
+    Requires identifiers (for compress tie-breaking and as the source of
+    determinism); outputs ``c0``/``c1``/``c2`` node colors compatible with
+    :func:`repro.lcl.catalog.coloring`.
+    """
+
+    name = "rake-compress-3-coloring"
+
+    def __init__(self, label_prefix: str = "c", radius_cap: Optional[int] = None):
+        self.label_prefix = label_prefix
+        self.radius_cap = radius_cap
+
+    def radius(self, n: int) -> int:
+        return self.radius_cap if self.radius_cap is not None else max(2, 4 * n)
+
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        limit = self.radius(ctx.declared_n)
+        radius = 2
+        while radius <= limit:
+            ball = ctx.ball(radius)
+            color = self._try_color(ball, radius)
+            if color is not None:
+                label = f"{self.label_prefix}{color}"
+                return {port: label for port in range(ball.center_degree())}
+            # Grow by ~30% rather than doubling: the charge meter records
+            # the final radius, and finer growth keeps the measured
+            # locality series smooth enough for growth-shape fitting.
+            if radius >= limit:
+                break
+            radius = min(radius + max(1, radius // 3), limit)
+        raise AlgorithmError(
+            f"{self.name}: node {ctx.node} could not resolve its color within "
+            f"radius {limit}; is the graph a forest with unique IDs?"
+        )
+
+    def _try_color(self, ball: Ball, radius: int) -> Optional[int]:
+        levels, anchors = _peel_with_anchors(ball, rounds=radius)
+
+        def certified(v: int) -> bool:
+            # One peel step looks three hops out (a neighbor's compress
+            # candidacy involves *its* chain neighbors' degrees), so level
+            # t at distance d from the center is exact once d + 3t <= r.
+            level = levels[v]
+            return level is not None and ball.distance[v] + 3 * level <= radius
+
+        memo: Dict[int, Optional[int]] = {}
+
+        def color_of(v: int) -> Optional[int]:
+            if v in memo:
+                return memo[v]
+            if not certified(v):
+                memo[v] = None
+                return None
+            memo[v] = -1  # cycle guard; anchor chains strictly climb levels
+            anchor_colors = []
+            for anchor in anchors[v]:
+                anchor_color = color_of(anchor)
+                if anchor_color is None:
+                    memo[v] = None
+                    return None
+                anchor_colors.append(anchor_color)
+            for candidate in range(3):
+                if candidate not in anchor_colors:
+                    memo[v] = candidate
+                    return candidate
+            raise AlgorithmError("more than two anchor colors; peeling broken")
+
+        return color_of(0)

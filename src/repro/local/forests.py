@@ -1,0 +1,166 @@
+"""Lemma 3.3, executable: trees-to-forests algorithm transfer.
+
+An ``o(log* n)``-round algorithm that is only guaranteed on *trees* can
+fail on forests because small components are not neighborhoods of any
+``n``-node tree.  Lemma 3.3 fixes this: on a forest, each node ``u``
+collects its ``(2T(n²)+2)``-hop ball and checks whether some node ``v``
+of its component sees the whole component within ``T(n²)+1`` hops;
+
+* if yes, the whole component fits inside ``u``'s ball, so every node of
+  the component sees the identical component picture and deterministically
+  maps it to a fixed canonical solution (all members agree);
+* if no, every node's ``(T(n²)+1)``-ball looks like a ball of some
+  ``n²``-node tree, so running the tree algorithm *fooled with parameter
+  n²* is correct.
+
+:class:`ForestAlgorithm` implements the wrapper for deterministic inner
+algorithms; the canonical small-component solution comes from the
+deterministic backtracking solver over the ID-ordered component (which is
+exactly "some arbitrary, but fixed, deterministic fashion" in the proof).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import AlgorithmError, UnsolvableError
+from repro.graphs.balls import Ball
+from repro.graphs.core import Graph, HalfEdgeLabeling
+from repro.lcl.checker import brute_force_solution
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm, NodeContext
+
+
+def _component_in_ball(ball: Ball) -> Optional[List[int]]:
+    """The center's whole component, if it lies strictly inside the ball.
+
+    Returns local indices, or ``None`` when some member still has
+    invisible edges (the component may extend past the horizon).
+    """
+    seen = {0}
+    stack = [0]
+    while stack:
+        local = stack.pop()
+        if len(ball.adj[local]) < ball.degrees[local]:
+            return None
+        for neighbor, _ in ball.adj[local].values():
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return sorted(seen)
+
+
+def _canonical_component_solution(
+    ball: Ball,
+    members: List[int],
+    problem: NodeEdgeCheckableLCL,
+) -> Dict[Tuple[int, int], Any]:
+    """A canonical solution on the component, keyed by (local, port).
+
+    The component is renamed by ID rank (all members compute the same
+    renaming), rebuilt with its original port structure, and solved by
+    the deterministic backtracking solver; determinism of the solver plus
+    canonicity of the renaming make every member's copy identical.
+    """
+    ranked = sorted(members, key=lambda local: ball.ids[local])
+    rank_of = {local: rank for rank, local in enumerate(ranked)}
+    ports = [
+        [
+            (rank_of[ball.adj[local][p][0]], ball.adj[local][p][1])
+            for p in range(ball.degrees[local])
+        ]
+        for local in ranked
+    ]
+    component = Graph.from_port_map(ports)
+    inputs = HalfEdgeLabeling(component)
+    # A run without an input labeling means "the LCL without inputs": use
+    # the problem's unique input label in place of the missing values.
+    default_input = None
+    if len(problem.sigma_in) == 1:
+        default_input = next(iter(problem.sigma_in))
+    for rank, local in enumerate(ranked):
+        for port in range(ball.degrees[local]):
+            value = ball.inputs[local][port]
+            if value is None:
+                if default_input is None:
+                    raise AlgorithmError(
+                        f"{problem.name} has inputs; an input labeling is required"
+                    )
+                value = default_input
+            inputs[(rank, port)] = value
+    solution = brute_force_solution(problem, component, inputs)
+    if solution is None:
+        raise UnsolvableError(
+            f"{problem.name} has no solution on a {len(members)}-node component"
+        )
+    return {
+        (local, port): solution[(rank_of[local], port)]
+        for local in members
+        for port in range(ball.degrees[local])
+    }
+
+
+class ForestAlgorithm(LocalAlgorithm):
+    """The Lemma 3.3 wrapper: run a trees-only algorithm on forests."""
+
+    def __init__(self, inner: LocalAlgorithm, problem: NodeEdgeCheckableLCL):
+        self.inner = inner
+        self.problem = problem
+        self.name = f"forest[{inner.name}]"
+        if inner.bits_per_node:
+            raise AlgorithmError(
+                "ForestAlgorithm wraps deterministic algorithms; the"
+                " randomized variant of Lemma 3.3 is not implemented"
+            )
+
+    def _inner_radius(self, n: int) -> int:
+        return self.inner.radius(max(1, n * n))
+
+    def radius(self, n: int) -> int:
+        return 2 * self._inner_radius(n) + 2
+
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        if ctx.degree == 0:
+            return {}
+        t_squared = self._inner_radius(ctx.declared_n)
+        ball = ctx.ball(2 * t_squared + 2)
+        members = _component_in_ball(ball)
+        if members is not None:
+            eccentricities = _component_eccentricities(ball, members)
+            if min(eccentricities.values()) <= t_squared + 1:
+                solution = _canonical_component_solution(ball, members, self.problem)
+                return {
+                    port: solution[(0, port)] for port in range(ball.center_degree())
+                }
+        # Large-component case: every (T(n²)+1)-ball here embeds into an
+        # n²-node tree, so the fooled tree algorithm is correct.
+        fooled = NodeContext(
+            ctx.graph,
+            ctx.node,
+            max(1, ctx.declared_n**2),
+            ctx._inputs,
+            ctx._ids,
+            ctx._bits,
+            meter=ctx._meter,
+            depth=ctx._depth,
+        )
+        return self.inner.run(fooled)
+
+
+def _component_eccentricities(ball: Ball, members: List[int]) -> Dict[int, int]:
+    """Hop eccentricity of every member within the (closed) component."""
+    from collections import deque
+
+    eccentricities: Dict[int, int] = {}
+    member_set = set(members)
+    for source in members:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            local = queue.popleft()
+            for neighbor, _ in ball.adj[local].values():
+                if neighbor in member_set and neighbor not in dist:
+                    dist[neighbor] = dist[local] + 1
+                    queue.append(neighbor)
+        eccentricities[source] = max(dist.values())
+    return eccentricities

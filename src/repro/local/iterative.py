@@ -1,0 +1,128 @@
+"""Round-by-round algorithms on top of the ball-based LOCAL simulator.
+
+Classic symmetry-breaking algorithms (Linial, Cole–Vishkin, color-class
+sweeps) are naturally stated as synchronous message-passing: every node
+holds a state and updates it each round from its neighbors' states.  A
+``T``-round message-passing algorithm is exactly a function of the
+radius-``T`` ball (Definition 2.1), and :class:`IterativeAlgorithm` makes
+that equivalence executable: it extracts the radius-``T`` ball once and
+replays the synchronous schedule *inside* the ball.
+
+The replay is sound because of the standard information argument: after
+``t`` rounds, the state of a node at distance ``d`` from the center is
+determined by its radius-``t`` ball, which lies inside the center's
+radius-``T`` ball whenever ``d + t <= T`` — so the replay updates exactly
+the nodes whose next state is still determined, and after ``T`` rounds the
+center's state is correct.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.graphs.balls import Ball
+from repro.local.model import LocalAlgorithm, NodeContext
+
+
+class IterativeAlgorithm(LocalAlgorithm):
+    """Base class for synchronous-round algorithms.
+
+    Subclasses implement:
+
+    * :meth:`rounds` — number of synchronous rounds for ``n`` nodes,
+    * :meth:`initial_state` — a node's state before round 0, from its
+      purely local information,
+    * :meth:`step` — the state transition given the neighbors' states
+      (indexed by port; ``None`` for ports whose neighbor's state is no
+      longer determined, which by the information argument can only happen
+      when the center's output no longer depends on it),
+    * :meth:`finalize` — map the center's final state (plus the final
+      states of its neighbors, for output conventions like pointers) to
+      per-port output labels.
+    """
+
+    @abc.abstractmethod
+    def rounds(self, n: int) -> int:
+        """Number of synchronous rounds on ``n``-node graphs."""
+
+    @abc.abstractmethod
+    def initial_state(
+        self,
+        node_id: Optional[int],
+        degree: int,
+        inputs: Tuple[Any, ...],
+        bits: Optional[str],
+        n: int,
+    ) -> Any:
+        """State before round 0."""
+
+    @abc.abstractmethod
+    def step(
+        self,
+        round_index: int,
+        state: Any,
+        neighbor_states: Tuple[Optional[Any], ...],
+        n: int,
+    ) -> Any:
+        """State after round ``round_index``."""
+
+    @abc.abstractmethod
+    def finalize(
+        self,
+        state: Any,
+        neighbor_states: Tuple[Optional[Any], ...],
+        degree: int,
+        inputs: Tuple[Any, ...],
+        n: int,
+    ) -> Dict[int, Any]:
+        """Port-indexed output labels from the final states."""
+
+    #: Extra radius needed by :meth:`finalize` to see neighbor states
+    #: (1 in the common pointer-output case, hence the default).
+    finalize_lookahead: int = 1
+
+    def radius(self, n: int) -> int:
+        return self.rounds(n) + self.finalize_lookahead
+
+    # ------------------------------------------------------------ execution
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        n = ctx.declared_n
+        total_rounds = self.rounds(n)
+        ball = ctx.ball(total_rounds + self.finalize_lookahead)
+        states = self._replay(ball, total_rounds, n)
+        center_neighbors = self._neighbor_states(ball, 0, states)
+        return self.finalize(
+            states[0], center_neighbors, ball.center_degree(), ball.center_inputs(), n
+        )
+
+    def _replay(self, ball: Ball, total_rounds: int, n: int) -> List[Any]:
+        states: List[Any] = [
+            self.initial_state(ball.ids[v], ball.degrees[v], ball.inputs[v], ball.bits[v], n)
+            for v in range(ball.num_nodes)
+        ]
+        horizon = ball.radius
+        for round_index in range(total_rounds):
+            # After this round, states are determined for nodes at distance
+            # <= horizon - (round_index + 1) from the center.
+            determined_up_to = horizon - (round_index + 1)
+            next_states = list(states)
+            for v in range(ball.num_nodes):
+                if ball.distance[v] > determined_up_to:
+                    next_states[v] = None
+                    continue
+                next_states[v] = self.step(
+                    round_index, states[v], self._neighbor_states(ball, v, states), n
+                )
+            states = next_states
+        return states
+
+    @staticmethod
+    def _neighbor_states(
+        ball: Ball, local: int, states: List[Any]
+    ) -> Tuple[Optional[Any], ...]:
+        collected: List[Optional[Any]] = []
+        for port in range(ball.degrees[local]):
+            entry = ball.adj[local].get(port)
+            collected.append(None if entry is None else states[entry[0]])
+        return tuple(collected)

@@ -1,0 +1,207 @@
+"""Randomized LOCAL algorithms and local-failure estimation (Def. 2.4).
+
+The paper's Theorem 3.4 trades rounds against *local* failure
+probability: the chance that a fixed node or edge is incorrectly labeled.
+This module makes the notion executable:
+
+* :class:`RandomizedTrialColoring` — the canonical randomized strawman:
+  ``k`` rounds of "pick a random color, keep it if no conflicting
+  neighbor" — its local failure probability decays geometrically with
+  ``k``, while its global failure probability on large graphs stays
+  large for small ``k`` (a clean demonstration of why Definition 2.4
+  distinguishes the two);
+* :func:`estimate_local_failure` — Monte-Carlo estimate of the Def. 2.4
+  quantity: the max over nodes/edges of the per-trial failure frequency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Optional, Sequence
+
+from repro.graphs.core import Graph, HalfEdgeLabeling
+from repro.lcl.checker import check_solution
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.algorithms.mis import IN_SET, OUT, UNDECIDED
+from repro.local.iterative import IterativeAlgorithm
+from repro.local.model import LocalAlgorithm, run_local_algorithm
+
+
+class RandomizedTrialColoring(IterativeAlgorithm):
+    """k rounds of random-trial (Δ+1)-coloring.
+
+    Each undecided node draws a uniform color from ``{0, …, Δ}`` out of
+    its private bits; a node keeps its draw if no neighbor drew or holds
+    the same color (ties broken toward the larger identifier, so a
+    conflicting pair never both keep).  Undecided nodes after round ``k``
+    output the sentinel color ``cX`` — a *local* failure.
+    """
+
+    finalize_lookahead = 1
+
+    def __init__(self, max_degree: int, trial_rounds: int, label_prefix: str = "c"):
+        self.max_degree = max_degree
+        self.trial_rounds = trial_rounds
+        self.label_prefix = label_prefix
+        self.name = f"random-trial-coloring(k={trial_rounds})"
+        # One draw of ceil(log2(Δ+1)) + 2 bits per round, rejection-free
+        # via modulo (slight bias is irrelevant for the demonstration).
+        self.bits_per_round = max(4, (max_degree + 1).bit_length() + 2)
+        self.bits_per_node = self.bits_per_round * trial_rounds
+
+    def rounds(self, n: int) -> int:
+        return self.trial_rounds
+
+    def _draw(self, bits: str, round_index: int) -> int:
+        chunk = bits[
+            round_index * self.bits_per_round : (round_index + 1) * self.bits_per_round
+        ]
+        return int(chunk, 2) % (self.max_degree + 1)
+
+    def initial_state(self, node_id, degree, inputs, bits, n):
+        # (identifier, bits, decided color or None, current draw)
+        return (node_id, bits, None, self._draw(bits, 0))
+
+    def step(self, round_index, state, neighbor_states, n):
+        node_id, bits, decided, draw = state
+        if decided is None:
+            conflict = False
+            for neighbor in neighbor_states:
+                if neighbor is None:
+                    continue
+                _, _, neighbor_decided, neighbor_draw = neighbor
+                if neighbor_decided == draw:
+                    conflict = True
+                elif (
+                    neighbor_decided is None
+                    and neighbor_draw == draw
+                    and neighbor[0] > node_id
+                ):
+                    conflict = True
+            if not conflict:
+                decided = draw
+        next_round = round_index + 1
+        next_draw = (
+            self._draw(bits, next_round) if next_round < self.trial_rounds else draw
+        )
+        return (node_id, bits, decided, next_draw)
+
+    def finalize(self, state, neighbor_states, degree, inputs, n) -> Dict[int, Any]:
+        decided = state[2]
+        label = f"{self.label_prefix}{decided}" if decided is not None else "cX"
+        return {port: label for port in range(degree)}
+
+
+class LubyMIS(IterativeAlgorithm):
+    """Luby's randomized MIS, truncated to ``k`` phases.
+
+    Each phase, every undecided node draws a random priority from its
+    private bits; strict local maxima join the set and their neighbors
+    drop out.  On bounded-degree graphs a constant fraction of undecided
+    nodes resolves per phase in expectation, so the *local* failure
+    probability (an undecided node remaining after ``k`` phases — it then
+    outputs the sentinel ``U``) decays geometrically in ``k``: the
+    randomized side of class (B), and a second workload for the
+    Definition 2.4 estimators.
+    """
+
+    finalize_lookahead = 1
+    PRIORITY_BITS = 24
+
+    def __init__(self, phases: int):
+        self.phases = phases
+        self.name = f"luby-mis(k={phases})"
+        self.bits_per_node = self.PRIORITY_BITS * phases
+
+    def rounds(self, n: int) -> int:
+        # Each phase: one round to compare priorities + one to observe
+        # joins, folded into a single state transition on (join, observe).
+        return 2 * self.phases
+
+    def _priority(self, bits: str, phase: int) -> int:
+        chunk = bits[phase * self.PRIORITY_BITS : (phase + 1) * self.PRIORITY_BITS]
+        return int(chunk, 2)
+
+    def initial_state(self, node_id, degree, inputs, bits, n):
+        # (bits, decision, current priority, fresh-joiner flag)
+        return (bits, UNDECIDED, self._priority(bits, 0), False)
+
+    def step(self, round_index, state, neighbor_states, n):
+        bits, decision, priority, _ = state
+        phase, subround = divmod(round_index, 2)
+        if decision != UNDECIDED:
+            return (bits, decision, priority, False)
+        if subround == 0:
+            # Join if strictly the largest priority among undecided
+            # neighbors (ties keep everyone out this phase — they are
+            # broken by fresh bits next phase).
+            competitors = [
+                s[2]
+                for s in neighbor_states
+                if s is not None and s[1] == UNDECIDED
+            ]
+            blocked = any(s is not None and s[1] == IN_SET for s in neighbor_states)
+            if not blocked and all(priority > p for p in competitors):
+                return (bits, IN_SET, priority, True)
+            return (bits, decision, priority, False)
+        # Observe: drop out next to a joiner; otherwise redraw priority.
+        if any(s is not None and s[1] == IN_SET for s in neighbor_states):
+            return (bits, OUT, priority, False)
+        next_phase = phase + 1
+        next_priority = (
+            self._priority(bits, next_phase) if next_phase < self.phases else priority
+        )
+        return (bits, decision, next_priority, False)
+
+    def finalize(self, state, neighbor_states, degree, inputs, n):
+        decision = state[1]
+        if degree == 0:
+            return {}
+        if decision == IN_SET:
+            return {port: "M" for port in range(degree)}
+        if decision == UNDECIDED:
+            return {port: "U" for port in range(degree)}
+        outputs = {port: "O" for port in range(degree)}
+        for port, neighbor in enumerate(neighbor_states):
+            if neighbor is not None and neighbor[1] == IN_SET:
+                outputs[port] = "P"
+                return outputs
+        # All neighbors undecided or out: cannot certify maximality.
+        return {port: "U" for port in range(degree)}
+
+
+def estimate_local_failure(
+    problem: NodeEdgeCheckableLCL,
+    graph: Graph,
+    algorithm: LocalAlgorithm,
+    seeds: Sequence[Any],
+    inputs: Optional[HalfEdgeLabeling] = None,
+    ids: Optional[Sequence[int]] = None,
+) -> Dict[str, float]:
+    """Monte-Carlo estimate of the Definition 2.4 failure quantities.
+
+    Returns ``{"local": max per-node/edge failure frequency,
+    "global": frequency of any failure at all}`` over the given seeds.
+    """
+    if inputs is None:
+        single = next(iter(problem.sigma_in))
+        inputs = HalfEdgeLabeling.constant(graph, single)
+    node_failures: Counter = Counter()
+    edge_failures: Counter = Counter()
+    global_failures = 0
+    for seed in seeds:
+        result = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids, seed=seed)
+        report = check_solution(problem, graph, inputs, result.outputs)
+        for v in report.failed_nodes:
+            node_failures[v] += 1
+        for e in report.failed_edges:
+            edge_failures[e] += 1
+        if not report.is_valid:
+            global_failures += 1
+    trials = len(seeds)
+    worst = 0
+    if node_failures:
+        worst = max(worst, max(node_failures.values()))
+    if edge_failures:
+        worst = max(worst, max(edge_failures.values()))
+    return {"local": worst / trials, "global": global_failures / trials}

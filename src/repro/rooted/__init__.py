@@ -1,0 +1,53 @@
+"""Rooted trees: the §1.4 companion setting.
+
+The paper's decidability discussion (§1.4) leans on the classification of
+LCLs on *rooted* regular trees [8], where the parent-child orientation
+makes certificate-based decision procedures possible — machinery that is
+"entirely unclear" how to extend to unrooted trees, which is exactly what
+makes the paper's Theorem 1.1 (unrooted, via round elimination)
+interesting.  This subpackage provides the rooted side of that contrast:
+
+* :class:`~repro.rooted.tree.RootedTree` — parent-array trees, generators,
+  and the bridge to the LOCAL simulator (orientation inputs);
+* :class:`~repro.rooted.problem.RootedLCL` — problems given by allowed
+  ``(own label, children multiset)`` configurations, with a checker and an
+  exact bottom-up solvability DP;
+* :mod:`~repro.rooted.certificates` — greatest-fixpoint *certificates of
+  unbounded solvability*: a label set witnessing top-down solvability on
+  every tree of the class (the [8] certificate flavor, for the base
+  question "solvable at all");
+* :class:`~repro.rooted.coloring.RootedCVColoring` — 3-coloring arbitrary
+  bounded-degree rooted trees in O(log* n) by running Cole–Vishkin on
+  parent pointers plus the shift-down palette reduction — the Θ(log* n)
+  class witness that needs no Linial-style machinery once a root is given.
+"""
+
+from repro.rooted.tree import RootedTree, complete_rooted_tree, random_rooted_tree
+from repro.rooted.problem import RootedLCL, check_rooted_solution, solvable_on_tree
+from repro.rooted.certificates import (
+    certificate_family,
+    certificate_of_unbounded_solvability,
+    is_solvable_on_all,
+    oblivious_certificate,
+    top_down_labeling,
+    unsolvability_witness,
+)
+from repro.rooted.coloring import RootedCVColoring
+from repro.rooted import catalog
+
+__all__ = [
+    "RootedTree",
+    "complete_rooted_tree",
+    "random_rooted_tree",
+    "RootedLCL",
+    "check_rooted_solution",
+    "solvable_on_tree",
+    "certificate_family",
+    "certificate_of_unbounded_solvability",
+    "is_solvable_on_all",
+    "oblivious_certificate",
+    "top_down_labeling",
+    "unsolvability_witness",
+    "RootedCVColoring",
+    "catalog",
+]

@@ -1,0 +1,89 @@
+"""A small catalog of rooted LCL problems.
+
+Companions to :mod:`repro.lcl.catalog` for the rooted setting: one
+representative per behavior class of the certificate machinery —
+solvable-everywhere (coloring), depth-bounded (strictly increasing
+labels), and root-constrained variants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.rooted.problem import RootedLCL
+
+
+def rooted_coloring(num_colors: int, max_arity: int) -> RootedLCL:
+    """Proper rooted coloring: every child differs from its parent.
+
+    Non-empty certificate for every arity set — solvable on all rooted
+    trees, by top-down greedy.
+    """
+    colors = [f"c{i}" for i in range(num_colors)]
+    configurations = []
+    for label in colors:
+        others = [c for c in colors if c != label]
+        for arity in range(0, max_arity + 1):
+            for combo in itertools.combinations_with_replacement(others, arity):
+                configurations.append((label, combo))
+    return RootedLCL(colors, configurations, name=f"rooted-{num_colors}-coloring")
+
+
+def strictly_increasing(num_labels: int, max_arity: int) -> RootedLCL:
+    """Children carry strictly larger labels: dies exactly at depth |Σ|.
+
+    The canonical empty-certificate example — solvable on trees of height
+    < ``num_labels`` and on no deeper complete tree, which
+    :func:`repro.rooted.certificates.unsolvability_witness` exhibits.
+    """
+    labels = list(range(num_labels))
+    configurations = [(label, ()) for label in labels]
+    for label in labels:
+        larger = [x for x in labels if x > label]
+        for arity in range(1, max_arity + 1):
+            for combo in itertools.combinations_with_replacement(larger, arity):
+                configurations.append((label, combo))
+    return RootedLCL(labels, configurations, name="strictly-increasing")
+
+
+def leaf_marked(max_arity: int) -> RootedLCL:
+    """Mark exactly the leaves: a 0-round rooted problem (arity is local)."""
+    configurations = [("leaf", ())]
+    for arity in range(1, max_arity + 1):
+        for combo in itertools.combinations_with_replacement(
+            ["leaf", "inner"], arity
+        ):
+            configurations.append(("inner", combo))
+    return RootedLCL(["leaf", "inner"], configurations, name="leaf-marked")
+
+
+def parity_of_depth(max_arity: int) -> RootedLCL:
+    """Alternate labels by depth, anchored at the root.
+
+    With the root pinned to ``even``, the labeling is forced and computable
+    only by knowing the depth parity — a global rooted problem, yet its
+    certificate is non-empty (solvable on every tree); a reminder that
+    certificates decide *solvability*, not complexity.
+    """
+    configurations = []
+    for label, child in (("even", "odd"), ("odd", "even")):
+        configurations.append((label, ()))
+        for arity in range(1, max_arity + 1):
+            configurations.append((label, (child,) * arity))
+    return RootedLCL(
+        ["even", "odd"],
+        configurations,
+        root_allowed=["even"],
+        name="parity-of-depth",
+    )
+
+
+def standard_rooted_catalog(max_arity: int = 2) -> Sequence[RootedLCL]:
+    return [
+        rooted_coloring(2, max_arity),
+        rooted_coloring(3, max_arity),
+        strictly_increasing(3, max_arity),
+        leaf_marked(max_arity),
+        parity_of_depth(max_arity),
+    ]

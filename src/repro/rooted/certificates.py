@@ -1,0 +1,197 @@
+"""Certificates of unbounded solvability on rooted trees.
+
+The rooted-tree classification of [8] (discussed in §1.4) decides
+complexity classes via finite *certificates*.  The base certificate —
+"the problem is solvable on every tree of the class" — has a clean
+greatest-fixpoint characterization implemented exactly here, in its
+arity-indexed form:
+
+    A family ``(T_a)_{a ∈ A}`` of label sets is *self-sustaining* if for
+    every ``a ∈ A``, every ``s ∈ T_a`` and every tuple of children
+    arities ``(b_1, …, b_a) ∈ A^a`` there is an allowed configuration
+    ``(s, M)`` whose multiset ``M`` can be assigned to the children with
+    the ``i``-th child's label in ``T_{b_i}``.
+
+The greatest self-sustaining family (computed by iterated pruning of the
+monotone operator) decides solvability on *all* trees with arities in
+``A``: if every ``T_a`` is non-empty and meets the root whitelist, a
+top-down pass labels any such tree (:func:`top_down_labeling`, choosing
+configurations knowing each child's arity); if some ``T_a`` dies, an
+adversary pumps arity-``a`` nodes and solvability fails at bounded depth
+(:func:`unsolvability_witness` finds a concrete witness tree, and the
+tests cross-validate against the exact bottom-up DP).
+
+The simpler *oblivious* certificate — one set whose labels support every
+arity, enough for top-down passes that assign a child's label before
+seeing its arity — is :func:`oblivious_certificate`; it is sufficient but
+not necessary for solvability (mark-the-leaves is solvable with an empty
+oblivious certificate).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import UnsolvableError
+from repro.rooted.problem import RootedLCL
+from repro.rooted.tree import RootedTree, complete_rooted_tree
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def _assignable(
+    problem: RootedLCL,
+    label: Any,
+    child_sets: Sequence[FrozenSet[Any]],
+) -> Optional[Tuple[Any, ...]]:
+    """A configuration assignment for ``label`` respecting per-child sets."""
+    for multiset in sorted(
+        problem.children_options(label, len(child_sets)),
+        key=lambda m: [label_sort_key(x) for x in m.items],
+    ):
+        items = list(multiset.items)
+
+        def recurse(index: int, remaining: List[Any]) -> Optional[Tuple[Any, ...]]:
+            if index == len(child_sets):
+                return ()
+            for position, candidate in enumerate(remaining):
+                if candidate in child_sets[index]:
+                    rest = recurse(
+                        index + 1, remaining[:position] + remaining[position + 1 :]
+                    )
+                    if rest is not None:
+                        return (candidate,) + rest
+            return None
+
+        assignment = recurse(0, items)
+        if assignment is not None:
+            return assignment
+    return None
+
+
+def certificate_family(
+    problem: RootedLCL, arities: Iterable[int]
+) -> Dict[int, FrozenSet[Any]]:
+    """The greatest self-sustaining family ``(T_a)_{a ∈ arities}``."""
+    required = tuple(sorted(set(arities)))
+    family: Dict[int, FrozenSet[Any]] = {
+        a: frozenset(problem.labels) for a in required
+    }
+    while True:
+        changed = False
+        for a in required:
+            surviving = set()
+            for label in family[a]:
+                ok = all(
+                    _assignable(problem, label, [family[b] for b in children])
+                    is not None
+                    for children in itertools.product(required, repeat=a)
+                )
+                if ok:
+                    surviving.add(label)
+            if frozenset(surviving) != family[a]:
+                family[a] = frozenset(surviving)
+                changed = True
+        if not changed:
+            return family
+
+
+def is_solvable_on_all(problem: RootedLCL, arities: Iterable[int]) -> bool:
+    """Solvable on every rooted tree whose arities lie in ``arities``?
+
+    Requires every ``T_a`` non-empty *and* meeting the root whitelist
+    (the adversary also picks the root's arity).
+    """
+    family = certificate_family(problem, arities)
+    return all(
+        family[a] and (family[a] & problem.root_allowed) for a in family
+    )
+
+
+def certificate_of_unbounded_solvability(
+    problem: RootedLCL, arities: Iterable[int]
+) -> Dict[int, FrozenSet[Any]]:
+    """Alias for :func:`certificate_family` (the decision-grade notion)."""
+    return certificate_family(problem, arities)
+
+
+def oblivious_certificate(
+    problem: RootedLCL, arities: Iterable[int]
+) -> FrozenSet[Any]:
+    """The single-set certificate for *arity-blind* top-down labeling.
+
+    Sufficient but not necessary for solvability: every label must
+    support every arity within the set.
+    """
+    required = tuple(sorted(set(arities)))
+    current: FrozenSet[Any] = problem.labels
+    while True:
+        surviving = current
+        for arity in required:
+            surviving = problem.labels_supporting_arity(arity, surviving)
+        if surviving == current:
+            return current
+        current = surviving
+
+
+def top_down_labeling(
+    problem: RootedLCL,
+    tree: RootedTree,
+    family: Optional[Dict[int, FrozenSet[Any]]] = None,
+) -> List[Any]:
+    """Label a tree greedily from the root using a certificate family.
+
+    Each node's configuration is chosen knowing its children's arities
+    (which is local information), so a non-empty family suffices; raises
+    :class:`UnsolvableError` when the family (or root whitelist) is empty
+    for some arity the tree uses.
+    """
+    arities = {tree.arity(v) for v in range(tree.num_nodes)}
+    if family is None:
+        family = certificate_family(problem, arities)
+    root_arity = tree.arity(tree.root)
+    root_choices = sorted(
+        family.get(root_arity, frozenset()) & problem.root_allowed,
+        key=label_sort_key,
+    )
+    if not root_choices:
+        raise UnsolvableError(
+            f"{problem.name}: certificate family empty at the root "
+            f"(arity {root_arity})"
+        )
+    labeling: List[Any] = [None] * tree.num_nodes
+    labeling[tree.root] = root_choices[0]
+    for v in sorted(range(tree.num_nodes), key=tree.depth):
+        child_sets = [family.get(tree.arity(c), frozenset()) for c in tree.children[v]]
+        assignment = _assignable(problem, labeling[v], child_sets)
+        if assignment is None:
+            raise UnsolvableError(
+                f"{problem.name}: certificate family does not cover node {v}"
+            )
+        for child, child_label in zip(tree.children[v], assignment):
+            labeling[child] = child_label
+    return labeling
+
+
+def unsolvability_witness(
+    problem: RootedLCL,
+    branching: int,
+    max_height: int = 12,
+) -> Optional[RootedTree]:
+    """A concrete complete tree on which the problem is unsolvable.
+
+    When :func:`is_solvable_on_all` fails for arities ``{0, branching}``,
+    solvability must die out at bounded depth; this searches complete
+    ``branching``-ary trees of growing height for the first unsolvable
+    one, cross-validating the certificate against the exact DP.  Returns
+    ``None`` when the problem is solvable everywhere (no witness exists).
+    """
+    from repro.rooted.problem import solvable_on_tree
+
+    if is_solvable_on_all(problem, {0, branching}):
+        return None
+    for height in range(1, max_height + 1):
+        tree = complete_rooted_tree(branching, height)
+        if solvable_on_tree(problem, tree) is None:
+            return tree
+    return None

@@ -1,0 +1,183 @@
+"""LCL problems on rooted trees, with checker and exact solvability DP.
+
+A rooted LCL constrains each node's own label together with the multiset
+of its children's labels — the natural rooted analogue of the node-edge-
+checkable form (and the formalism of the rooted-tree classification [8]
+that §1.4 contrasts the paper's unrooted result against).  Leaves are
+nodes of arity 0 (their configuration is ``(label, ∅)``); an optional
+whitelist constrains the root's label.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.rooted.tree import RootedTree
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+class RootedLCL:
+    """A rooted LCL: allowed ``(own label, children multiset)`` pairs.
+
+    Parameters
+    ----------
+    labels:
+        The output alphabet.
+    configurations:
+        Iterable of ``(label, children)`` pairs, ``children`` any iterable
+        of labels (its length is the arity the configuration covers —
+        include arity-0 pairs for leaves).
+    root_allowed:
+        Labels permitted at the root (default: all).
+    name:
+        Human-readable name.
+    """
+
+    def __init__(
+        self,
+        labels: Iterable[Any],
+        configurations: Iterable[Tuple[Any, Iterable[Any]]],
+        root_allowed: Optional[Iterable[Any]] = None,
+        name: str = "rooted-lcl",
+    ):
+        self.labels = frozenset(labels)
+        if not self.labels:
+            raise ProblemDefinitionError("alphabet must be non-empty")
+        by_label_arity: Dict[Tuple[Any, int], set] = {}
+        max_arity = 0
+        for label, children in configurations:
+            if label not in self.labels:
+                raise ProblemDefinitionError(f"unknown label {label!r}")
+            multiset = Multiset(children)
+            if not multiset.support() <= self.labels:
+                raise ProblemDefinitionError(
+                    f"configuration for {label!r} uses unknown child labels"
+                )
+            by_label_arity.setdefault((label, len(multiset)), set()).add(multiset)
+            max_arity = max(max_arity, len(multiset))
+        self._configurations = {
+            key: frozenset(values) for key, values in by_label_arity.items()
+        }
+        self.max_arity = max_arity
+        self.root_allowed = (
+            frozenset(root_allowed) if root_allowed is not None else self.labels
+        )
+        if not self.root_allowed <= self.labels:
+            raise ProblemDefinitionError("root_allowed must be a subset of labels")
+        self.name = name
+
+    # -------------------------------------------------------------- queries
+    def allows(self, label: Any, children: Iterable[Any]) -> bool:
+        multiset = children if isinstance(children, Multiset) else Multiset(children)
+        allowed = self._configurations.get((label, len(multiset)))
+        return allowed is not None and multiset in allowed
+
+    def children_options(self, label: Any, arity: int) -> FrozenSet[Multiset]:
+        """All allowed children multisets for ``label`` at this arity."""
+        return self._configurations.get((label, arity), frozenset())
+
+    def labels_supporting_arity(self, arity: int, within: FrozenSet[Any]) -> FrozenSet[Any]:
+        """Labels with >= 1 configuration of this arity using only ``within``."""
+        supported = set()
+        for label in within:
+            for multiset in self.children_options(label, arity):
+                if multiset.support() <= within:
+                    supported.add(label)
+                    break
+        return frozenset(supported)
+
+    def summary(self) -> str:
+        lines = [f"rooted problem {self.name}"]
+        lines.append("  labels: " + " ".join(sorted(map(str, self.labels))))
+        for (label, arity), options in sorted(
+            self._configurations.items(), key=lambda kv: (label_sort_key(kv[0][0]), kv[0][1])
+        ):
+            rendered = " | ".join(
+                " ".join(map(str, multiset.items)) or "()" for multiset in sorted(
+                    options, key=lambda m: m.items
+                )
+            )
+            lines.append(f"  {label} / arity {arity}: {rendered}")
+        lines.append("  root: " + " ".join(sorted(map(str, self.root_allowed))))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RootedLCL(name={self.name!r}, |labels|={len(self.labels)})"
+
+
+def check_rooted_solution(
+    problem: RootedLCL, tree: RootedTree, labeling: Sequence[Any]
+) -> List[int]:
+    """Indices of nodes whose configuration (or root condition) fails."""
+    if len(labeling) != tree.num_nodes:
+        raise ProblemDefinitionError("need exactly one label per node")
+    failed = []
+    for v in range(tree.num_nodes):
+        children_labels = [labeling[c] for c in tree.children[v]]
+        ok = problem.allows(labeling[v], children_labels)
+        if v == tree.root and labeling[v] not in problem.root_allowed:
+            ok = False
+        if not ok:
+            failed.append(v)
+    return failed
+
+
+def solvable_on_tree(
+    problem: RootedLCL, tree: RootedTree
+) -> Optional[List[Any]]:
+    """An exact bottom-up solvability decision, returning a solution.
+
+    Computes each node's feasible label set by dynamic programming
+    (children first); a label is feasible if some configuration's children
+    multiset can be matched against the children's feasible sets
+    (backtracking assignment).  Reconstructs a concrete labeling top-down,
+    or returns ``None`` when the root has no feasible label in
+    ``root_allowed``.
+    """
+    feasible: List[FrozenSet[Any]] = [frozenset()] * tree.num_nodes
+    witness: Dict[Tuple[int, Any], Tuple[Any, ...]] = {}
+
+    def match(multiset: Multiset, child_sets: List[FrozenSet[Any]]) -> Optional[Tuple[Any, ...]]:
+        items = list(multiset.items)
+
+        def recurse(index: int, remaining: List[Any]) -> Optional[Tuple[Any, ...]]:
+            if index == len(child_sets):
+                return ()
+            for position, candidate in enumerate(remaining):
+                if candidate in child_sets[index]:
+                    rest = recurse(
+                        index + 1, remaining[:position] + remaining[position + 1 :]
+                    )
+                    if rest is not None:
+                        return (candidate,) + rest
+            return None
+
+        return recurse(0, items)
+
+    for v in tree.bottom_up_order():
+        child_sets = [feasible[c] for c in tree.children[v]]
+        labels = set()
+        for label in sorted(problem.labels, key=label_sort_key):
+            for multiset in problem.children_options(label, tree.arity(v)):
+                assignment = match(multiset, child_sets)
+                if assignment is not None:
+                    labels.add(label)
+                    witness[(v, label)] = assignment
+                    break
+        feasible[v] = frozenset(labels)
+
+    root_choices = sorted(
+        feasible[tree.root] & problem.root_allowed, key=label_sort_key
+    )
+    if not root_choices:
+        return None
+    labeling: List[Any] = [None] * tree.num_nodes
+    labeling[tree.root] = root_choices[0]
+    order = sorted(range(tree.num_nodes), key=tree.depth)
+    for v in order:
+        assignment = witness[(v, labeling[v])]
+        for child, label in zip(tree.children[v], assignment):
+            labeling[child] = label
+    return labeling

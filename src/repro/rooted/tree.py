@@ -1,0 +1,137 @@
+"""Rooted trees as parent arrays, with a bridge to the LOCAL simulator."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.core import Graph, HalfEdgeLabeling
+
+#: Input labels marking the parent/child direction of a half-edge.
+TO_PARENT = "up"
+TO_CHILD = "down"
+
+
+class RootedTree:
+    """A rooted tree given by a parent array (``parent[root] is None``)."""
+
+    def __init__(self, parents: List[Optional[int]]):
+        self.parents = list(parents)
+        roots = [v for v, p in enumerate(self.parents) if p is None]
+        if len(roots) != 1:
+            raise GraphError(f"need exactly one root, found {len(roots)}")
+        self.root = roots[0]
+        self.children: List[List[int]] = [[] for _ in self.parents]
+        for v, parent in enumerate(self.parents):
+            if parent is not None:
+                if not 0 <= parent < len(self.parents):
+                    raise GraphError(f"node {v} has out-of-range parent {parent}")
+                self.children[parent].append(v)
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        depth_cache: List[Optional[int]] = [None] * self.num_nodes
+        for start in range(self.num_nodes):
+            chain: List[int] = []
+            on_chain = set()
+            v: Optional[int] = start
+            while v is not None and depth_cache[v] is None:
+                if v in on_chain:
+                    raise GraphError("parent pointers contain a cycle")
+                chain.append(v)
+                on_chain.add(v)
+                v = self.parents[v]
+            # `v` is either None (we reached the root) or already solved.
+            base = -1 if v is None else depth_cache[v]
+            for node in reversed(chain):
+                base += 1
+                depth_cache[node] = base
+        self._depths: List[int] = [d if d is not None else 0 for d in depth_cache]
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parents)
+
+    def depth(self, v: int) -> int:
+        return self._depths[v]
+
+    @property
+    def height(self) -> int:
+        return max(self._depths, default=0)
+
+    def arity(self, v: int) -> int:
+        """Number of children (0 for leaves)."""
+        return len(self.children[v])
+
+    def leaves(self) -> List[int]:
+        return [v for v in range(self.num_nodes) if not self.children[v]]
+
+    def bottom_up_order(self) -> List[int]:
+        """Nodes ordered leaves-first (children before parents)."""
+        return sorted(range(self.num_nodes), key=self.depth, reverse=True)
+
+    # --------------------------------------------------------------- bridge
+    def as_graph(self) -> Tuple[Graph, HalfEdgeLabeling]:
+        """The underlying port-numbered graph plus orientation inputs.
+
+        Every half-edge is labeled :data:`TO_PARENT` or :data:`TO_CHILD`,
+        which is how rooted structure enters the LOCAL simulator (the same
+        convention as the oriented grids of §5: orientation as input).
+        """
+        edges = [
+            (v, parent)
+            for v, parent in enumerate(self.parents)
+            if parent is not None
+        ]
+        graph = Graph(self.num_nodes, edges)
+        labeling = HalfEdgeLabeling(graph)
+        for v, parent in enumerate(self.parents):
+            if parent is None:
+                continue
+            port_up = graph.port_to(v, parent)
+            port_down = graph.neighbor_port(v, port_up)
+            labeling[(v, port_up)] = TO_PARENT
+            labeling[(parent, port_down)] = TO_CHILD
+        return graph, labeling
+
+    def __repr__(self) -> str:
+        return (
+            f"RootedTree(n={self.num_nodes}, height={self.height}, root={self.root})"
+        )
+
+
+def complete_rooted_tree(branching: int, height: int) -> RootedTree:
+    """The complete ``branching``-ary rooted tree of the given height."""
+    if branching < 1:
+        raise GraphError("branching must be >= 1")
+    parents: List[Optional[int]] = [None]
+    frontier = [0]
+    for _ in range(height):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                parents.append(parent)
+                next_frontier.append(len(parents) - 1)
+        frontier = next_frontier
+    return RootedTree(parents)
+
+
+def random_rooted_tree(
+    num_nodes: int, max_children: int, seed: int = 0
+) -> RootedTree:
+    """A random rooted tree with at most ``max_children`` children per node."""
+    if num_nodes < 1:
+        raise GraphError("need at least one node")
+    rng = random.Random(seed)
+    parents: List[Optional[int]] = [None]
+    open_slots = {0: max_children}
+    for v in range(1, num_nodes):
+        parent = rng.choice(list(open_slots))
+        parents.append(parent)
+        open_slots[parent] -= 1
+        if open_slots[parent] == 0:
+            del open_slots[parent]
+        open_slots[v] = max_children
+    return RootedTree(parents)

@@ -1,0 +1,43 @@
+"""Round elimination: R, R̄, problem sequences, 0-round solving, lifting,
+failure-probability bounds, and the Theorem 3.10/3.11 gap pipeline."""
+
+from repro.roundelim.ops import (
+    R,
+    R_bar,
+    merge_equivalent_labels,
+    remove_dominated_labels,
+    restrict_to_usable,
+    simplify,
+)
+from repro.roundelim.sequence import ProblemSequence
+from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
+from repro.roundelim.lift import lift_once, lift_to_local_algorithm
+from repro.roundelim.failure_bounds import (
+    FailureBoundParameters,
+    failure_after_step,
+    failure_after_steps,
+    n0_conditions,
+    theorem_3_4_S,
+)
+from repro.roundelim.gap import GapResult, speedup
+
+__all__ = [
+    "R",
+    "R_bar",
+    "restrict_to_usable",
+    "merge_equivalent_labels",
+    "remove_dominated_labels",
+    "simplify",
+    "ProblemSequence",
+    "ZeroRoundAlgorithm",
+    "find_zero_round_algorithm",
+    "lift_once",
+    "lift_to_local_algorithm",
+    "FailureBoundParameters",
+    "theorem_3_4_S",
+    "failure_after_step",
+    "failure_after_steps",
+    "n0_conditions",
+    "GapResult",
+    "speedup",
+]

@@ -1,0 +1,186 @@
+"""The quantitative side of Theorem 3.4: failure probabilities and n₀.
+
+Theorem 3.4 turns a ``T``-round algorithm for ``Π`` with local failure
+probability ``p`` into a ``(T-1)``-round algorithm for ``R̄(R(Π))`` with
+local failure probability at most ``S · p^{1/(3Δ+3)}``, where
+
+    S = (10Δ(|Σ_in| + max(|Σ_out^Π|, |Σ_out^{R(Π)}|)))^{4Δ^{T+1}}.
+
+The proof of Theorem 3.10 then needs an ``n₀`` satisfying conditions
+(3.2)–(3.4) so that iterating the step ``T(n₀)`` times keeps the final
+0-round algorithm's failure probability below
+``1 / |Σ_out^{f^{T}(Π)}|^{2Δ}``.
+
+All of these quantities overflow floats immediately (they involve power
+towers), so everything here is computed and reported in *natural-log
+space*: a bound ``B`` is represented by ``log B``.  ``log_p`` arguments
+are negative for probabilities below 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ProblemDefinitionError
+from repro.utils.numbers import tower
+
+
+@dataclass(frozen=True)
+class FailureBoundParameters:
+    """Static parameters of one application of Theorem 3.4."""
+
+    delta: int
+    sigma_in_size: int
+    sigma_out_size: int
+    sigma_out_R_size: int
+    runtime: int
+
+    def __post_init__(self) -> None:
+        if self.delta < 2:
+            raise ProblemDefinitionError("delta must be >= 2")
+        if min(self.sigma_in_size, self.sigma_out_size, self.sigma_out_R_size) < 1:
+            raise ProblemDefinitionError("alphabet sizes must be positive")
+        if self.runtime < 0:
+            raise ProblemDefinitionError("runtime must be non-negative")
+
+
+def log_s_value(params: FailureBoundParameters) -> float:
+    """``log s`` with ``s = (3|Σ_in|)^{2Δ^{T+1}}`` (Lemmas 3.5/3.6)."""
+    return 2 * params.delta ** (params.runtime + 1) * math.log(3 * params.sigma_in_size)
+
+
+def theorem_3_4_S(params: FailureBoundParameters) -> float:
+    """``log S`` for the Theorem 3.4 bound."""
+    base = 10 * params.delta * (
+        params.sigma_in_size + max(params.sigma_out_size, params.sigma_out_R_size)
+    )
+    return 4 * params.delta ** (params.runtime + 1) * math.log(base)
+
+
+def lemma_3_5_bound(params: FailureBoundParameters, log_p: float, log_K: float) -> float:
+    """``log(p s / K²)`` — edge failure of A_1/2 (Lemma 3.5)."""
+    return log_p + log_s_value(params) - 2 * log_K
+
+
+def lemma_3_6_bound(params: FailureBoundParameters, log_p: float, log_K: float) -> float:
+    """``log(p + |Σ_out|ΔK + psΔ/K)`` — node failure of A_1/2 (Lemma 3.6)."""
+    terms = [
+        log_p,
+        math.log(params.sigma_out_size * params.delta) + log_K,
+        log_p + log_s_value(params) + math.log(params.delta) - log_K,
+    ]
+    return _log_sum(terms)
+
+
+def lemma_3_7_bound(params: FailureBoundParameters, log_p: float) -> float:
+    """``log(2Δ(s + |Σ_out|) p^{1/3})`` — A_1/2 overall (Lemma 3.7)."""
+    log_factor = math.log(2 * params.delta) + _log_sum(
+        [log_s_value(params), math.log(params.sigma_out_size)]
+    )
+    return log_factor + log_p / 3
+
+
+def lemma_3_8_bound(params: FailureBoundParameters, log_p_star: float) -> float:
+    """``log(3(s + |Σ_out^{R}|)(p*)^{1/(Δ+1)})`` — A' overall (Lemma 3.8)."""
+    log_factor = math.log(3) + _log_sum(
+        [log_s_value(params), math.log(params.sigma_out_R_size)]
+    )
+    return log_factor + log_p_star / (params.delta + 1)
+
+
+def failure_after_step(params: FailureBoundParameters, log_p: float) -> float:
+    """``log(S · p^{1/(3Δ+3)})`` — one full application of Theorem 3.4."""
+    return theorem_3_4_S(params) + log_p / (3 * params.delta + 3)
+
+
+def failure_after_steps(
+    params: FailureBoundParameters, log_p0: float, steps: int
+) -> List[float]:
+    """Trajectory ``log p_0, log p_1, …, log p_steps`` under Theorem 3.4.
+
+    Uses the same (conservative) trick as the proof of Theorem 3.10: the
+    per-step ``S`` is capped by the value at the *initial* runtime, which
+    dominates all later ones because the runtime only shrinks.
+    """
+    trajectory = [log_p0]
+    current = log_p0
+    for _ in range(steps):
+        current = failure_after_step(params, current)
+        trajectory.append(current)
+    return trajectory
+
+
+@dataclass(frozen=True)
+class N0Report:
+    """Evaluation of the Theorem 3.10 conditions (3.2)–(3.4) at one n₀."""
+
+    n0: int
+    runtime_at_n0: int
+    condition_3_2: bool  #: T(n₀) + 2 <= log_Δ n₀
+    condition_3_3: bool  #: 2T(n₀) + 5 <= log* n₀
+    condition_3_4: bool  #: ((S*)² (log n₀)^{2Δ})^{(3Δ+3)^{T(n₀)}} < n₀
+
+    @property
+    def feasible(self) -> bool:
+        return self.condition_3_2 and self.condition_3_3 and self.condition_3_4
+
+
+def n0_conditions(
+    n0: int,
+    runtime_at_n0: int,
+    delta: int,
+    sigma_in_size: int,
+) -> N0Report:
+    """Check conditions (3.2)–(3.4) from the proof of Theorem 3.10.
+
+    ``S*`` uses ``log n₀`` as the alphabet-size stand-in, exactly as in
+    the proof (justified there by the power-tower bound (3.5)).
+    """
+    from repro.utils.numbers import iterated_log
+
+    log_n0 = math.log(n0)
+    condition_3_2 = runtime_at_n0 + 2 <= math.log(n0, delta) if delta > 1 else False
+    condition_3_3 = 2 * runtime_at_n0 + 5 <= iterated_log(n0)
+    # log S* = 4 Δ^{T+1} log(10Δ(|Σ_in| + log n₀))
+    log_S_star = (
+        4
+        * delta ** (runtime_at_n0 + 1)
+        * math.log(10 * delta * (sigma_in_size + max(1.0, log_n0)))
+    )
+    # log of ((S*)² (log n₀)^{2Δ})^{(3Δ+3)^{T}}  <  log n₀ ?
+    try:
+        exponent = float((3 * delta + 3) ** runtime_at_n0)
+    except OverflowError:
+        exponent = math.inf
+    left = exponent * (2 * log_S_star + 2 * delta * math.log(max(math.e, log_n0)))
+    condition_3_4 = left < log_n0
+    return N0Report(
+        n0=n0,
+        runtime_at_n0=runtime_at_n0,
+        condition_3_2=condition_3_2,
+        condition_3_3=condition_3_3,
+        condition_3_4=condition_3_4,
+    )
+
+
+def alphabet_tower_bound(sigma_out_size: int, steps: int) -> float:
+    """``log`` of the (3.5)-style bound: tower of height ``2·steps + 3``.
+
+    The proof bounds ``|Σ_out^{f^i(Π)}|`` for ``i <= T`` by a power tower
+    of 2s of height ``2T + 3`` topped by ``|Σ_out^Π|``; returned in log
+    space (``math.inf`` when even the log overflows).
+    """
+    value = tower(2 * steps + 2, top=float(sigma_out_size))
+    if value == math.inf:
+        return math.inf
+    return value * math.log(2.0)
+
+
+def _log_sum(logs: List[float]) -> float:
+    """``log(sum(exp(x) for x in logs))`` computed stably."""
+    peak = max(logs)
+    if peak == -math.inf:
+        return -math.inf
+    return peak + math.log(sum(math.exp(x - peak) for x in logs))

@@ -1,0 +1,191 @@
+"""The gap pipeline: Theorems 3.10 / 3.11 as an executable procedure.
+
+The paper proves that any LCL with complexity ``o(log* n)`` on trees (or
+forests) has complexity ``O(1)`` by walking a problem down the round
+elimination sequence to a 0-round-solvable problem and lifting the trivial
+algorithm back up.  :func:`speedup` runs exactly that walk:
+
+* for ``k = 0, 1, 2, …`` test whether ``f^k(Π)`` admits a deterministic
+  0-round algorithm (a complete decision, :mod:`repro.roundelim.zero_round`);
+* on success, synthesize the deterministic ``k``-round LOCAL algorithm for
+  ``Π`` via the Lemma 3.9 lifting — a runnable, verifiable artifact;
+* if instead the sequence reaches a *fixed point* (``f(Π_k)`` isomorphic
+  to ``Π_k``) that is not 0-round solvable, report it: iterating further
+  can never succeed, which is the classic round-elimination lower-bound
+  certificate (e.g. sinkless orientation) placing ``Π`` outside
+  ``o(log* n)``;
+* otherwise stop at the step budget with status ``"unknown"``.
+
+This is also the semidecision procedure the paper offers toward
+Question 1.7 (decidability of constant-time solvability on trees): by
+Theorem 3.10, ``Π ∈ O(1)`` **iff** some ``f^k(Π)`` is 0-round solvable,
+so the loop halts with ``"constant"`` on every constant-time problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs.core import HalfEdgeLabeling
+from repro.graphs.generators import random_forest
+from repro.graphs.ids import random_ids
+from repro.lcl.checker import check_solution
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm, run_local_algorithm
+from repro.roundelim.lift import ZeroRoundLocalAlgorithm, lift_to_local_algorithm
+from repro.roundelim.sequence import ProblemSequence
+from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
+from repro.utils.multiset import label_sort_key
+from repro.utils.rng import SplittableRNG
+
+
+@dataclass
+class GapResult:
+    """Outcome of the gap pipeline for one problem."""
+
+    problem: NodeEdgeCheckableLCL
+    #: ``"constant"`` (algorithm synthesized), ``"fixed-point"`` (provably
+    #: not o(log* n) via a non-solvable RE fixed point), or ``"unknown"``.
+    status: str
+    #: Rounds of the synthesized algorithm (= elimination depth), if any.
+    constant_rounds: Optional[int]
+    #: The deterministic LOCAL algorithm for the original problem, if any.
+    algorithm: Optional[LocalAlgorithm]
+    #: The 0-round table at the bottom of the sequence, if any.
+    zero_round: Optional[ZeroRoundAlgorithm]
+    #: The (hygiene-reduced) alphabet sizes along the explored sequence.
+    alphabet_sizes: List[int]
+    #: Step at which a fixed point was detected, if any.
+    fixed_point_at: Optional[int]
+    sequence: ProblemSequence
+    #: Free-form diagnostics (e.g. why the walk stopped early).
+    note: str = ""
+
+    def summary(self) -> str:
+        lines = [f"gap pipeline for {self.problem.name!r}: {self.status}"]
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        if self.constant_rounds is not None:
+            lines.append(f"  synthesized deterministic {self.constant_rounds}-round algorithm")
+        if self.fixed_point_at is not None:
+            lines.append(
+                f"  round-elimination fixed point at step {self.fixed_point_at} "
+                "(not 0-round solvable => not o(log* n))"
+            )
+        lines.append(f"  alphabet sizes along f^k: {self.alphabet_sizes}")
+        return "\n".join(lines)
+
+
+def speedup(
+    problem: NodeEdgeCheckableLCL,
+    max_steps: int = 4,
+    use_domination: bool = True,
+    max_universe: int = 4096,
+    detect_fixed_points: bool = True,
+) -> GapResult:
+    """Run the Theorem 3.10 pipeline on a node-edge-checkable problem.
+
+    ``max_steps`` bounds the elimination depth (the procedure is a
+    semidecision: constant-time problems terminate, Θ(log* n) problems
+    never would).  See :class:`GapResult` for the three outcomes.
+    """
+    sequence = ProblemSequence(
+        problem,
+        use_simplification=True,
+        use_domination=use_domination,
+        max_universe=max_universe,
+    )
+    alphabet_sizes: List[int] = []
+    note = ""
+    for step in range(max_steps + 1):
+        try:
+            current = sequence.problem(step)
+        except ProblemDefinitionError as error:
+            # The power-set alphabet outgrew the budget.  For Θ(log* n)
+            # problems this is the expected way the walk ends: the sequence
+            # never becomes 0-round solvable and its alphabets blow up
+            # doubly exponentially (remark in §3.2).
+            note = f"stopped before step {step}: {error}"
+            break
+        alphabet_sizes.append(len(current.sigma_out))
+        zero_round = find_zero_round_algorithm(current)
+        if zero_round is not None:
+            algorithm = lift_to_local_algorithm(zero_round, sequence, step)
+            return GapResult(
+                problem=problem,
+                status="constant",
+                constant_rounds=step,
+                algorithm=algorithm,
+                zero_round=zero_round,
+                alphabet_sizes=alphabet_sizes,
+                fixed_point_at=None,
+                sequence=sequence,
+            )
+        if detect_fixed_points and step < max_steps:
+            try:
+                is_fixed = sequence.problem(step + 1).is_isomorphic(current)
+            except ProblemDefinitionError as error:
+                note = f"stopped before step {step + 1}: {error}"
+                break
+            if is_fixed:
+                return GapResult(
+                    problem=problem,
+                    status="fixed-point",
+                    constant_rounds=None,
+                    algorithm=None,
+                    zero_round=None,
+                    alphabet_sizes=alphabet_sizes,
+                    fixed_point_at=step,
+                    sequence=sequence,
+                )
+    return GapResult(
+        problem=problem,
+        status="unknown",
+        constant_rounds=None,
+        algorithm=None,
+        zero_round=None,
+        alphabet_sizes=alphabet_sizes,
+        fixed_point_at=None,
+        sequence=sequence,
+        note=note,
+    )
+
+
+def verify_on_random_forests(
+    result: GapResult,
+    component_sizes=(7, 5, 3, 1),
+    trials: int = 5,
+    seed: int = 0,
+) -> bool:
+    """Run the synthesized algorithm on random forests and check outputs.
+
+    Inputs are drawn uniformly from ``Σ_in``; identifiers are random from
+    a polynomial range.  Returns ``True`` iff every trial yields a valid
+    solution (and raises via the simulator if the algorithm overdraws its
+    declared radius).
+    """
+    if result.algorithm is None:
+        raise ValueError("result carries no synthesized algorithm to verify")
+    problem = result.problem
+    root = SplittableRNG(seed)
+    inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
+    for trial in range(trials):
+        rng = root.child("trial", trial)
+        graph = random_forest(
+            component_sizes, max_degree=problem.max_degree, seed=rng.integer(0, 10**6)
+        )
+        inputs = HalfEdgeLabeling(
+            graph,
+            {
+                h: inputs_sorted[rng.integer(0, len(inputs_sorted) - 1)]
+                for h in graph.half_edges()
+            },
+        )
+        ids = random_ids(graph, seed=rng.integer(0, 10**6))
+        simulation = run_local_algorithm(graph, result.algorithm, inputs=inputs, ids=ids)
+        report = check_solution(problem, graph, inputs, simulation.outputs)
+        if not report.is_valid:
+            return False
+    return True

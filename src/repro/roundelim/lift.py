@@ -1,0 +1,197 @@
+"""Lemma 3.9, executable: lift an algorithm for ``R̄(R(Π))`` to one for Π.
+
+Given a deterministic ``T``-round algorithm ``A`` for ``R̄(R(Π))``, the
+lifted algorithm ``A'`` for ``Π`` runs in ``T + 1`` rounds:
+
+1. node ``v`` simulates ``A`` at itself and at each neighbor (one extra
+   round), so that for every incident edge ``e = {v, w}`` it knows the
+   ``R̄(R(Π))``-labels ``A((v,e))`` and ``A((w,e))`` — each a *set of sets*
+   of Π-labels;
+2. **edge step** — for each edge, both endpoints deterministically agree
+   on a pair ``L_{(v,e)} ∈ A((v,e))``, ``L_{(w,e)} ∈ A((w,e))`` with
+   ``{L_{(v,e)}, L_{(w,e)}} ∈ E_{R(Π)}`` (such a pair exists because the
+   edge constraint of ``R̄`` is existentially defined over ``E_{R(Π)}``);
+   agreement is reached canonically, tie-broken by the endpoint IDs;
+3. **node step** — ``v`` picks ``ℓ_{(v,e)} ∈ L_{(v,e)}`` per incident edge
+   so that the multiset is in ``N_Π`` (exists because the ``L``-labeling
+   solves ``R(Π)``, whose node constraint is existential over ``N_Π``).
+
+The cross-edge pairs are then automatically in ``E_Π`` (the edge
+constraint of ``R(Π)`` is universal over ``E_Π``) and ``g_Π`` holds by the
+power-set structure of the ``g``'s, so the result solves ``Π``.
+
+Composing the lift ``k`` times over a :class:`ProblemSequence`, starting
+from a 0-round algorithm for ``f^k(Π)``, yields the paper's synthesized
+``k``-round deterministic algorithm for ``Π`` — the constructive content
+of Theorem 3.10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import AlgorithmError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm, NodeContext
+from repro.roundelim.sequence import ProblemSequence
+from repro.roundelim.zero_round import ZeroRoundAlgorithm
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+class ZeroRoundLocalAlgorithm(LocalAlgorithm):
+    """Adapter: a :class:`ZeroRoundAlgorithm` table as a LOCAL algorithm."""
+
+    def __init__(self, zero_round: ZeroRoundAlgorithm):
+        self.zero_round = zero_round
+        self.name = f"zero-round[{zero_round.problem.name}]"
+
+    def radius(self, n: int) -> int:
+        return 0
+
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        if ctx.degree == 0:
+            return {}
+        outputs = self.zero_round.outputs_for(ctx.input_tuple())
+        return {port: label for port, label in enumerate(outputs)}
+
+
+def _choose_edge_pair(
+    set_low: frozenset,
+    set_high: frozenset,
+    edge_constraint,
+) -> Optional[Tuple[Any, Any]]:
+    """Canonical pair with ``{a, b}`` allowed, ``a`` from the low-ID side.
+
+    Iteration order is fixed by the canonical label order, so both
+    endpoints — who both know both IDs and both label sets — compute the
+    identical pair.
+    """
+    for a in sorted(set_low, key=label_sort_key):
+        for b in sorted(set_high, key=label_sort_key):
+            if Multiset((a, b)) in edge_constraint:
+                return (a, b)
+    return None
+
+
+class LiftedAlgorithm(LocalAlgorithm):
+    """One application of the Lemma 3.9 lifting."""
+
+    def __init__(
+        self,
+        inner: LocalAlgorithm,
+        base_problem: NodeEdgeCheckableLCL,
+        intermediate: NodeEdgeCheckableLCL,
+    ):
+        self.inner = inner
+        self.base_problem = base_problem
+        self.intermediate = intermediate
+        self.name = f"lift[{inner.name} -> {base_problem.name}]"
+        self.bits_per_node = inner.bits_per_node
+
+    def radius(self, n: int) -> int:
+        return self.inner.radius(n) + 1
+
+    def run(self, ctx: NodeContext) -> Dict[int, Any]:
+        degree = ctx.degree
+        if degree == 0:
+            return {}
+        my_id = ctx.my_id
+        if my_id is None:
+            raise AlgorithmError(
+                f"{self.name} needs identifiers for the symmetric edge step"
+            )
+        inner_mine = self.inner.run(ctx)
+
+        chosen_sets: List[Any] = []
+        for port in range(degree):
+            neighbor_ctx = ctx.delegate(port)
+            neighbor_id = neighbor_ctx.my_id
+            inner_theirs = self.inner.run(neighbor_ctx)
+            remote_port = ctx.graph.neighbor_port(ctx.node, port)
+            set_mine = inner_mine[port]
+            set_theirs = inner_theirs[remote_port]
+            if my_id < neighbor_id:
+                pair = _choose_edge_pair(
+                    set_mine, set_theirs, self.intermediate.edge_constraint
+                )
+                mine = None if pair is None else pair[0]
+            else:
+                pair = _choose_edge_pair(
+                    set_theirs, set_mine, self.intermediate.edge_constraint
+                )
+                mine = None if pair is None else pair[1]
+            if mine is None:
+                raise AlgorithmError(
+                    f"{self.name}: inner output violates the edge constraint of "
+                    f"{self.intermediate.name} on port {port} of node {ctx.node}"
+                )
+            chosen_sets.append(mine)
+
+        outputs = self._node_step(chosen_sets, ctx)
+        return {port: label for port, label in enumerate(outputs)}
+
+    def _node_step(self, chosen_sets: List[Any], ctx: NodeContext) -> Tuple[Any, ...]:
+        """Pick one Π-label per port: multiset in N_Π, g_Π respected."""
+        problem = self.base_problem
+        allowed = problem.node_constraints.get(len(chosen_sets), frozenset())
+        candidates = []
+        for port, label_set in enumerate(chosen_sets):
+            permitted = problem.allowed_outputs(ctx.input(port))
+            candidates.append(
+                sorted((x for x in label_set if x in permitted), key=label_sort_key)
+            )
+        chosen: List[Any] = []
+
+        def recurse(index: int) -> bool:
+            if index == len(candidates):
+                return Multiset(chosen) in allowed
+            for label in candidates[index]:
+                chosen.append(label)
+                if recurse(index + 1):
+                    return True
+                chosen.pop()
+            return False
+
+        if not recurse(0):
+            raise AlgorithmError(
+                f"{self.name}: no node-step selection exists at node {ctx.node}; "
+                "the inner algorithm's output does not solve the lifted problem"
+            )
+        return tuple(chosen)
+
+
+def lift_once(
+    inner: LocalAlgorithm,
+    base_problem: NodeEdgeCheckableLCL,
+    intermediate: NodeEdgeCheckableLCL,
+) -> LocalAlgorithm:
+    """Lift an algorithm for ``R̄(R(Π))`` to one for ``Π`` (one round more).
+
+    ``intermediate`` must be the *same* ``R(Π)`` instance (including any
+    hygiene applied) from which the lifted problem was generated.
+    """
+    return LiftedAlgorithm(inner, base_problem, intermediate)
+
+
+def lift_to_local_algorithm(
+    zero_round: ZeroRoundAlgorithm,
+    sequence: ProblemSequence,
+    steps: int,
+) -> LocalAlgorithm:
+    """Compose the lift ``steps`` times down a problem sequence.
+
+    ``zero_round`` must solve ``sequence.problem(steps)``; the result is a
+    deterministic ``steps``-round LOCAL algorithm for ``sequence.base``.
+    """
+    if zero_round.problem != sequence.problem(steps):
+        raise AlgorithmError(
+            "zero-round algorithm does not match the problem at the given depth"
+        )
+    algorithm: LocalAlgorithm = ZeroRoundLocalAlgorithm(zero_round)
+    for index in range(steps - 1, -1, -1):
+        algorithm = lift_once(
+            algorithm,
+            base_problem=sequence.problem(index),
+            intermediate=sequence.intermediate(index),
+        )
+    return algorithm

@@ -1,0 +1,338 @@
+"""The round elimination operators R (Def. 3.1) and R̄ (Def. 3.2).
+
+Both operators send a node-edge-checkable problem ``Π`` to a problem whose
+output alphabet is the power set of ``Σ_out^Π``; they differ only in which
+side gets the universal quantifier:
+
+* ``R(Π)``  — an edge configuration ``{B₁, B₂}`` is allowed iff **all**
+  selections ``(b₁, b₂) ∈ B₁ × B₂`` are in ``E_Π``; a node configuration
+  ``{A₁, …, A_i}`` is allowed iff **some** selection is in ``N_Π^i``.
+* ``R̄(Π)`` — dually: **all** selections at nodes, **some** at edges.
+
+``g`` maps each input label to the power set of its old allowed set in
+both cases, and input alphabets never change.
+
+The composition ``f = R̄ ∘ R`` is the one-round-speedup step of §3.1.
+
+Label hygiene
+-------------
+Iterating ``f`` squares the alphabet twice per step, so this module also
+provides three *solvability-preserving* reductions:
+
+* :func:`restrict_to_usable` — drop labels that appear in no node
+  configuration, no edge configuration, or no ``g`` image (such labels can
+  never occur in any correct solution on graphs with minimum degree 1);
+* :func:`merge_equivalent_labels` — identify labels with identical roles
+  in every constraint (solutions map onto representatives);
+* :func:`remove_dominated_labels` — drop label ``x`` when some ``y`` is
+  allowed everywhere ``x`` is (the round-eliminator's "non-maximal label"
+  pruning).  The paper deliberately does **not** apply this inside its
+  proof (see the remark after Def. 3.1); it is safe for the executable
+  pipeline because it preserves solvability in both directions, and it is
+  what keeps the iterated alphabets tractable.
+
+Each reduction returns a problem whose solutions are solutions of the
+original (soundness for the Lemma 3.9 lifting) and onto which solutions of
+the original project (completeness for the semidecision procedure).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ProblemDefinitionError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def _nonempty_subsets(labels: Iterable[Any]) -> List[FrozenSet[Any]]:
+    ordered = sorted(set(labels), key=label_sort_key)
+    subsets: List[FrozenSet[Any]] = []
+    for size in range(1, len(ordered) + 1):
+        for combo in itertools.combinations(ordered, size):
+            subsets.append(frozenset(combo))
+    return subsets
+
+
+def _some_selection_in(
+    sets: Tuple[FrozenSet[Any], ...], allowed: FrozenSet[Multiset]
+) -> bool:
+    """Does some choice of one element per set form an allowed multiset?
+
+    Backtracking with prefix pruning against the sub-multiset closure of
+    ``allowed`` would be possible, but the alphabets after hygiene are
+    small enough that plain recursion with an early sort (smallest sets
+    first) suffices.
+    """
+    order = sorted(sets, key=len)
+
+    def recurse(index: int, chosen: List[Any]) -> bool:
+        if index == len(order):
+            return Multiset(chosen) in allowed
+        for candidate in order[index]:
+            chosen.append(candidate)
+            if recurse(index + 1, chosen):
+                return True
+            chosen.pop()
+        return False
+
+    return recurse(0, [])
+
+
+def _all_selections_in(
+    sets: Tuple[FrozenSet[Any], ...], allowed: FrozenSet[Multiset]
+) -> bool:
+    """Is *every* choice of one element per set an allowed multiset?"""
+    for chosen in itertools.product(*sets):
+        if Multiset(chosen) not in allowed:
+            return False
+    return True
+
+
+def _power_problem(
+    problem: NodeEdgeCheckableLCL,
+    node_forall: bool,
+    name_prefix: str,
+    max_universe: int,
+    universe_mode: str,
+) -> NodeEdgeCheckableLCL:
+    from repro.roundelim.universe import (
+        closed_universe,
+        edge_partners,
+        reduced_universe,
+    )
+
+    if universe_mode == "full":
+        universe = _nonempty_subsets(problem.sigma_out)
+        if len(universe) > max_universe:
+            raise ProblemDefinitionError(
+                f"power-set alphabet of {problem.name} has {len(universe)} labels "
+                f"(> max_universe={max_universe}); use the reduced universe or raise the limit"
+            )
+    elif universe_mode == "reduced":
+        if node_forall:
+            universe = reduced_universe(problem, max_universe)
+        else:
+            universe = closed_universe(problem, max_universe)
+    else:
+        raise ProblemDefinitionError(f"unknown universe_mode: {universe_mode!r}")
+
+    # --- edge constraint via partner-set algebra --------------------------
+    partners = edge_partners(problem)
+    summaries: Dict[Any, frozenset] = {}
+    for subset in universe:
+        partner_sets = [partners[b] for b in subset]
+        if node_forall:
+            # R̄: exists-at-edges — only the union of partners matters.
+            summaries[subset] = frozenset().union(*partner_sets)
+        else:
+            # R: forall-at-edges — only the intersection matters.
+            summaries[subset] = frozenset.intersection(*partner_sets)
+    edge_configurations = []
+    for i, first in enumerate(universe):
+        for second in universe[i:]:
+            if node_forall:
+                allowed = bool(summaries[first] & second)
+            else:
+                allowed = second <= summaries[first]
+            if allowed:
+                edge_configurations.append(Multiset((first, second)))
+
+    # --- node constraint ---------------------------------------------------
+    node_check: Callable = _all_selections_in if node_forall else _some_selection_in
+    node_constraints: Dict[int, List[Multiset]] = {}
+    for degree, allowed in problem.node_constraints.items():
+        configurations = []
+        if allowed:
+            for combo in itertools.combinations_with_replacement(universe, degree):
+                if node_check(combo, allowed):
+                    configurations.append(Multiset(combo))
+        node_constraints[degree] = configurations
+
+    g = {
+        input_label: frozenset(
+            subset for subset in universe if subset <= problem.allowed_outputs(input_label)
+        )
+        for input_label in problem.sigma_in
+    }
+    return NodeEdgeCheckableLCL(
+        sigma_in=problem.sigma_in,
+        sigma_out=universe,
+        node_constraints=node_constraints,
+        edge_constraint=edge_configurations,
+        g=g,
+        name=f"{name_prefix}({problem.name})",
+    )
+
+
+def R(
+    problem: NodeEdgeCheckableLCL,
+    max_universe: int = 4096,
+    universe_mode: str = "reduced",
+) -> NodeEdgeCheckableLCL:
+    """Definition 3.1: exists-at-nodes, forall-at-edges power problem.
+
+    ``universe_mode="full"`` materializes every non-empty subset of
+    ``Σ_out`` — the paper's literal alphabet minus the empty set, which
+    can never appear in any correct solution (it belongs to no node
+    configuration because it admits no selection).  The default
+    ``"reduced"`` restricts to domination-closed labels (see
+    :mod:`repro.roundelim.universe`), which is solvability-equivalent and
+    what keeps iterated sequences tractable.
+    """
+    return _power_problem(
+        problem,
+        node_forall=False,
+        name_prefix="R",
+        max_universe=max_universe,
+        universe_mode=universe_mode,
+    )
+
+
+def R_bar(
+    problem: NodeEdgeCheckableLCL,
+    max_universe: int = 4096,
+    universe_mode: str = "reduced",
+) -> NodeEdgeCheckableLCL:
+    """Definition 3.2: forall-at-nodes, exists-at-edges power problem.
+
+    See :func:`R` for the ``universe_mode`` semantics; the reduced universe
+    for ``R̄`` consists of the partner-antichain ("reduced") set labels.
+    """
+    return _power_problem(
+        problem,
+        node_forall=True,
+        name_prefix="Rbar",
+        max_universe=max_universe,
+        universe_mode=universe_mode,
+    )
+
+
+# --------------------------------------------------------------- label hygiene
+def restrict_to_usable(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
+    """Iteratively drop output labels that cannot occur in any solution.
+
+    A label used on a half-edge of a correct solution necessarily appears
+    in the node configuration of its node, the edge configuration of its
+    edge, and in ``g`` of its input label; labels missing from any of the
+    three are dead.  Removal can create new dead labels, so iterate to a
+    fixed point.
+    """
+    current = problem
+    while True:
+        usable = current.used_output_labels()
+        if usable == current.sigma_out:
+            return current
+        if not usable:
+            # Keep one label so the problem object stays well-formed; all
+            # of its constraint sets become empty (the problem is
+            # unsolvable on any graph with an edge).
+            keep = min(current.sigma_out, key=label_sort_key)
+            return current.restrict_outputs([keep])
+        current = current.restrict_outputs(usable)
+
+
+def merge_equivalent_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
+    """Collapse pairs of mutually substitutable labels, to a fixed point.
+
+    Two labels are *equivalent* when each may replace the other in every
+    configuration (mutual domination, see :func:`_dominates`).  The label
+    with the larger canonical sort key is dropped.  Any solution of the
+    original maps to one of the merged problem by substituting the
+    representative, and solutions of the merged problem are verbatim
+    solutions of the original, so solvability (and 0-round solvability) is
+    preserved in both directions.
+    """
+    current = problem
+    while True:
+        labels = sorted(current.sigma_out, key=label_sort_key)
+        dropped = None
+        for i, keep in enumerate(labels):
+            for other in labels[i + 1 :]:
+                if _dominates(current, keep, other) and _dominates(current, other, keep):
+                    dropped = other
+                    break
+            if dropped is not None:
+                break
+        if dropped is None:
+            return current
+        current = current.restrict_outputs(
+            [label for label in current.sigma_out if label != dropped]
+        )
+
+
+def _dominates(problem: NodeEdgeCheckableLCL, strong: Any, weak: Any) -> bool:
+    """May every occurrence of ``weak`` be replaced by ``strong``?"""
+    for input_label in problem.sigma_in:
+        allowed = problem.g[input_label]
+        if weak in allowed and strong not in allowed:
+            return False
+    for configuration in problem.edge_constraint:
+        if weak in configuration:
+            if configuration.remove_one(weak).add(strong) not in problem.edge_constraint:
+                return False
+    for degree, configurations in problem.node_constraints.items():
+        for configuration in configurations:
+            if weak in configuration:
+                replaced = configuration.remove_one(weak).add(strong)
+                if replaced not in configurations:
+                    return False
+    return True
+
+
+def remove_dominated_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
+    """Drop labels that are dominated by another label, to a fixed point.
+
+    If ``strong`` dominates ``weak``, substituting ``strong`` for ``weak``
+    turns any solution into another solution, so removing ``weak``
+    preserves solvability in both directions.  Mutual domination is broken
+    canonically (the smaller sort key survives) so the operation is
+    deterministic.
+
+    Note: the paper's proof keeps non-maximal labels (remark after
+    Def. 3.1); use this only in the executable pipeline, where both
+    directions of solvability are all that matters.
+    """
+    current = problem
+    while True:
+        labels = sorted(current.sigma_out, key=label_sort_key)
+        dropped = None
+        for weak in reversed(labels):
+            for strong in labels:
+                if strong == weak:
+                    continue
+                if _dominates(current, strong, weak):
+                    # For mutual domination keep the canonical (smaller) label.
+                    if _dominates(current, weak, strong) and label_sort_key(
+                        strong
+                    ) > label_sort_key(weak):
+                        continue
+                    dropped = weak
+                    break
+            if dropped is not None:
+                break
+        if dropped is None:
+            return current
+        current = current.restrict_outputs(
+            [label for label in current.sigma_out if label != dropped]
+        )
+
+
+def simplify(
+    problem: NodeEdgeCheckableLCL, domination: bool = False
+) -> NodeEdgeCheckableLCL:
+    """Run the hygiene passes to a joint fixed point.
+
+    ``domination=True`` additionally removes dominated labels (see
+    :func:`remove_dominated_labels` for the fidelity caveat).
+    """
+    current = problem
+    while True:
+        reduced = restrict_to_usable(current)
+        reduced = merge_equivalent_labels(reduced)
+        if domination:
+            reduced = remove_dominated_labels(reduced)
+        if reduced.sigma_out == current.sigma_out:
+            return reduced
+        current = reduced

@@ -1,0 +1,100 @@
+"""The round elimination problem sequence ``Π, f(Π), f²(Π), …``.
+
+§3.1 defines the sequence by iterating ``f = R̄ ∘ R``.  Each application
+trades one round of the LOCAL algorithm for a controlled increase in local
+failure probability (Theorem 3.4, forward direction) and can be undone at
+the cost of one deterministic round (Lemma 3.9, backward direction).
+
+:class:`ProblemSequence` caches both ``Π_k = f^k(Π)`` and the intermediate
+``R(Π_k)`` (which the Lemma 3.9 lifting needs for its first choice step),
+and optionally applies the solvability-preserving hygiene passes between
+iterations to keep the doubly-exponential alphabets tractable — see
+:mod:`repro.roundelim.ops` for why this does not affect the pipeline's
+soundness or completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.roundelim.ops import R, R_bar, simplify
+
+
+class ProblemSequence:
+    """Lazily computed sequence of round-eliminated problems.
+
+    Parameters
+    ----------
+    problem:
+        The node-edge-checkable problem ``Π = Π_0``.
+    use_simplification:
+        Apply :func:`repro.roundelim.ops.simplify` after each ``R`` and
+        ``R̄`` application.  Strongly recommended (and the default): the
+        raw alphabets grow doubly exponentially.
+    use_domination:
+        Additionally prune dominated labels during simplification (the
+        round-eliminator's non-maximal pruning; solvability-preserving,
+        but *not* what the paper's proof manipulates — keep off when
+        checking literal fixed-point structure, on for the gap pipeline).
+    max_universe:
+        Safety bound on the power-set alphabet per step.
+    """
+
+    def __init__(
+        self,
+        problem: NodeEdgeCheckableLCL,
+        use_simplification: bool = True,
+        use_domination: bool = True,
+        max_universe: int = 4096,
+        universe_mode: str = "reduced",
+    ):
+        self.base = problem
+        self.use_simplification = use_simplification
+        self.use_domination = use_domination
+        self.max_universe = max_universe
+        self.universe_mode = universe_mode
+        self._problems: List[NodeEdgeCheckableLCL] = [problem]
+        self._intermediates: Dict[int, NodeEdgeCheckableLCL] = {}
+
+    def _clean(self, problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
+        if not self.use_simplification:
+            return problem
+        return simplify(problem, domination=self.use_domination)
+
+    def intermediate(self, k: int) -> NodeEdgeCheckableLCL:
+        """``R(Π_k)`` — the half-step problem between ``Π_k`` and ``Π_{k+1}``."""
+        if k not in self._intermediates:
+            self._intermediates[k] = self._clean(
+                R(self.problem(k), max_universe=self.max_universe, universe_mode=self.universe_mode)
+            )
+        return self._intermediates[k]
+
+    def problem(self, k: int) -> NodeEdgeCheckableLCL:
+        """``Π_k = f^k(Π)`` (with hygiene applied if enabled)."""
+        while len(self._problems) <= k:
+            index = len(self._problems) - 1
+            half = self.intermediate(index)
+            self._problems.append(
+                self._clean(
+                R_bar(half, max_universe=self.max_universe, universe_mode=self.universe_mode)
+            )
+            )
+        return self._problems[k]
+
+    def alphabet_sizes(self, upto: int) -> List[int]:
+        """|Σ_out| of ``Π_0 .. Π_upto`` — the growth data of §3.2's remark."""
+        return [len(self.problem(k).sigma_out) for k in range(upto + 1)]
+
+    def find_fixed_point(self, max_steps: int) -> Optional[int]:
+        """Smallest ``k < max_steps`` with ``Π_{k+1}`` isomorphic to ``Π_k``.
+
+        A fixed point of ``f`` that is not 0-round solvable is the classic
+        round-elimination lower-bound certificate (e.g. sinkless
+        orientation).  Isomorphism is checked up to output renaming, which
+        is only meaningful with hygiene enabled.
+        """
+        for k in range(max_steps):
+            if self.problem(k + 1).is_isomorphic(self.problem(k)):
+                return k
+        return None

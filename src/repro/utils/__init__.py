@@ -1,0 +1,22 @@
+"""Shared utilities: canonical multisets, number theory, log*, RNG helpers."""
+
+from repro.utils.multiset import Multiset
+from repro.utils.numbers import (
+    GFPolynomial,
+    iterated_log,
+    is_prime,
+    next_prime,
+    tower,
+)
+from repro.utils.rng import SplittableRNG, derive_seed
+
+__all__ = [
+    "Multiset",
+    "GFPolynomial",
+    "iterated_log",
+    "is_prime",
+    "next_prime",
+    "tower",
+    "SplittableRNG",
+    "derive_seed",
+]

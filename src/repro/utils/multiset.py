@@ -1,0 +1,116 @@
+"""Canonical, hashable multisets.
+
+Node and edge configurations of node-edge-checkable LCL problems
+(Definition 2.3 of the paper) are *multisets* of output labels.  Python has
+no hashable multiset, so this module provides :class:`Multiset`: an
+immutable multiset with a canonical tuple representation, suitable as a
+dictionary key or set element.
+
+Labels may be any hashable objects; internally elements are sorted by a
+stable key (``(type qualname, repr)``) so that multisets over heterogeneous
+or frozenset-valued labels (which arise after round elimination, where
+labels are *sets* of labels) still canonicalize deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator
+
+
+def label_sort_key(label: Any) -> tuple:
+    """A total order on arbitrary hashable labels.
+
+    Round elimination turns labels into ``frozenset``s of labels (and then
+    frozensets of frozensets, ...), whose ``repr`` depends on hash-based
+    iteration order and therefore is not stable across interpreter runs.
+    Frozensets and tuples are keyed recursively by their sorted element
+    keys; everything else by ``(type qualname, repr)``, which keeps the
+    order total (the type tag differs before the payloads are compared).
+    """
+    if isinstance(label, frozenset):
+        return (
+            "frozenset",
+            tuple(sorted(label_sort_key(element) for element in label)),
+        )
+    if isinstance(label, tuple):
+        return ("tuple", tuple(label_sort_key(element) for element in label))
+    return (type(label).__qualname__, repr(label))
+
+
+class Multiset:
+    """An immutable multiset of hashable elements.
+
+    >>> Multiset(["A", "B", "A"]) == Multiset(["B", "A", "A"])
+    True
+    >>> len(Multiset(["A", "B", "A"]))
+    3
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: tuple[Any, ...] = tuple(sorted(items, key=label_sort_key))
+        self._hash = hash(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """The elements in canonical (sorted) order, with multiplicity."""
+        return self._items
+
+    def counter(self) -> Counter:
+        """Element multiplicities as a :class:`collections.Counter`."""
+        return Counter(self._items)
+
+    def support(self) -> frozenset:
+        """The set of distinct elements."""
+        return frozenset(self._items)
+
+    def count(self, element: Any) -> int:
+        """Multiplicity of ``element``."""
+        return self._items.count(element)
+
+    def add(self, element: Any) -> "Multiset":
+        """A new multiset with ``element`` added once."""
+        return Multiset(self._items + (element,))
+
+    def remove_one(self, element: Any) -> "Multiset":
+        """A new multiset with one occurrence of ``element`` removed.
+
+        Raises ``ValueError`` if the element is absent.
+        """
+        items = list(self._items)
+        items.remove(element)  # raises ValueError if missing
+        return Multiset(items)
+
+    def map(self, fn) -> "Multiset":
+        """A new multiset with ``fn`` applied to every element."""
+        return Multiset(fn(x) for x in self._items)
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._items
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._items == other._items
+
+    def __le__(self, other: "Multiset") -> bool:
+        """Multiset inclusion."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        mine, theirs = self.counter(), other.counter()
+        return all(theirs[x] >= k for x, k in mine.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(x) for x in self._items)
+        return f"Multiset([{inner}])"

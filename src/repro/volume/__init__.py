@@ -1,0 +1,42 @@
+"""The VOLUME and LCA probe models (Definitions 2.8–2.10, Theorem 4.1)."""
+
+from repro.volume.model import (
+    FunctionalVolumeAlgorithm,
+    NodeTuple,
+    ProbeOracle,
+    VolumeAlgorithm,
+    VolumeQuery,
+    VolumeResult,
+    run_volume_algorithm,
+)
+from repro.volume.algorithms import (
+    ChainColeVishkin,
+    ComponentCount,
+    NeighborhoodAggregate,
+)
+from repro.volume.order_invariant import (
+    check_volume_order_invariance,
+    find_order_invariant_id_subset,
+    fooled_constant_volume,
+    smallest_volume_n0,
+)
+from repro.volume.lca import LCAOracle, far_probe_free_equivalent
+
+__all__ = [
+    "FunctionalVolumeAlgorithm",
+    "NodeTuple",
+    "ProbeOracle",
+    "VolumeAlgorithm",
+    "VolumeQuery",
+    "VolumeResult",
+    "run_volume_algorithm",
+    "ChainColeVishkin",
+    "ComponentCount",
+    "NeighborhoodAggregate",
+    "check_volume_order_invariance",
+    "find_order_invariant_id_subset",
+    "fooled_constant_volume",
+    "smallest_volume_n0",
+    "LCAOracle",
+    "far_probe_free_equivalent",
+]

@@ -1,0 +1,172 @@
+"""VOLUME algorithms populating the Figure-1 probe-complexity panel.
+
+* :class:`NeighborhoodAggregate` — O(1) probes (constant class);
+* :class:`ChainColeVishkin` — Θ(log* n) probes: 3-coloring of oriented
+  paths by probing a successor chain of length O(log* n) (the "seeing
+  far" workload; its *radius* is also Θ(log* n), which is why on general
+  graphs only the VOLUME measure collapses the dense region, per §1.2);
+* :class:`ComponentCount` — Θ(n) probes (global class).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import AlgorithmError, ProbeError
+from repro.local.algorithms.cole_vishkin import PREDECESSOR, SUCCESSOR, palette_schedule
+from repro.volume.model import NodeTuple, VolumeAlgorithm, VolumeQuery
+
+
+def _port_with_label(node_tuple: NodeTuple, label: Any) -> Optional[int]:
+    for port, value in enumerate(node_tuple.inputs):
+        if value == label:
+            return port
+    return None
+
+
+class NeighborhoodAggregate(VolumeAlgorithm):
+    """Output the maximum degree among the node and its neighbors.
+
+    Probe complexity Δ = O(1): the paper's archetype of the constant
+    class in the VOLUME landscape.
+    """
+
+    name = "neighborhood-max-degree"
+
+    def __init__(self, max_degree: int):
+        self.max_degree = max_degree
+
+    def probes(self, n: int) -> int:
+        return self.max_degree
+
+    def answer(self, query: VolumeQuery) -> Dict[int, Any]:
+        best = query.start_tuple.degree
+        for port in range(query.start_tuple.degree):
+            revealed = query.probe(0, port)
+            best = max(best, revealed.degree)
+        return {port: best for port in range(query.start_tuple.degree)}
+
+
+class ChainColeVishkin(VolumeAlgorithm):
+    """3-coloring of consistently oriented paths/cycles, Θ(log* n) probes.
+
+    The queried node probes its successor chain for ``t + 1`` hops (where
+    ``t`` is the CV round count for the ID palette) and its predecessor
+    chain for 3 hops, then simulates Cole–Vishkin plus the three
+    retirement rounds on the gathered window — the same simulation as
+    :class:`repro.local.algorithms.shortcut.ShortcutColeVishkin`, but
+    paying one probe per hop instead of one radius unit.
+    """
+
+    name = "chain-cole-vishkin"
+
+    def __init__(self, id_exponent: int = 3, label_prefix: str = "c"):
+        self.id_exponent = id_exponent
+        self.label_prefix = label_prefix
+
+    def _cv_rounds(self, n: int) -> int:
+        return len(palette_schedule(max(2, n**self.id_exponent + 1)))
+
+    def probes(self, n: int) -> int:
+        return self._cv_rounds(n) + 4 + 3
+
+    def answer(self, query: VolumeQuery) -> Dict[int, Any]:
+        rounds = self._cv_rounds(query.declared_n)
+        window: Dict[int, NodeTuple] = {0: query.start_tuple}
+        # Walk the successor chain.
+        index_of_offset = {0: 0}
+        for step in range(rounds + 4):
+            current = window.get(step)
+            if current is None:
+                break
+            port = _port_with_label(current, SUCCESSOR)
+            if port is None:
+                break
+            revealed = query.probe(index_of_offset[step], port)
+            window[step + 1] = revealed
+            index_of_offset[step + 1] = query.known_count - 1
+        # Walk the predecessor chain three hops.
+        for step in range(0, -3, -1):
+            current = window.get(step)
+            if current is None:
+                break
+            port = _port_with_label(current, PREDECESSOR)
+            if port is None:
+                break
+            revealed = query.probe(index_of_offset[step], port)
+            window[step - 1] = revealed
+            index_of_offset[step - 1] = query.known_count - 1
+
+        memo: Dict[tuple, Optional[int]] = {}
+
+        def color_at(offset: int, t: int) -> Optional[int]:
+            key = (offset, t)
+            if key in memo:
+                return memo[key]
+            node = window.get(offset)
+            if node is None:
+                memo[key] = None
+            elif t == 0:
+                memo[key] = node.identifier
+            else:
+                mine = color_at(offset, t - 1)
+                memo[key] = (
+                    None if mine is None else self._cv_step(mine, color_at(offset + 1, t - 1))
+                )
+            return memo[key]
+
+        current = {k: color_at(k, rounds) for k in range(-3, 4)}
+        for retiring in (5, 4, 3):
+            updated = dict(current)
+            for k in range(-2, 3):
+                if current.get(k) != retiring:
+                    continue
+                taken = {current.get(k - 1), current.get(k + 1)}
+                for candidate in range(3):
+                    if candidate not in taken:
+                        updated[k] = candidate
+                        break
+            current = updated
+        mine = current[0]
+        if mine is None or mine > 5:
+            raise AlgorithmError("chain CV failed to color the queried node")
+        label = f"{self.label_prefix}{mine}"
+        return {port: label for port in range(query.start_tuple.degree)}
+
+    @staticmethod
+    def _cv_step(color: int, successor_color: Optional[int]) -> int:
+        if successor_color is None:
+            return color & 1
+        differing = color ^ successor_color
+        if differing == 0:
+            raise AlgorithmError("equal colors across a path edge")
+        index = (differing & -differing).bit_length() - 1
+        return 2 * index + ((color >> index) & 1)
+
+
+class ComponentCount(VolumeAlgorithm):
+    """Output the size of the node's connected component: Θ(n) probes.
+
+    The global end of the VOLUME landscape — a problem whose probe
+    complexity provably scales linearly (it must see every node).
+    """
+
+    name = "component-count"
+
+    def probes(self, n: int) -> int:
+        # BFS probes every half-edge once: <= 2 * edges <= Δ n; declare a
+        # generous linear budget.
+        return max(1, 4 * n)
+
+    def answer(self, query: VolumeQuery) -> Dict[int, Any]:
+        seen_ids = {query.start_tuple.identifier}
+        frontier = [(0, query.start_tuple)]
+        while frontier:
+            index, node = frontier.pop()
+            for port in range(node.degree):
+                revealed = query.probe(index, port)
+                if revealed.identifier not in seen_ids:
+                    seen_ids.add(revealed.identifier)
+                    frontier.append((query.known_count - 1, revealed))
+        size = len(seen_ids)
+        return {port: size for port in range(query.start_tuple.degree)}

@@ -1,0 +1,110 @@
+"""Cross-validation: automaton length algebra vs. exhaustive solving.
+
+For catalog and random problems, the set of solvable cycle/path lengths
+computed by walk-reachability in the label automaton must coincide with
+ground truth from the exponential brute-force solver on the concrete
+instances — validating the automaton construction, the DP, *and* the
+brute-force solver against each other.
+"""
+
+import pytest
+
+from repro.decidability import LabelAutomaton, classify_cycle_problem
+from repro.decidability.paths import CONSTANT, GLOBAL, LOG_STAR, UNSOLVABLE
+from repro.graphs import HalfEdgeLabeling, cycle, path
+from repro.lcl import catalog, random_lcl
+from repro.lcl.checker import brute_force_solution
+
+NO = catalog.NO_INPUT
+
+CATALOG_PROBLEMS = [
+    ("trivial", lambda: catalog.trivial(2)),
+    ("consensus", lambda: catalog.consensus(2)),
+    ("3-coloring", lambda: catalog.coloring(3, 2)),
+    ("2-coloring", lambda: catalog.two_coloring(2)),
+    ("mis", lambda: catalog.mis(2)),
+    ("maximal-matching", lambda: catalog.maximal_matching(2)),
+    ("edge-2-coloring", lambda: catalog.edge_coloring(2, 2)),
+    ("edge-3-coloring", lambda: catalog.edge_coloring(3, 2)),
+    ("source-sink", lambda: catalog.edge_orientation_consistent(2)),
+]
+
+RANDOM_SEEDS = list(range(25))
+
+
+def brute_cycle_lengths(problem, upto):
+    lengths = []
+    for n in range(3, upto + 1):
+        graph = cycle(n)
+        inputs = HalfEdgeLabeling.constant(graph, NO)
+        if brute_force_solution(problem, graph, inputs) is not None:
+            lengths.append(n)
+    return lengths
+
+
+def brute_path_lengths(problem, upto):
+    lengths = []
+    for n in range(2, upto + 1):
+        graph = path(n)
+        inputs = HalfEdgeLabeling.constant(graph, NO)
+        if brute_force_solution(problem, graph, inputs) is not None:
+            lengths.append(n)
+    return lengths
+
+
+class TestCatalogCrossValidation:
+    @pytest.mark.parametrize("name, build", CATALOG_PROBLEMS)
+    def test_cycle_lengths_match_brute_force(self, name, build):
+        problem = build()
+        automaton = LabelAutomaton(problem)
+        assert automaton.solvable_cycle_lengths(8) == brute_cycle_lengths(problem, 8)
+
+    @pytest.mark.parametrize("name, build", CATALOG_PROBLEMS)
+    def test_path_lengths_match_brute_force(self, name, build):
+        problem = build()
+        automaton = LabelAutomaton(problem)
+        assert automaton.solvable_path_lengths(7) == brute_path_lengths(problem, 7)
+
+
+class TestRandomCrossValidation:
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_cycle_lengths_match_brute_force(self, seed):
+        problem = random_lcl(seed, num_labels=3, max_degree=2)
+        automaton = LabelAutomaton(problem)
+        assert automaton.solvable_cycle_lengths(7) == brute_cycle_lengths(problem, 7)
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_path_lengths_match_brute_force(self, seed):
+        problem = random_lcl(seed + 100, num_labels=3, max_degree=2)
+        automaton = LabelAutomaton(problem)
+        assert automaton.solvable_path_lengths(6) == brute_path_lengths(problem, 6)
+
+
+class TestClassificationConsistency:
+    """The classification verdicts must agree with the length algebra."""
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_verdicts_are_consistent_with_lengths(self, seed):
+        problem = random_lcl(seed, num_labels=3, max_degree=2)
+        automaton = LabelAutomaton(problem)
+        verdict = classify_cycle_problem(problem).complexity
+        lengths = automaton.solvable_cycle_lengths(24)
+        if verdict == UNSOLVABLE:
+            # Acyclic automaton: only boundedly many lengths can work.
+            assert all(n <= len(automaton.states) for n in lengths)
+        elif verdict in (CONSTANT, LOG_STAR):
+            # Flexibility: every sufficiently large length is solvable.
+            tail = [n for n in range(16, 25)]
+            assert all(n in lengths for n in tail)
+        else:  # GLOBAL: restricted residues — some large length missing.
+            assert any(n not in lengths for n in range(16, 25))
+
+    def test_two_coloring_even_lengths_only(self):
+        automaton = LabelAutomaton(catalog.two_coloring(2))
+        assert automaton.solvable_cycle_lengths(9) == [4, 6, 8]
+        # Paths of every length are 2-colorable.
+        assert automaton.solvable_path_lengths(7) == [2, 3, 4, 5, 6, 7]
+
+    def test_consensus_all_lengths(self):
+        automaton = LabelAutomaton(catalog.consensus(2))
+        assert automaton.solvable_cycle_lengths(6) == [3, 4, 5, 6]

@@ -1,0 +1,129 @@
+"""Tests for the extended catalog: echo chains and edge coloring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs import HalfEdgeLabeling, cycle, path, star
+from repro.lcl import catalog, is_valid_solution
+from repro.lcl.checker import brute_force_solution
+from repro.roundelim.gap import speedup, verify_on_random_forests
+
+NO = catalog.NO_INPUT
+
+
+def no_inputs(graph):
+    return HalfEdgeLabeling.constant(graph, NO)
+
+
+class TestEchoChain:
+    def test_depth_zero_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            catalog.echo_chain(0)
+
+    def test_label_counts(self):
+        assert len(catalog.echo_chain(1).sigma_out) == 4
+        assert len(catalog.echo_chain(2).sigma_out) == 12
+        assert len(catalog.echo_chain(3).sigma_out) == 36
+
+    def test_depth_three_matches_echo2(self):
+        # echo_chain(3) and echo2 are the same problem up to label names.
+        assert catalog.echo_chain(3).is_isomorphic(catalog.echo2())
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_solvable_on_paths(self, depth):
+        problem = catalog.echo_chain(depth)
+        graph = path(5)
+        inputs = HalfEdgeLabeling(
+            graph, {h: str((h[0] + h[1]) % 2) for h in graph.half_edges()}
+        )
+        solution = brute_force_solution(problem, graph, inputs)
+        assert solution is not None
+        assert is_valid_solution(problem, graph, inputs, solution)
+
+    def test_chain_semantics_on_a_path(self):
+        # On 0-1-2-3 with node-constant inputs, v2 on (1, toward 0) names
+        # node 2's input and v1 names node 0's input.
+        problem = catalog.echo_chain(2)
+        graph = path(4)
+        node_inputs = ["0", "1", "1", "0"]
+        inputs = HalfEdgeLabeling.from_node_labels(graph, node_inputs)
+        solution = brute_force_solution(problem, graph, inputs)
+        assert solution is not None
+        label = solution[(1, 0)]  # node 1, port toward node 0
+        assert label[0] == "1"  # own input
+        assert label[1] == "0"  # opposite (node 0)
+        assert label[2] == "1"  # other port's opposite (node 2)
+
+    @pytest.mark.parametrize("depth, expected_rounds", [(1, 1), (2, 1), (3, 2), (4, 2)])
+    def test_pipeline_finds_ceil_half_depth(self, depth, expected_rounds):
+        result = speedup(catalog.echo_chain(depth), max_steps=4, max_universe=8192)
+        assert result.status == "constant"
+        assert result.constant_rounds == expected_rounds
+
+    def test_pipeline_verifies_depth_four(self):
+        result = speedup(catalog.echo_chain(4), max_steps=3, max_universe=8192)
+        assert verify_on_random_forests(result, component_sizes=(7, 4, 1), trials=3)
+
+
+class TestEdgeColoring:
+    def test_valid_on_star(self):
+        problem = catalog.edge_coloring(3, max_degree=3)
+        graph = star(3)
+        outputs = HalfEdgeLabeling(graph)
+        for port in range(3):
+            outputs[(0, port)] = f"e{port}"
+            outputs[(port + 1, 0)] = f"e{port}"
+        assert is_valid_solution(problem, graph, no_inputs(graph), outputs)
+
+    def test_repeated_color_at_node_fails(self):
+        problem = catalog.edge_coloring(3, max_degree=3)
+        graph = star(2)
+        outputs = HalfEdgeLabeling.constant(graph, "e0")
+        assert not is_valid_solution(problem, graph, no_inputs(graph), outputs)
+
+    def test_mismatched_edge_fails(self):
+        problem = catalog.edge_coloring(3, max_degree=2)
+        graph = path(2)
+        outputs = HalfEdgeLabeling(graph, {(0, 0): "e0", (1, 0): "e1"})
+        assert not is_valid_solution(problem, graph, no_inputs(graph), outputs)
+
+    def test_three_colors_solvable_on_cycles(self):
+        problem = catalog.edge_coloring(3, max_degree=2)
+        solution = brute_force_solution(problem, cycle(5), no_inputs(cycle(5)))
+        assert solution is not None
+
+    def test_two_colors_unsolvable_on_odd_cycles(self):
+        problem = catalog.edge_coloring(2, max_degree=2)
+        assert brute_force_solution(problem, cycle(5), no_inputs(cycle(5))) is None
+
+    def test_cycle_classification(self):
+        from repro.decidability import classify_cycle_problem
+
+        assert (
+            classify_cycle_problem(catalog.edge_coloring(3, 2)).complexity
+            == "Theta(log* n)"
+        )
+        assert (
+            classify_cycle_problem(catalog.edge_coloring(2, 2)).complexity
+            == "Theta(n)"
+        )
+
+    def test_not_zero_round_solvable(self):
+        from repro.roundelim.zero_round import find_zero_round_algorithm
+
+        assert find_zero_round_algorithm(catalog.edge_coloring(5, 3)) is None
+
+    def test_too_few_colors_forbids_high_degrees(self):
+        problem = catalog.edge_coloring(2, max_degree=3)
+        # A degree-3 node cannot receive 3 distinct colors from 2.
+        assert problem.node_constraints[3] == frozenset()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=3, max_value=8))
+    def test_property_even_cycles_two_colorable(self, half):
+        problem = catalog.edge_coloring(2, max_degree=2)
+        graph = cycle(2 * half)
+        solution = brute_force_solution(problem, graph, no_inputs(graph))
+        assert solution is not None

@@ -1,0 +1,115 @@
+"""Failure injection: the checker against an independent oracle.
+
+Takes valid solutions (from the brute-force solver), injects single
+half-edge mutations, and compares the Definition 2.4 checker's verdict
+against a from-scratch re-implementation of the definition written in
+this test file — so a bug would need to appear identically in two
+independent codings to slip through.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import HalfEdgeLabeling, cycle, path, random_tree
+from repro.lcl import catalog, check_solution, random_lcl
+from repro.lcl.checker import brute_force_solution
+from repro.utils.multiset import Multiset
+
+NO = catalog.NO_INPUT
+
+
+def independent_verdict(problem, graph, inputs, outputs) -> bool:
+    """Definition 2.4 re-coded from the paper text, independently."""
+    for v in range(graph.num_nodes):
+        if graph.degree(v) == 0:
+            continue
+        labels = []
+        for port in range(graph.degree(v)):
+            if (v, port) not in outputs:
+                return False
+            label = outputs[(v, port)]
+            if label not in problem.g[inputs[(v, port)]]:
+                return False
+            labels.append(label)
+        if Multiset(labels) not in problem.node_constraints.get(
+            graph.degree(v), frozenset()
+        ):
+            return False
+    for u, pu, v, pv in graph.edges():
+        pair = Multiset((outputs[(u, pu)], outputs[(v, pv)]))
+        if pair not in problem.edge_constraint:
+            return False
+    return True
+
+
+PROBLEMS = [
+    ("coloring", lambda: catalog.coloring(3, 2)),
+    ("mis", lambda: catalog.mis(2)),
+    ("matching", lambda: catalog.maximal_matching(2)),
+    ("echo", lambda: catalog.echo(2)),
+]
+
+
+class TestMutationAgreement:
+    @pytest.mark.parametrize("name, build", PROBLEMS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_mutations_agree_with_oracle(self, name, build, seed):
+        problem = build()
+        rng = random.Random(seed)
+        graph = path(6) if seed % 2 == 0 else cycle(6)
+        single = next(iter(problem.sigma_in))
+        inputs = HalfEdgeLabeling(
+            graph,
+            {
+                h: single
+                if len(problem.sigma_in) == 1
+                else rng.choice(sorted(problem.sigma_in))
+                for h in graph.half_edges()
+            },
+        )
+        solution = brute_force_solution(problem, graph, inputs)
+        assert solution is not None
+        labels = sorted(problem.sigma_out, key=str)
+        half_edges = list(graph.half_edges())
+        for _ in range(12):
+            mutated = solution.copy()
+            target = rng.choice(half_edges)
+            mutated[target] = rng.choice(labels)
+            report = check_solution(problem, graph, inputs, mutated)
+            assert report.is_valid == independent_verdict(
+                problem, graph, inputs, mutated
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_random_problems_random_labelings(self, seed):
+        rng = random.Random(seed)
+        problem = random_lcl(seed, num_labels=3, max_degree=3, num_inputs=2)
+        graph = random_tree(6, max_degree=3, seed=seed % 50)
+        inputs = HalfEdgeLabeling(
+            graph,
+            {h: rng.choice(sorted(problem.sigma_in)) for h in graph.half_edges()},
+        )
+        outputs = HalfEdgeLabeling(
+            graph,
+            {h: rng.choice(sorted(problem.sigma_out)) for h in graph.half_edges()},
+        )
+        report = check_solution(problem, graph, inputs, outputs)
+        assert report.is_valid == independent_verdict(problem, graph, inputs, outputs)
+
+    def test_localization_of_failures(self):
+        # A single bad node color fails exactly its own node/edges.
+        problem = catalog.coloring(3, 2)
+        graph = path(5)
+        inputs = HalfEdgeLabeling.constant(graph, NO)
+        node_colors = ["c0", "c1", "c2", "c0", "c1"]
+        outputs = HalfEdgeLabeling.from_node_labels(graph, node_colors)
+        outputs[(2, 0)] = "c1"  # clashes toward node 1 and within node 2
+        report = check_solution(problem, graph, inputs, outputs)
+        assert 2 in report.failed_nodes
+        assert (1, 2) in report.failed_edges
+        assert 4 not in report.failed_nodes
+        assert (3, 4) not in report.failed_edges

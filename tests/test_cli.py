@@ -1,0 +1,67 @@
+"""Tests for the lcl-landscape command-line interface."""
+
+import pytest
+
+from repro.cli import CATALOG, main, resolve_problem
+from repro.exceptions import ReproError
+
+
+class TestResolveProblem:
+    def test_bare_names(self):
+        for name in CATALOG:
+            problem = resolve_problem(name)
+            assert problem.sigma_out
+
+    def test_parameterized(self):
+        assert resolve_problem("sinkless:4").max_degree == 4
+        assert len(resolve_problem("coloring:5").sigma_out) == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            resolve_problem("nonsense")
+
+    def test_file_spec(self, tmp_path):
+        from repro.lcl import catalog
+        from repro.lcl.fmt import serialize
+
+        target = tmp_path / "problem.lcl"
+        target.write_text(serialize(catalog.mis(2)), encoding="utf-8")
+        problem = resolve_problem(f"file:{target}")
+        assert problem.name == "mis"
+
+
+class TestCommands:
+    def test_show(self, capsys):
+        assert main(["show", "sinkless"]) == 0
+        out = capsys.readouterr().out
+        assert "node[3]" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "sinkless" in out and "echo2" in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "2-coloring"]) == 0
+        out = capsys.readouterr().out
+        assert "Theta(n)" in out
+
+    def test_speedup_constant(self, capsys):
+        assert main(["speedup", "echo:2", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "constant" in out and "PASS" in out
+
+    def test_speedup_fixed_point(self, capsys):
+        assert main(["speedup", "sinkless", "--max-steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-point" in out
+
+    def test_landscape_volume(self, capsys):
+        assert main(["landscape", "volume", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "VOLUME landscape" in out
+        assert "gap" in out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["show", "nonsense"]) == 2
+        assert "unknown problem" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""Tests for the Lemma 2.6 conversion and the problem text format."""
+
+import pytest
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs import HalfEdgeLabeling, cycle, path, star
+from repro.lcl import catalog
+from repro.lcl.checker import brute_force_solution, is_valid_solution
+from repro.lcl.convert import decode_marked_output, to_node_edge_checkable
+from repro.lcl.fmt import parse, serialize
+from repro.lcl.problem import LCLProblem
+
+NO = catalog.NO_INPUT
+
+
+def proper_two_coloring_general(max_degree: int = 2) -> LCLProblem:
+    """Proper 2-coloring phrased as a *general* (Def 2.2) radius-1 LCL."""
+
+    def accepts(ball, inputs, outputs) -> bool:
+        # Every node announces one color on all its half-edges, and the
+        # center's color differs from each neighbor's.
+        colors = []
+        for local in range(ball.num_nodes):
+            local_outputs = outputs[local]
+            if len(set(local_outputs)) != 1:
+                return False
+            colors.append(local_outputs[0])
+        return all(colors[0] != colors[v] for v in range(1, ball.num_nodes))
+
+    return LCLProblem(
+        sigma_in=[NO],
+        sigma_out=["a", "b"],
+        radius=1,
+        accepts=accepts,
+        name="general-2-coloring",
+    )
+
+
+class TestGeneralLCL:
+    def test_is_valid_on_even_cycle(self):
+        problem = proper_two_coloring_general()
+        g = cycle(6)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        good = HalfEdgeLabeling.from_node_labels(g, ["a", "b"] * 3)
+        assert problem.is_valid(g, inputs, good)
+
+    def test_detects_violation(self):
+        problem = proper_two_coloring_general()
+        g = path(3)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        bad = HalfEdgeLabeling.from_node_labels(g, ["a", "a", "b"])
+        assert 0 in problem.failed_nodes(g, inputs, bad)
+
+    def test_radius_zero_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            LCLProblem([NO], ["x"], radius=0, accepts=lambda *a: True)
+
+
+class TestLemma26Conversion:
+    @pytest.fixture(scope="class")
+    def converted(self):
+        return to_node_edge_checkable(proper_two_coloring_general(), max_degree=2)
+
+    def test_alphabets(self, converted):
+        assert converted.sigma_in == frozenset({NO})
+        assert len(converted.sigma_out) > 0
+
+    def test_solvability_transfers_even_cycle(self, converted):
+        g = cycle(4)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        solution = brute_force_solution(converted, g, inputs)
+        assert solution is not None
+        # Decoding the marked outputs yields a valid Π-solution (the
+        # 0-round decoding direction of Lemma 2.6).
+        decoded = HalfEdgeLabeling(
+            g, {h: decode_marked_output(solution[h]) for h in g.half_edges()}
+        )
+        assert proper_two_coloring_general().is_valid(g, inputs, decoded)
+
+    def test_unsolvability_transfers_odd_cycle(self, converted):
+        g = cycle(5)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        assert brute_force_solution(converted, g, inputs) is None
+
+    def test_solvability_on_paths(self, converted):
+        g = path(4)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        solution = brute_force_solution(converted, g, inputs)
+        assert solution is not None
+        decoded = HalfEdgeLabeling(
+            g, {h: decode_marked_output(solution[h]) for h in g.half_edges()}
+        )
+        assert proper_two_coloring_general().is_valid(g, inputs, decoded)
+
+    def test_encoding_direction(self, converted):
+        # A Π-solution lifts to a Π'-solution by transcribing each ball;
+        # on a single edge the original is clearly solvable ("a"-"b"), so
+        # the converted problem must be solvable too.
+        g = path(2)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        original = HalfEdgeLabeling.from_node_labels(g, ["a", "b"])
+        assert proper_two_coloring_general().is_valid(g, inputs, original)
+        lifted = brute_force_solution(converted, g, inputs)
+        assert lifted is not None
+
+    def test_radius_guard(self):
+        problem = LCLProblem([NO], ["x"], radius=2, accepts=lambda *a: True)
+        with pytest.raises(ProblemDefinitionError):
+            to_node_edge_checkable(problem, max_degree=2)
+
+    def test_label_budget_guard(self):
+        problem = LCLProblem(
+            ["i0", "i1"], ["x", "y", "z"], radius=1, accepts=lambda *a: True
+        )
+        with pytest.raises(ProblemDefinitionError):
+            to_node_edge_checkable(problem, max_degree=3, max_labels=100)
+
+
+class TestTextFormat:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: catalog.trivial(3),
+            lambda: catalog.consensus(3),
+            lambda: catalog.coloring(3, 2),
+            lambda: catalog.mis(3),
+            lambda: catalog.maximal_matching(3),
+            lambda: catalog.sinkless_orientation(3),
+            lambda: catalog.forbidden_input_output(2),
+            lambda: catalog.two_coloring(2),
+        ],
+    )
+    def test_roundtrip(self, build):
+        problem = build()
+        assert parse(serialize(problem)) == problem
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a tiny problem
+        problem tiny
+        inputs: *
+        outputs: A B
+
+        node 1:
+          A   # trailing comment
+          B
+        edge:
+          A B
+        g * : A B
+        """
+        problem = parse(text)
+        assert problem.name == "tiny"
+        assert problem.allows_edge("A", "B")
+        assert not problem.allows_edge("A", "A")
+
+    def test_missing_g_defaults_to_everything(self):
+        text = "problem t\ninputs: *\noutputs: A\nnode 1:\n  A\nedge:\n  A A\n"
+        problem = parse(text)
+        assert problem.allowed_outputs("*") == frozenset({"A"})
+
+    def test_bad_cardinality_rejected(self):
+        text = "problem t\ninputs: *\noutputs: A\nnode 2:\n  A\nedge:\n  A A\n"
+        with pytest.raises(ProblemDefinitionError):
+            parse(text)
+
+    def test_structured_labels_rejected_by_serializer(self):
+        from repro.roundelim.ops import R
+
+        with pytest.raises(ProblemDefinitionError):
+            serialize(R(catalog.coloring(2, 2)))
+
+    def test_configuration_outside_section_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            parse("problem t\ninputs: *\noutputs: A\n  A A\n")

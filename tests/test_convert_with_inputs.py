@@ -1,0 +1,90 @@
+"""Lemma 2.6 with inputs: the general echo problem round-trips.
+
+The paper stresses that its round elimination extension handles inputs,
+and Lemma 2.6's construction is carefully set up to keep the input graph
+class unchanged.  This test exercises that path: define echo as a
+*general* (Def 2.2) radius-1 predicate, normalize via the Lemma 2.6
+construction, and cross-validate solvability and decoded solutions
+against the hand-written node-edge-checkable `catalog.echo`.
+"""
+
+import pytest
+
+from repro.graphs import HalfEdgeLabeling, path, star
+from repro.lcl import catalog
+from repro.lcl.checker import brute_force_solution, is_valid_solution
+from repro.lcl.convert import decode_marked_output, to_node_edge_checkable
+from repro.lcl.problem import LCLProblem
+
+
+def general_echo() -> LCLProblem:
+    """Echo as a predicate: each half-edge outputs the *opposite* input.
+
+    Radius-1 checkable: the center's ball shows, for every visible edge
+    with both endpoints in the ball, the half-edge outputs and both
+    inputs.  Half-edges whose opposite lies outside the ball are left to
+    the opposite node's own ball.
+    """
+
+    def accepts(ball, inputs, outputs) -> bool:
+        for local in range(ball.num_nodes):
+            for port, entry in ball.adj[local].items():
+                neighbor, remote_port = entry
+                expected = inputs[neighbor][remote_port]
+                if outputs[local][port] != expected:
+                    return False
+        return True
+
+    return LCLProblem(
+        sigma_in=["0", "1"],
+        sigma_out=["0", "1"],
+        radius=1,
+        accepts=accepts,
+        name="general-echo",
+    )
+
+
+def striped_inputs(graph) -> HalfEdgeLabeling:
+    return HalfEdgeLabeling(
+        graph, {h: str((h[0] + h[1]) % 2) for h in graph.half_edges()}
+    )
+
+
+class TestGeneralEchoConversion:
+    @pytest.fixture(scope="class")
+    def converted(self):
+        return to_node_edge_checkable(general_echo(), max_degree=2, max_labels=60000)
+
+    def test_inputs_preserved(self, converted):
+        assert converted.sigma_in == frozenset({"0", "1"})
+        assert converted.has_inputs
+
+    def test_solvable_and_decodes_to_echo_semantics(self, converted):
+        graph = path(3)
+        inputs = striped_inputs(graph)
+        solution = brute_force_solution(converted, graph, inputs)
+        assert solution is not None
+        for half_edge in graph.half_edges():
+            decoded = decode_marked_output(solution[half_edge])
+            assert decoded == inputs[graph.opposite(half_edge)]
+
+    def test_solvability_matches_catalog_echo(self, converted):
+        # catalog.echo wraps outputs as (mine, guess); both formulations
+        # must be solvable on the same instances (they always are — echo
+        # has a unique solution — so this checks the conversion kept the
+        # problem satisfiable rather than over-constraining it).
+        graph = path(4)
+        inputs = striped_inputs(graph)
+        from_catalog = brute_force_solution(catalog.echo(2), graph, inputs)
+        from_conversion = brute_force_solution(converted, graph, inputs)
+        assert (from_catalog is None) == (from_conversion is None) == False  # noqa: E712
+
+    def test_direct_validation_of_decoded_solution(self, converted):
+        graph = path(4)
+        inputs = striped_inputs(graph)
+        solution = brute_force_solution(converted, graph, inputs)
+        decoded = HalfEdgeLabeling(
+            graph,
+            {h: decode_marked_output(solution[h]) for h in graph.half_edges()},
+        )
+        assert general_echo().is_valid(graph, inputs, decoded)

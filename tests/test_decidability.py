@@ -1,0 +1,194 @@
+"""Tests for the §1.4 decision procedures."""
+
+import pytest
+
+from repro.decidability import (
+    LabelAutomaton,
+    classify_cycle_problem,
+    classify_path_problem,
+    find_fixed_point_certificate,
+    semidecide_constant_time,
+)
+from repro.decidability.paths import CONSTANT, GLOBAL, LOG_STAR, UNSOLVABLE
+from repro.exceptions import DecidabilityError
+from repro.lcl import catalog
+from repro.lcl.nec import NodeEdgeCheckableLCL, all_multisets
+from repro.utils.multiset import Multiset
+
+NO = catalog.NO_INPUT
+
+
+def directed_problem(node2, edge, node1=None, labels=None):
+    """Helper: small input-free degree-<=2 problems from raw constraints."""
+    used = set()
+    for pair in list(node2) + list(edge) + list(node1 or []):
+        used |= set(pair) if isinstance(pair, (tuple, list)) else {pair}
+    labels = labels or sorted(used)
+    return NodeEdgeCheckableLCL(
+        sigma_in=[NO],
+        sigma_out=labels,
+        node_constraints={
+            1: [Multiset([x]) for x in (node1 or labels)],
+            2: [Multiset(pair) for pair in node2],
+        },
+        edge_constraint=[Multiset(pair) for pair in edge],
+        g={NO: labels},
+    )
+
+
+class TestLabelAutomaton:
+    def test_rejects_inputs(self):
+        with pytest.raises(DecidabilityError):
+            LabelAutomaton(catalog.echo(2))
+
+    def test_trivial_problem_full_automaton(self):
+        automaton = LabelAutomaton(catalog.trivial(2))
+        assert automaton.has_arc("T", "T")
+        assert automaton.self_loop_states() == ["T"]
+
+    def test_three_coloring_automaton(self):
+        automaton = LabelAutomaton(catalog.coloring(3, 2))
+        # a -> b iff some witness L differs from a (edge) and equals b (node:
+        # monochromatic pairs only), i.e. b != a.
+        assert automaton.has_arc("c0", "c1")
+        assert not automaton.has_arc("c0", "c0")
+        assert automaton.self_loop_states() == []
+        assert set(automaton.flexible_states()) == {"c0", "c1", "c2"}
+
+    def test_two_coloring_automaton_period_two(self):
+        automaton = LabelAutomaton(catalog.two_coloring(2))
+        assert automaton.flexible_states() == []
+        assert automaton.has_cycle()
+        components = automaton.strongly_connected_components()
+        gcds = {automaton.component_cycle_gcd(c) for c in components}
+        assert 2 in gcds
+
+    def test_legal_endpoint_states(self):
+        automaton = LabelAutomaton(catalog.coloring(3, 2))
+        assert set(automaton.legal_start_states()) == {"c0", "c1", "c2"}
+        assert set(automaton.legal_end_states()) == {"c0", "c1", "c2"}
+
+
+class TestCycleClassification:
+    def test_trivial_is_constant(self):
+        assert classify_cycle_problem(catalog.trivial(2)).complexity == CONSTANT
+
+    def test_consensus_is_constant(self):
+        assert classify_cycle_problem(catalog.consensus(2)).complexity == CONSTANT
+
+    def test_three_coloring_is_log_star(self):
+        result = classify_cycle_problem(catalog.coloring(3, 2))
+        assert result.complexity == LOG_STAR
+        assert result.witness in {"c0", "c1", "c2"}
+
+    def test_two_coloring_is_global(self):
+        assert classify_cycle_problem(catalog.two_coloring(2)).complexity == GLOBAL
+
+    def test_mis_is_log_star(self):
+        assert classify_cycle_problem(catalog.mis(2)).complexity == LOG_STAR
+
+    def test_maximal_matching_is_log_star(self):
+        assert classify_cycle_problem(catalog.maximal_matching(2)).complexity == LOG_STAR
+
+    def test_source_sink_alternation_is_global(self):
+        # All-in/all-out nodes alternate with period 2 along a cycle, so
+        # the problem sits in the global class, like 2-coloring.
+        result = classify_cycle_problem(catalog.edge_orientation_consistent(2))
+        assert result.complexity == GLOBAL
+
+    def test_unsolvable_problem(self):
+        # Edge constraint empty: nothing can be written on any edge.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a"],
+            node_constraints={1: [Multiset(["a"])], 2: [Multiset(["a", "a"])]},
+            edge_constraint=[],
+            g={NO: ["a"]},
+        )
+        assert classify_cycle_problem(problem).complexity == UNSOLVABLE
+
+
+class TestPathClassification:
+    def test_three_coloring_on_paths(self):
+        assert classify_path_problem(catalog.coloring(3, 2)).complexity == LOG_STAR
+
+    def test_two_coloring_on_paths_is_global(self):
+        # Solvable on every path, but requires global coordination.
+        assert classify_path_problem(catalog.two_coloring(2)).complexity == GLOBAL
+
+    def test_trivial_on_paths(self):
+        assert classify_path_problem(catalog.trivial(2)).complexity == CONSTANT
+
+    def test_no_legal_endpoints_unsolvable(self):
+        problem = directed_problem(
+            node2=[("a", "a")],
+            edge=[("a", "a")],
+            node1=[],
+            labels=["a"],
+        )
+        # Empty N^1: no degree-1 node can be labeled.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a"],
+            node_constraints={1: [], 2: [Multiset(["a", "a"])]},
+            edge_constraint=[Multiset(["a", "a"])],
+            g={NO: ["a"]},
+        )
+        assert classify_path_problem(problem).complexity == UNSOLVABLE
+
+    def test_dead_end_states_pruned(self):
+        # b is only reachable but never co-reachable: walks through b die.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b"],
+            node_constraints={
+                1: [Multiset(["a"])],
+                2: [Multiset(["a", "a"])],
+            },
+            edge_constraint=[Multiset(["a", "a"]), Multiset(["a", "b"])],
+            g={NO: ["a", "b"]},
+        )
+        result = classify_path_problem(problem)
+        assert result.complexity == CONSTANT
+        assert result.witness == "a"
+
+
+class TestFixedPointCertificates:
+    def test_sinkless_orientation_certified(self):
+        certificate = find_fixed_point_certificate(catalog.sinkless_orientation(3))
+        assert certificate is not None
+        assert certificate.certifies_lower_bound
+        assert certificate.depth == 1
+        assert "NOT o(log* n)" in certificate.summary()
+
+    def test_trivial_fixed_point_is_harmless(self):
+        certificate = find_fixed_point_certificate(catalog.trivial(3))
+        if certificate is not None:
+            assert not certificate.certifies_lower_bound
+
+    def test_no_fixed_point_for_echo(self):
+        # echo's sequence terminates in a 0-round-solvable problem before
+        # (or instead of) stabilizing into a hard fixed point.
+        certificate = find_fixed_point_certificate(catalog.echo(2), max_steps=2)
+        assert certificate is None or not certificate.certifies_lower_bound
+
+
+class TestQuestion17Semidecision:
+    def test_echo_constant(self):
+        verdict = semidecide_constant_time(catalog.echo(3))
+        assert verdict.verdict == "CONSTANT"
+        assert verdict.rounds == 1
+        assert verdict.algorithm is not None
+
+    def test_sinkless_orientation_not_constant(self):
+        verdict = semidecide_constant_time(catalog.sinkless_orientation(3))
+        assert verdict.verdict == "NOT_CONSTANT"
+
+    def test_coloring_inconclusive_within_budget(self):
+        verdict = semidecide_constant_time(catalog.coloring(4, 3), max_steps=1)
+        assert verdict.verdict == "INCONCLUSIVE"
+
+    def test_summaries_render(self):
+        for builder in (catalog.echo(2), catalog.sinkless_orientation(3)):
+            verdict = semidecide_constant_time(builder)
+            assert builder.name.split("(")[0] in verdict.summary()

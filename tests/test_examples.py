@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are deliverables in their own right; each asserts its own
+claims internally, so a clean `main()` run is a meaningful check.  The
+heavyweight panels are trimmed via module-level knobs where available.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "quickstart OK" in out
+
+    def test_lower_bound_certificate(self, capsys):
+        load_example("lower_bound_certificate").main()
+        out = capsys.readouterr().out
+        assert "lower-bound certificate OK" in out
+        assert "fixed point" in out
+
+    def test_rooted_trees(self, capsys):
+        load_example("rooted_trees").main()
+        out = capsys.readouterr().out
+        assert "rooted trees OK" in out
+
+    def test_volume_probing(self, capsys):
+        load_example("volume_probing").main()
+        out = capsys.readouterr().out
+        assert "volume probing OK" in out
+        assert "gap" in out
+
+    def test_grid_speedup(self, capsys):
+        load_example("grid_speedup").main()
+        out = capsys.readouterr().out
+        assert "grid speedup OK" in out
+
+    @pytest.mark.slow
+    def test_landscape_trees(self, capsys):
+        load_example("landscape_trees").main()
+        out = capsys.readouterr().out
+        assert "gap" in out

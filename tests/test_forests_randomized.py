@@ -1,0 +1,198 @@
+"""Tests for the Lemma 3.3 forest wrapper and randomized failure notions."""
+
+import pytest
+
+from repro.exceptions import AlgorithmError, GraphError
+from repro.graphs import (
+    Graph,
+    HalfEdgeLabeling,
+    cycle,
+    disjoint_union,
+    path,
+    random_forest,
+    random_ids,
+    random_tree,
+    star,
+)
+from repro.lcl import catalog, is_valid_solution
+from repro.local import run_local_algorithm
+from repro.local.algorithms import LinialColoring
+from repro.local.forests import ForestAlgorithm
+from repro.local.model import LocalAlgorithm
+from repro.local.randomized import RandomizedTrialColoring, estimate_local_failure
+
+NO = catalog.NO_INPUT
+
+
+def no_inputs(graph):
+    return HalfEdgeLabeling.constant(graph, NO)
+
+
+class TreesOnlyColoring(LinialColoring):
+    """A Linial variant that *insists* it was promised a large tree.
+
+    It refuses to run when its ball already contains its whole component
+    — the situation that arises on forests but never on large trees.
+    This models an algorithm whose correctness proof genuinely uses the
+    tree promise, which is what Lemma 3.3 repairs.
+    """
+
+    def run(self, ctx):
+        ball = ctx.ball(self.radius(ctx.declared_n))
+        if all(len(ball.adj[v]) == ball.degrees[v] for v in range(ball.num_nodes)):
+            raise AlgorithmError("promised a large tree, got a small component")
+        return super().run(ctx)
+
+
+class TestGraphFromPortMap:
+    def test_roundtrip_port_structure(self):
+        g = star(3)
+        ports = [
+            [(g.neighbor(v, p), g.neighbor_port(v, p)) for p in range(g.degree(v))]
+            for v in range(g.num_nodes)
+        ]
+        rebuilt = Graph.from_port_map(ports)
+        assert rebuilt.num_edges == g.num_edges
+        for v, p in g.half_edges():
+            assert rebuilt.neighbor(v, p) == g.neighbor(v, p)
+            assert rebuilt.neighbor_port(v, p) == g.neighbor_port(v, p)
+
+    def test_asymmetric_map_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_port_map([[(1, 0)], [(0, 5)]])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_port_map([[(0, 0)]])
+
+
+class TestForestAlgorithm:
+    def test_inner_fails_on_small_components(self):
+        forest = random_forest([5, 3], max_degree=3, seed=2)
+        with pytest.raises(AlgorithmError):
+            run_local_algorithm(
+                forest, TreesOnlyColoring(3), ids=random_ids(forest, seed=1)
+            )
+
+    def test_wrapper_repairs_small_components(self):
+        problem = catalog.coloring(4, max_degree=3)
+        forest = random_forest([5, 3, 1], max_degree=3, seed=2)
+        wrapped = ForestAlgorithm(TreesOnlyColoring(3), problem)
+        result = run_local_algorithm(
+            forest, wrapped, ids=random_ids(forest, seed=1)
+        )
+        assert is_valid_solution(problem, forest, no_inputs(forest), result.outputs)
+
+    def test_wrapper_also_valid_on_single_tree(self):
+        problem = catalog.coloring(4, max_degree=3)
+        tree = random_tree(14, max_degree=3, seed=4)
+        wrapped = ForestAlgorithm(TreesOnlyColoring(3), problem)
+        result = run_local_algorithm(tree, wrapped, ids=random_ids(tree, seed=2))
+        assert is_valid_solution(problem, tree, no_inputs(tree), result.outputs)
+
+    def test_large_component_branch_runs_inner(self):
+        # With a radius-0 inner, components larger than ~2 nodes take the
+        # fooled-inner branch; the trivial problem accepts any output.
+        class ConstantInner(LocalAlgorithm):
+            name = "constant-inner"
+
+            def radius(self, n):
+                return 0
+
+            def run(self, ctx):
+                return {p: "T" for p in range(ctx.degree)}
+
+        problem = catalog.trivial(3)
+        forest = disjoint_union([path(8), path(2)])
+        wrapped = ForestAlgorithm(ConstantInner(), problem)
+        result = run_local_algorithm(forest, wrapped, ids=random_ids(forest, seed=3))
+        assert is_valid_solution(problem, forest, no_inputs(forest), result.outputs)
+
+    def test_randomized_inner_rejected(self):
+        class Coin(LocalAlgorithm):
+            name = "coin"
+            bits_per_node = 1
+
+            def radius(self, n):
+                return 0
+
+            def run(self, ctx):
+                return {}
+
+        with pytest.raises(AlgorithmError):
+            ForestAlgorithm(Coin(), catalog.trivial(2))
+
+    def test_unsolvable_component_raises(self):
+        from repro.exceptions import UnsolvableError
+
+        class NeverRun(LocalAlgorithm):
+            name = "never"
+
+            def radius(self, n):
+                return 1
+
+            def run(self, ctx):  # pragma: no cover - small comps short-circuit
+                raise AssertionError
+
+        problem = catalog.two_coloring(2)
+        odd = cycle(5)  # odd cycle: 2-coloring unsolvable; comp fits in ball
+        wrapped = ForestAlgorithm(NeverRun(), problem)
+        with pytest.raises(UnsolvableError):
+            run_local_algorithm(odd, wrapped, ids=random_ids(odd, seed=5))
+
+
+class TestRandomizedColoring:
+    def test_deterministic_given_seed(self):
+        graph = cycle(12)
+        algorithm = RandomizedTrialColoring(2, trial_rounds=3)
+        first = run_local_algorithm(graph, algorithm, ids=random_ids(graph, seed=1), seed=9)
+        second = run_local_algorithm(graph, algorithm, ids=random_ids(graph, seed=1), seed=9)
+        for h in graph.half_edges():
+            assert first.outputs[h] == second.outputs[h]
+
+    def test_decided_nodes_form_proper_coloring(self):
+        graph = cycle(20)
+        algorithm = RandomizedTrialColoring(2, trial_rounds=2)
+        result = run_local_algorithm(graph, algorithm, ids=random_ids(graph, seed=2), seed=3)
+        for u, pu, v, pv in graph.edges():
+            a, b = result.outputs[(u, pu)], result.outputs[(v, pv)]
+            if a != "cX" and b != "cX":
+                assert a != b
+
+    def test_local_failure_decays_with_rounds(self):
+        graph = cycle(24)
+        seeds = list(range(40))
+        quick = estimate_local_failure(
+            catalog.coloring(3, 2),
+            graph,
+            RandomizedTrialColoring(2, trial_rounds=1),
+            seeds,
+            ids=random_ids(graph, seed=7),
+        )
+        patient = estimate_local_failure(
+            catalog.coloring(3, 2),
+            graph,
+            RandomizedTrialColoring(2, trial_rounds=6),
+            seeds,
+            ids=random_ids(graph, seed=7),
+        )
+        assert patient["local"] < quick["local"]
+
+    def test_local_vs_global_failure_gap(self):
+        # With few rounds on a large cycle: most trials fail *somewhere*
+        # (global ~ 1) while each fixed location fails rarely (local small)
+        # — exactly the distinction Definition 2.4 draws.
+        graph = cycle(60)
+        seeds = list(range(30))
+        estimate = estimate_local_failure(
+            catalog.coloring(3, 2),
+            graph,
+            RandomizedTrialColoring(2, trial_rounds=2),
+            seeds,
+            ids=random_ids(graph, seed=11),
+        )
+        assert estimate["global"] >= estimate["local"]
+        # Nearly every trial fails somewhere on a 60-cycle, yet no fixed
+        # location fails anywhere near that often.
+        assert estimate["global"] >= 0.8
+        assert estimate["local"] <= estimate["global"] - 0.2

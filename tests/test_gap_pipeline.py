@@ -1,0 +1,227 @@
+"""Integration tests: the Theorem 3.10 / 3.11 pipeline end to end.
+
+These are the headline tests of the reproduction: for constant-time
+problems the pipeline must *synthesize* a deterministic O(1)-round LOCAL
+algorithm via round elimination + Lemma 3.9 lifting, and the synthesized
+algorithm must produce verifiably correct solutions on concrete forests;
+for problems outside o(log* n) it must never do so.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AlgorithmError
+from repro.graphs import HalfEdgeLabeling, path, random_forest, random_ids
+from repro.lcl import catalog, is_valid_solution
+from repro.local.model import run_local_algorithm
+from repro.roundelim.gap import speedup, verify_on_random_forests
+from repro.roundelim.lift import lift_to_local_algorithm
+from repro.roundelim.sequence import ProblemSequence
+from repro.roundelim.zero_round import find_zero_round_algorithm
+
+NO = catalog.NO_INPUT
+
+
+class TestConstantProblems:
+    @pytest.mark.parametrize(
+        "builder, expected_rounds",
+        [
+            (lambda: catalog.trivial(3), 0),
+            (lambda: catalog.consensus(3), 0),
+            (lambda: catalog.input_copy(3), 0),
+            (lambda: catalog.echo(2), 1),
+            (lambda: catalog.echo(3), 1),
+            (lambda: catalog.echo2(), 2),
+        ],
+    )
+    def test_constant_depth_found(self, builder, expected_rounds):
+        result = speedup(builder(), max_steps=4)
+        assert result.status == "constant"
+        assert result.constant_rounds == expected_rounds
+        assert result.algorithm is not None
+        assert result.algorithm.radius(10**6) == expected_rounds
+
+    def test_synthesized_echo_algorithm_is_correct(self):
+        result = speedup(catalog.echo(3), max_steps=2)
+        assert verify_on_random_forests(result, trials=5)
+
+    def test_synthesized_echo2_algorithm_is_correct(self):
+        result = speedup(catalog.echo2(), max_steps=3)
+        assert verify_on_random_forests(result, component_sizes=(8, 5, 1), trials=5)
+
+    def test_synthesized_algorithm_respects_radius_accounting(self):
+        result = speedup(catalog.echo(2), max_steps=2)
+        graph = path(8)
+        inputs = HalfEdgeLabeling(
+            graph, {h: "01"[sum(h) % 2] for h in graph.half_edges()}
+        )
+        simulation = run_local_algorithm(
+            graph, result.algorithm, inputs=inputs, ids=random_ids(graph, seed=3)
+        )
+        assert simulation.max_radius_used <= 1
+        assert is_valid_solution(catalog.echo(2), graph, inputs, simulation.outputs)
+
+    def test_echo_semantics_of_synthesized_solution(self):
+        # The synthesized algorithm must actually echo the opposite input.
+        problem = catalog.echo(2)
+        result = speedup(problem, max_steps=2)
+        graph = path(6)
+        inputs = HalfEdgeLabeling(
+            graph, {h: str((h[0] + h[1]) % 2) for h in graph.half_edges()}
+        )
+        simulation = run_local_algorithm(
+            graph, result.algorithm, inputs=inputs, ids=random_ids(graph, seed=0)
+        )
+        for half_edge, label in simulation.outputs.items():
+            mine, guess = label
+            assert mine == inputs[half_edge]
+            assert guess == inputs[graph.opposite(half_edge)]
+
+
+class TestNonConstantProblems:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: catalog.coloring(3, 2),
+            lambda: catalog.mis(3),
+            lambda: catalog.maximal_matching(3),
+            lambda: catalog.two_coloring(2),
+        ],
+    )
+    def test_no_constant_algorithm_claimed(self, builder):
+        result = speedup(builder(), max_steps=1)
+        assert result.status != "constant"
+
+    def test_sinkless_orientation_certified_by_fixed_point(self):
+        result = speedup(catalog.sinkless_orientation(3), max_steps=3)
+        assert result.status == "fixed-point"
+        assert result.fixed_point_at == 1
+
+    def test_summary_mentions_status(self):
+        result = speedup(catalog.sinkless_orientation(3), max_steps=3)
+        assert "fixed-point" in result.summary()
+
+
+class TestLiftingInternals:
+    def test_lift_depth_matches_radius(self):
+        sequence = ProblemSequence(catalog.echo(2))
+        zero = find_zero_round_algorithm(sequence.problem(1))
+        assert zero is not None
+        algorithm = lift_to_local_algorithm(zero, sequence, steps=1)
+        assert algorithm.radius(100) == 1
+
+    def test_lift_rejects_mismatched_depth(self):
+        sequence = ProblemSequence(catalog.echo(2))
+        zero = find_zero_round_algorithm(sequence.problem(1))
+        with pytest.raises(AlgorithmError):
+            lift_to_local_algorithm(zero, sequence, steps=0)
+
+    def test_lifted_algorithm_needs_ids(self):
+        sequence = ProblemSequence(catalog.echo(2))
+        zero = find_zero_round_algorithm(sequence.problem(1))
+        algorithm = lift_to_local_algorithm(zero, sequence, steps=1)
+        graph = path(4)
+        inputs = HalfEdgeLabeling.constant(graph, "0")
+        with pytest.raises(AlgorithmError):
+            run_local_algorithm(graph, algorithm, inputs=inputs, ids=None)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_lifted_solutions_valid_under_any_ids(self, seed):
+        problem = catalog.echo(3)
+        result = speedup(problem, max_steps=2)
+        graph = random_forest([6, 3], max_degree=3, seed=seed % 97)
+        import random as pyrandom
+
+        rng = pyrandom.Random(seed)
+        inputs = HalfEdgeLabeling(
+            graph, {h: rng.choice(["0", "1"]) for h in graph.half_edges()}
+        )
+        ids = random_ids(graph, seed=seed)
+        simulation = run_local_algorithm(graph, result.algorithm, inputs=inputs, ids=ids)
+        assert is_valid_solution(problem, graph, inputs, simulation.outputs)
+
+
+class TestFailureBounds:
+    def test_S_is_monotone_in_runtime(self):
+        from repro.roundelim.failure_bounds import FailureBoundParameters, theorem_3_4_S
+
+        fast = FailureBoundParameters(3, 2, 4, 16, runtime=1)
+        slow = FailureBoundParameters(3, 2, 4, 16, runtime=3)
+        assert theorem_3_4_S(fast) < theorem_3_4_S(slow)
+
+    def test_failure_step_degrades_probability(self):
+        import math
+
+        from repro.roundelim.failure_bounds import (
+            FailureBoundParameters,
+            failure_after_step,
+        )
+
+        params = FailureBoundParameters(3, 2, 4, 16, runtime=2)
+        log_p = math.log(1e-9)
+        assert failure_after_step(params, log_p) > log_p
+
+    def test_trajectory_length(self):
+        import math
+
+        from repro.roundelim.failure_bounds import (
+            FailureBoundParameters,
+            failure_after_steps,
+        )
+
+        params = FailureBoundParameters(3, 2, 4, 16, runtime=2)
+        trajectory = failure_after_steps(params, math.log(1e-12), steps=4)
+        assert len(trajectory) == 5
+        assert trajectory == sorted(trajectory)  # failure only grows
+
+    def test_n0_conditions_structure(self):
+        from repro.roundelim.failure_bounds import n0_conditions
+
+        report = n0_conditions(n0=2**20, runtime_at_n0=1, delta=3, sigma_in_size=2)
+        assert report.condition_3_2  # 1 + 2 <= log_3(2^20) ~ 12.6
+        # Condition (3.3): 2*1 + 5 = 7 > log*(2^20) = 5 -> infeasible here,
+        # demonstrating how astronomically large the paper's n0 must be.
+        assert not report.condition_3_3
+        assert not report.feasible
+
+    def test_lemma_bounds_are_finite(self):
+        import math
+
+        from repro.roundelim.failure_bounds import (
+            FailureBoundParameters,
+            lemma_3_5_bound,
+            lemma_3_6_bound,
+            lemma_3_7_bound,
+            lemma_3_8_bound,
+        )
+
+        params = FailureBoundParameters(3, 2, 4, 16, runtime=1)
+        log_p, log_K = math.log(1e-6), math.log(1e-2)
+        for value in (
+            lemma_3_5_bound(params, log_p, log_K),
+            lemma_3_6_bound(params, log_p, log_K),
+            lemma_3_7_bound(params, log_p),
+            lemma_3_8_bound(params, log_p),
+        ):
+            assert math.isfinite(value)
+
+    def test_alphabet_tower_bound_blows_up(self):
+        import math
+
+        from repro.roundelim.failure_bounds import alphabet_tower_bound
+
+        assert alphabet_tower_bound(2, steps=0) < alphabet_tower_bound(2, steps=1)
+        assert alphabet_tower_bound(2, steps=5) == math.inf
+
+    def test_invalid_parameters_rejected(self):
+        from repro.exceptions import ProblemDefinitionError
+        from repro.roundelim.failure_bounds import FailureBoundParameters
+
+        with pytest.raises(ProblemDefinitionError):
+            FailureBoundParameters(1, 2, 4, 16, runtime=1)
+        with pytest.raises(ProblemDefinitionError):
+            FailureBoundParameters(3, 0, 4, 16, runtime=1)
+        with pytest.raises(ProblemDefinitionError):
+            FailureBoundParameters(3, 2, 4, 16, runtime=-1)

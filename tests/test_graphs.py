@@ -1,0 +1,296 @@
+"""Unit and property tests for repro.graphs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graphs import (
+    Graph,
+    HalfEdgeLabeling,
+    adversarial_ids,
+    caterpillar,
+    complete_regular_tree,
+    cycle,
+    disjoint_union,
+    extract_ball,
+    path,
+    random_forest,
+    random_tree,
+    random_ids,
+    sequential_ids,
+    skip_list_graph,
+    spider,
+    star,
+)
+
+
+# -------------------------------------------------------------------- Graph
+class TestGraphCore:
+    def test_ports_are_assigned_in_edge_order(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.neighbor(0, 0) == 1
+        assert g.neighbor(0, 1) == 2
+        assert g.neighbor(1, 0) == 0
+
+    def test_remote_ports_are_consistent(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        for v, p in g.half_edges():
+            u, q = g.opposite((v, p))
+            assert g.opposite((u, q)) == (v, p)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1), (1, 0)])
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 5)])
+
+    def test_degree_and_max_degree(self):
+        g = star(4)
+        assert g.degree(0) == 4
+        assert g.degree(1) == 1
+        assert g.max_degree == 4
+
+    def test_port_to(self):
+        g = path(3)
+        assert g.port_to(1, 0) == 0
+        assert g.port_to(1, 2) == 1
+        assert g.port_to(0, 2) is None
+
+    def test_connected_components(self):
+        g = disjoint_union([path(3), path(2)])
+        assert g.connected_components() == [[0, 1, 2], [3, 4]]
+
+    def test_is_tree_and_forest(self):
+        assert path(5).is_tree()
+        assert not cycle(5).is_forest()
+        forest = disjoint_union([path(3), star(2)])
+        assert forest.is_forest() and not forest.is_tree()
+
+    def test_bfs_distances_with_limit(self):
+        g = path(10)
+        dist = g.bfs_distances(0, limit=3)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_half_edge_count(self):
+        g = cycle(6)
+        assert len(list(g.half_edges())) == 2 * g.num_edges
+
+
+# ---------------------------------------------------------------- labelings
+class TestHalfEdgeLabeling:
+    def test_constant_is_total(self):
+        g = path(4)
+        labeling = HalfEdgeLabeling.constant(g, "x")
+        assert labeling.is_total()
+        assert labeling.label_set() == frozenset({"x"})
+
+    def test_from_node_labels(self):
+        g = path(3)
+        labeling = HalfEdgeLabeling.from_node_labels(g, ["a", "b", "c"])
+        assert labeling[(1, 0)] == "b"
+        assert labeling[(1, 1)] == "b"
+
+    def test_from_node_labels_wrong_length(self):
+        with pytest.raises(LabelingError):
+            HalfEdgeLabeling.from_node_labels(path(3), ["a"])
+
+    def test_from_edge_labels(self):
+        g = path(3)
+        labeling = HalfEdgeLabeling.from_edge_labels(g, {(0, 1): "e0", (1, 2): "e1"})
+        assert labeling[(0, 0)] == "e0"
+        assert labeling[(1, 0)] == "e0"
+        assert labeling[(1, 1)] == "e1"
+
+    def test_from_edge_labels_non_edge(self):
+        with pytest.raises(LabelingError):
+            HalfEdgeLabeling.from_edge_labels(path(3), {(0, 2): "x"})
+
+    def test_invalid_half_edge_rejected(self):
+        labeling = HalfEdgeLabeling(path(2))
+        with pytest.raises(LabelingError):
+            labeling[(0, 5)] = "x"
+
+    def test_node_view_in_port_order(self):
+        g = star(3)
+        labeling = HalfEdgeLabeling(g, {(0, 0): "a", (0, 2): "c"})
+        assert labeling.node_view(0) == ["a", None, "c"]
+
+    def test_copy_is_independent(self):
+        g = path(2)
+        original = HalfEdgeLabeling.constant(g, "x")
+        duplicate = original.copy()
+        duplicate[(0, 0)] = "y"
+        assert original[(0, 0)] == "x"
+
+
+# --------------------------------------------------------------- generators
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 5, 20])
+    def test_path_shape(self, n):
+        g = path(n)
+        assert g.num_nodes == n and g.num_edges == n - 1 and g.is_tree()
+
+    def test_cycle_shape(self):
+        g = cycle(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in range(7))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle(2)
+
+    def test_star_and_spider(self):
+        assert star(5).max_degree == 5
+        sp = spider(3, 4)
+        assert sp.degree(0) == 3
+        assert sp.num_nodes == 13
+
+    def test_caterpillar(self):
+        g = caterpillar(4, legs_per_node=2)
+        assert g.num_nodes == 12
+        assert g.is_tree()
+
+    @pytest.mark.parametrize("delta, depth", [(2, 3), (3, 2), (3, 3), (4, 2)])
+    def test_complete_regular_tree(self, delta, depth):
+        g = complete_regular_tree(delta, depth)
+        assert g.is_tree()
+        assert g.max_degree == delta
+        internal = [v for v in range(g.num_nodes) if g.degree(v) > 1]
+        assert all(g.degree(v) == delta for v in internal)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tree_respects_degree(self, seed):
+        g = random_tree(50, max_degree=3, seed=seed)
+        assert g.is_tree()
+        assert g.max_degree <= 3
+
+    def test_random_tree_single_node(self):
+        g = random_tree(1, max_degree=3)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_random_forest_components(self):
+        g = random_forest([5, 3, 1], max_degree=3, seed=1)
+        assert g.is_forest()
+        assert len(g.connected_components()) == 3
+
+    def test_skip_list_contains_path(self):
+        g = skip_list_graph(17, levels=3)
+        for i in range(16):
+            assert g.port_to(i, i + 1) is not None
+
+    def test_skip_list_shortcut_reach(self):
+        # A t-hop ball in the skip list covers exponentially many path nodes.
+        g = skip_list_graph(65)
+        dist = g.bfs_distances(0)
+        assert dist[64] <= 7  # log2(64) + slack, vs 64 path hops
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10))
+    def test_property_random_tree_edge_count(self, n, seed):
+        g = random_tree(n, max_degree=4, seed=seed)
+        assert g.num_edges == n - 1
+
+
+# -------------------------------------------------------------------- balls
+class TestBalls:
+    def test_radius_zero_sees_only_center(self):
+        g = path(5)
+        ball = extract_ball(g, 2, 0)
+        assert ball.num_nodes == 1
+        assert ball.center_degree() == 2
+        assert ball.adj[0] == {}
+
+    def test_radius_one_contents(self):
+        g = path(5)
+        ball = extract_ball(g, 2, 1)
+        assert ball.num_nodes == 3
+        assert sorted(ball.global_index) == [1, 2, 3]
+        # Edges from the center are visible; neighbors' outward edges not.
+        assert len(ball.adj[0]) == 2
+        for local in range(1, 3):
+            assert list(ball.adj[local].values()) == [(0, ball.distance[local] - 1)] or len(
+                ball.adj[local]
+            ) == 1
+
+    def test_boundary_degrees_visible(self):
+        # Definition 2.1: nodes at distance exactly T expose their degree
+        # and inputs even though their outward edges are hidden.
+        g = star(4)
+        ball = extract_ball(g, 1, 1)
+        center_local = 0
+        hub_local = ball.local_of_global(0)
+        assert ball.degrees[hub_local] == 4
+        assert len(ball.adj[hub_local]) == 1  # only the edge back to center
+
+    def test_edge_between_two_boundary_nodes_hidden(self):
+        # In cycle(5) around node 0 with radius 2, nodes 2 and 3 are both at
+        # distance exactly 2 and adjacent; their edge must be invisible.
+        g = cycle(5)
+        ball = extract_ball(g, 0, 2)
+        assert ball.num_nodes == 5
+        local_2 = ball.local_of_global(2)
+        local_3 = ball.local_of_global(3)
+        visible_neighbors_of_2 = {pair[0] for pair in ball.adj[local_2].values()}
+        assert local_3 not in visible_neighbors_of_2
+
+    def test_ball_covers_whole_graph_at_large_radius(self):
+        g = random_tree(20, 3, seed=3)
+        ball = extract_ball(g, 0, 30)
+        assert ball.num_nodes == 20
+
+    def test_signature_isomorphism_on_symmetric_graph(self):
+        # Interior cycle nodes 3 and 4 have identical port layouts
+        # (port 0 = predecessor, port 1 = successor), so their balls are
+        # port-isomorphic and must share a signature.
+        g = cycle(8)
+        ball_a = extract_ball(g, 3, 2)
+        ball_b = extract_ball(g, 4, 2)
+        assert ball_a.signature(ids="none") == ball_b.signature(ids="none")
+
+    def test_signature_distinguishes_topology(self):
+        ball_path = extract_ball(path(5), 2, 2)
+        ball_star = extract_ball(star(4), 0, 2)
+        assert ball_path.signature(ids="none") != ball_star.signature(ids="none")
+
+    def test_rank_signature_order_invariance(self):
+        g = path(5)
+        ball_small = extract_ball(g, 2, 2, ids=[10, 20, 30, 40, 50])
+        ball_large = extract_ball(g, 2, 2, ids=[100, 200, 300, 400, 500])
+        assert ball_small.signature(ids="rank") == ball_large.signature(ids="rank")
+        assert ball_small.signature(ids="exact") != ball_large.signature(ids="exact")
+
+    def test_inputs_in_ball(self):
+        g = path(3)
+        labeling = HalfEdgeLabeling(g, {h: f"{h}" for h in g.half_edges()})
+        ball = extract_ball(g, 1, 1, input_labeling=labeling)
+        assert ball.center_inputs() == ("(1, 0)", "(1, 1)")
+
+    def test_id_rank(self):
+        g = path(3)
+        ball = extract_ball(g, 1, 1, ids=[30, 10, 20])
+        assert ball.id_rank(0) == 0  # center has ID 10, the smallest
+        ranks = sorted(ball.id_rank(v) for v in range(ball.num_nodes))
+        assert ranks == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------- ids
+class TestIds:
+    def test_sequential(self):
+        assert sequential_ids(path(4)) == [1, 2, 3, 4]
+
+    def test_random_ids_distinct_polynomial_range(self):
+        g = path(10)
+        ids = random_ids(g, seed=1, exponent=3)
+        assert len(set(ids)) == 10
+        assert all(1 <= x <= 1000 for x in ids)
+
+    def test_adversarial_order_follows_key(self):
+        g = path(5)
+        ids = adversarial_ids(g, key=lambda v: -v)
+        assert ids[4] < ids[3] < ids[2] < ids[1] < ids[0]

@@ -1,0 +1,216 @@
+"""Tests for oriented grids, PROD-LOCAL, and the §5 speedup pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs import HalfEdgeLabeling
+from repro.grids import (
+    DimensionLengthProbe,
+    FollowDimensionOrientation,
+    GridProductColoring,
+    OrientedGrid,
+    check_prod_order_invariance,
+    combined_ids,
+    coordinate_ids_in_ball,
+    coordinate_prod_ids,
+    fooled_grid_algorithm,
+    prod_ids,
+)
+from repro.graphs.balls import extract_ball
+from repro.lcl import catalog, is_valid_solution
+from repro.local import run_local_algorithm
+
+NO = catalog.NO_INPUT
+
+
+def no_inputs(graph):
+    return HalfEdgeLabeling.constant(graph, NO)
+
+
+class TestOrientedGrid:
+    def test_degrees_and_counts(self):
+        grid = OrientedGrid([4, 5])
+        assert grid.num_nodes == 20
+        assert all(grid.graph.degree(v) == 4 for v in range(20))
+        assert grid.graph.num_edges == 40
+
+    def test_three_dimensional(self):
+        grid = OrientedGrid([3, 3, 3])
+        assert grid.num_nodes == 27
+        assert all(grid.graph.degree(v) == 6 for v in range(27))
+
+    def test_small_sides_rejected(self):
+        with pytest.raises(GraphError):
+            OrientedGrid([2, 4])
+
+    def test_coordinates_roundtrip(self):
+        grid = OrientedGrid([3, 4, 5])
+        for v in range(grid.num_nodes):
+            assert grid.index_of(grid.coords_of(v)) == v
+
+    def test_neighbor_along_wraps(self):
+        grid = OrientedGrid([3, 3])
+        v = grid.index_of((2, 1))
+        assert grid.coords_of(grid.neighbor_along(v, 0, +1)) == (0, 1)
+        assert grid.coords_of(grid.neighbor_along(v, 1, -1)) == (2, 0)
+
+    def test_orientation_inputs_are_consistent(self):
+        grid = OrientedGrid([3, 4])
+        inputs = grid.orientation_inputs()
+        for u, pu, v, pv in grid.graph.edges():
+            dim_u, dir_u = inputs[(u, pu)]
+            dim_v, dir_v = inputs[(v, pv)]
+            assert dim_u == dim_v
+            assert dir_u == -dir_v
+
+
+class TestProdLocal:
+    def test_prod_ids_respect_coordinates(self):
+        grid = OrientedGrid([3, 4])
+        ids = prod_ids(grid, seed=1)
+        for u in range(grid.num_nodes):
+            for v in range(grid.num_nodes):
+                cu, cv = grid.coords_of(u), grid.coords_of(v)
+                for dim in range(2):
+                    assert (ids[u][dim] == ids[v][dim]) == (cu[dim] == cv[dim])
+
+    def test_combined_ids_unique(self):
+        grid = OrientedGrid([3, 3])
+        flattened = combined_ids(prod_ids(grid, seed=2))
+        assert len(set(flattened)) == grid.num_nodes
+
+    def test_combined_ids_collision_detected(self):
+        with pytest.raises(ValueError):
+            combined_ids([(1, 2), (1, 2)])
+
+    def test_follow_orientation_is_order_invariant(self):
+        grid = OrientedGrid([3, 4])
+        assert check_prod_order_invariance(
+            FollowDimensionOrientation(), grid, prod_ids(grid, seed=3)
+        )
+
+    def test_product_coloring_is_not_order_invariant(self):
+        grid = OrientedGrid([5, 5])
+        assert not check_prod_order_invariance(
+            GridProductColoring(dimensions=2), grid, prod_ids(grid, seed=4), trials=8
+        )
+
+
+class TestGridAlgorithms:
+    def test_follow_orientation_solves_sinkless_orientation(self):
+        grid = OrientedGrid([4, 4])
+        result = run_local_algorithm(
+            grid.graph, FollowDimensionOrientation(), inputs=grid.orientation_inputs()
+        )
+        problem = catalog.sinkless_orientation(4)
+        assert is_valid_solution(problem, grid.graph, no_inputs(grid.graph), result.outputs)
+        assert result.max_radius_used == 0
+
+    @pytest.mark.parametrize("sides", [[5, 5], [3, 4], [6, 3]])
+    def test_product_coloring_proper(self, sides):
+        grid = OrientedGrid(sides)
+        result = run_local_algorithm(
+            grid.graph,
+            GridProductColoring(dimensions=2),
+            inputs=grid.orientation_inputs(),
+            ids=prod_ids(grid, seed=5),
+        )
+        problem = catalog.coloring(9, max_degree=4)
+        assert is_valid_solution(
+            problem, grid.graph, no_inputs(grid.graph), result.outputs
+        )
+
+    def test_product_coloring_three_dims(self):
+        grid = OrientedGrid([3, 3, 3])
+        result = run_local_algorithm(
+            grid.graph,
+            GridProductColoring(dimensions=3),
+            inputs=grid.orientation_inputs(),
+            ids=prod_ids(grid, seed=6),
+        )
+        problem = catalog.coloring(27, max_degree=6)
+        assert is_valid_solution(
+            problem, grid.graph, no_inputs(grid.graph), result.outputs
+        )
+
+    def test_product_coloring_with_plain_ids(self):
+        grid = OrientedGrid([4, 4])
+        ids = list(range(1, grid.num_nodes + 1))
+        result = run_local_algorithm(
+            grid.graph,
+            GridProductColoring(dimensions=2),
+            inputs=grid.orientation_inputs(),
+            ids=ids,
+        )
+        problem = catalog.coloring(9, max_degree=4)
+        assert is_valid_solution(
+            problem, grid.graph, no_inputs(grid.graph), result.outputs
+        )
+
+    def test_dimension_length_probe(self):
+        grid = OrientedGrid([7, 3])
+        result = run_local_algorithm(
+            grid.graph, DimensionLengthProbe(), inputs=grid.orientation_inputs()
+        )
+        for h in grid.graph.half_edges():
+            assert result.outputs[h] == 7
+        # Locality ~ half the side: the Θ(n^{1/d}) signature.
+        assert result.max_radius_used == 4
+
+
+class TestSpeedupPipeline:
+    def test_coordinate_prod_ids_valid(self):
+        grid = OrientedGrid([3, 5])
+        ids = coordinate_prod_ids(grid)
+        for u in range(grid.num_nodes):
+            for dim in range(2):
+                same_coord = grid.coords_of(u)[dim]
+                for v in range(grid.num_nodes):
+                    assert (ids[u][dim] == ids[v][dim]) == (
+                        grid.coords_of(v)[dim] == same_coord
+                    )
+
+    def test_coordinate_ids_in_ball(self):
+        grid = OrientedGrid([5, 5])
+        center = grid.index_of((2, 2))
+        ball = extract_ball(grid.graph, center, 2, input_labeling=grid.orientation_inputs())
+        offsets = coordinate_ids_in_ball(ball, dimensions=2)
+        assert offsets[0] == (0, 0)
+        values = set(offsets.values())
+        assert (1, 0) in values and (0, -1) in values
+
+    def test_fooled_algorithm_constant_radius_and_correct(self):
+        # Prop 5.5 executable: fool an order-invariant algorithm with n0,
+        # feed the orientation-derived ID order, verify on larger grids.
+        inner = FollowDimensionOrientation()
+        fooled = fooled_grid_algorithm(inner, n0=9)
+        for sides in ([4, 4], [6, 5]):
+            grid = OrientedGrid(sides)
+            result = run_local_algorithm(
+                grid.graph,
+                fooled,
+                inputs=grid.orientation_inputs(),
+                ids=coordinate_prod_ids(grid),
+            )
+            problem = catalog.sinkless_orientation(4)
+            assert is_valid_solution(
+                problem, grid.graph, no_inputs(grid.graph), result.outputs
+            )
+            assert result.max_radius_used == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=6), st.integers(min_value=3, max_value=6))
+    def test_property_product_coloring_all_sides(self, a, b):
+        grid = OrientedGrid([a, b])
+        result = run_local_algorithm(
+            grid.graph,
+            GridProductColoring(dimensions=2),
+            inputs=grid.orientation_inputs(),
+            ids=prod_ids(grid, seed=a * 10 + b),
+        )
+        problem = catalog.coloring(9, max_degree=4)
+        assert is_valid_solution(
+            problem, grid.graph, no_inputs(grid.graph), result.outputs
+        )

@@ -1,0 +1,273 @@
+"""Tests for repro.lcl: problem definitions, checker, catalog, brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs import Graph, HalfEdgeLabeling, cycle, path, random_tree, star
+from repro.lcl import catalog, check_solution, is_valid_solution
+from repro.lcl.checker import brute_force_solution
+from repro.lcl.nec import NodeEdgeCheckableLCL, all_multisets
+from repro.utils.multiset import Multiset
+
+NO = catalog.NO_INPUT
+
+
+def no_inputs(graph: Graph) -> HalfEdgeLabeling:
+    return HalfEdgeLabeling.constant(graph, NO)
+
+
+# ----------------------------------------------------------- definitions
+class TestNodeEdgeCheckableLCL:
+    def test_validation_rejects_bad_cardinality(self):
+        with pytest.raises(ProblemDefinitionError):
+            NodeEdgeCheckableLCL(
+                sigma_in=[NO],
+                sigma_out=["a"],
+                node_constraints={2: [Multiset(["a"])]},
+                edge_constraint=[Multiset(["a", "a"])],
+                g={NO: ["a"]},
+            )
+
+    def test_validation_rejects_unknown_labels(self):
+        with pytest.raises(ProblemDefinitionError):
+            NodeEdgeCheckableLCL(
+                sigma_in=[NO],
+                sigma_out=["a"],
+                node_constraints={1: [Multiset(["b"])]},
+                edge_constraint=[],
+                g={NO: ["a"]},
+            )
+
+    def test_validation_rejects_incomplete_g(self):
+        with pytest.raises(ProblemDefinitionError):
+            NodeEdgeCheckableLCL(
+                sigma_in=["x", "y"],
+                sigma_out=["a"],
+                node_constraints={1: [Multiset(["a"])]},
+                edge_constraint=[Multiset(["a", "a"])],
+                g={"x": ["a"]},
+            )
+
+    def test_allows_node_and_edge(self):
+        problem = catalog.coloring(3, max_degree=2)
+        assert problem.allows_node(["c0", "c0"])
+        assert not problem.allows_node(["c0", "c1"])
+        assert problem.allows_edge("c0", "c1")
+        assert not problem.allows_edge("c2", "c2")
+
+    def test_used_output_labels_drops_node_only_labels(self):
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b"],
+            node_constraints={1: [Multiset(["a"]), Multiset(["b"])]},
+            edge_constraint=[Multiset(["a", "a"])],
+            g={NO: ["a", "b"]},
+        )
+        assert problem.used_output_labels() == frozenset({"a"})
+
+    def test_restrict_outputs(self):
+        problem = catalog.coloring(3, max_degree=2)
+        restricted = problem.restrict_outputs(["c0", "c1"])
+        assert restricted.sigma_out == frozenset({"c0", "c1"})
+        assert restricted.allows_edge("c0", "c1")
+        assert not restricted.allows_node(["c2", "c2"])
+
+    def test_rename_outputs_roundtrip(self):
+        problem = catalog.mis(3)
+        swapped = problem.rename_outputs({"M": "P", "P": "M", "O": "O"})
+        assert swapped != problem
+        assert swapped.rename_outputs({"M": "P", "P": "M", "O": "O"}) == problem
+
+    def test_rename_rejects_non_bijection(self):
+        problem = catalog.mis(2)
+        with pytest.raises(ProblemDefinitionError):
+            problem.rename_outputs({"M": "x", "P": "x", "O": "y"})
+
+    def test_isomorphism_detects_renaming(self):
+        problem = catalog.coloring(3, max_degree=2)
+        renamed = problem.rename_outputs({"c0": "z2", "c1": "z0", "c2": "z1"})
+        assert problem.is_isomorphic(renamed)
+
+    def test_isomorphism_rejects_different_structure(self):
+        assert not catalog.coloring(3, 2).is_isomorphic(catalog.mis(2))
+
+    def test_all_multisets_count(self):
+        # C(3 + 2 - 1, 2) = 6 multisets of size 2 over 3 labels.
+        assert len(all_multisets("abc", 2)) == 6
+
+    def test_summary_mentions_constraints(self):
+        text = catalog.sinkless_orientation(3).summary()
+        assert "node[3]" in text and "edge:" in text
+
+    def test_max_degree_and_degrees(self):
+        problem = catalog.mis(3)
+        assert problem.max_degree == 3
+        assert problem.degrees() == (1, 2, 3)
+
+
+# ----------------------------------------------------------------- checker
+class TestChecker:
+    def test_valid_coloring_on_path(self):
+        g = path(4)
+        problem = catalog.coloring(3, max_degree=2)
+        outputs = HalfEdgeLabeling.from_node_labels(g, ["c0", "c1", "c0", "c2"])
+        assert is_valid_solution(problem, g, no_inputs(g), outputs)
+
+    def test_monochromatic_edge_fails(self):
+        g = path(3)
+        problem = catalog.coloring(3, max_degree=2)
+        outputs = HalfEdgeLabeling.from_node_labels(g, ["c0", "c0", "c1"])
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert (0, 1) in report.failed_edges
+        assert not report.is_valid
+
+    def test_inconsistent_node_coloring_fails_node(self):
+        g = path(3)
+        problem = catalog.coloring(3, max_degree=2)
+        outputs = HalfEdgeLabeling.from_node_labels(g, ["c0", "c1", "c0"])
+        outputs[(1, 0)] = "c2"  # node 1 announces different colors per port
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert 1 in report.failed_nodes
+
+    def test_missing_labels_reported(self):
+        g = path(3)
+        problem = catalog.trivial(2)
+        outputs = HalfEdgeLabeling(g)
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert len(report.unlabeled) == 4
+        assert not report.is_valid
+
+    def test_g_violation_detected(self):
+        g = path(2)
+        problem = catalog.input_copy(1)
+        inputs = HalfEdgeLabeling.constant(g, "0")
+        outputs = HalfEdgeLabeling.constant(g, "out1")
+        report = check_solution(problem, g, inputs, outputs)
+        assert report.failed_nodes and report.failed_edges
+
+    def test_isolated_nodes_are_vacuously_valid(self):
+        g = Graph(3, [(0, 1)])  # node 2 isolated
+        problem = catalog.trivial(2)
+        outputs = HalfEdgeLabeling.constant(g, "T")
+        assert is_valid_solution(problem, g, no_inputs(g), outputs)
+
+    def test_mis_encoding_valid_instance(self):
+        g = path(4)
+        problem = catalog.mis(2)
+        # MIS {0, 2}: node 1 points to 0, node 3 points to 2.
+        outputs = HalfEdgeLabeling(g)
+        outputs[(0, 0)] = "M"
+        outputs[(1, 0)] = "P"
+        outputs[(1, 1)] = "O"
+        outputs[(2, 0)] = "M"
+        outputs[(2, 1)] = "M"
+        outputs[(3, 0)] = "P"
+        assert is_valid_solution(problem, g, no_inputs(g), outputs)
+
+    def test_mis_adjacent_set_nodes_fail(self):
+        g = path(2)
+        problem = catalog.mis(1)
+        outputs = HalfEdgeLabeling.constant(g, "M")
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert (0, 1) in report.failed_edges
+
+    def test_maximal_matching_unmatched_pair_fails(self):
+        g = path(2)
+        problem = catalog.maximal_matching(1)
+        outputs = HalfEdgeLabeling.constant(g, "P")
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert (0, 1) in report.failed_edges
+
+    def test_sinkless_orientation_sink_fails(self):
+        g = star(3)
+        problem = catalog.sinkless_orientation(3)
+        outputs = HalfEdgeLabeling(g)
+        for port in range(3):
+            outputs[(0, port)] = "I"  # hub is a sink
+            outputs[(port + 1, 0)] = "O"
+        report = check_solution(problem, g, no_inputs(g), outputs)
+        assert 0 in report.failed_nodes
+
+    def test_sinkless_orientation_valid(self):
+        g = star(3)
+        problem = catalog.sinkless_orientation(3)
+        outputs = HalfEdgeLabeling(g)
+        outputs[(0, 0)] = "O"
+        outputs[(1, 0)] = "I"
+        for port in (1, 2):
+            outputs[(0, port)] = "I"
+            outputs[(port + 1, 0)] = "O"
+        assert is_valid_solution(problem, g, no_inputs(g), outputs)
+
+
+# ------------------------------------------------------------- brute force
+class TestBruteForce:
+    def test_finds_coloring_on_cycle(self):
+        g = cycle(5)
+        problem = catalog.coloring(3, max_degree=2)
+        solution = brute_force_solution(problem, g, no_inputs(g))
+        assert solution is not None
+        assert is_valid_solution(problem, g, no_inputs(g), solution)
+
+    def test_two_coloring_odd_cycle_unsolvable(self):
+        g = cycle(5)
+        problem = catalog.two_coloring(2)
+        assert brute_force_solution(problem, g, no_inputs(g)) is None
+
+    def test_two_coloring_even_cycle_solvable(self):
+        g = cycle(6)
+        problem = catalog.two_coloring(2)
+        solution = brute_force_solution(problem, g, no_inputs(g))
+        assert solution is not None
+
+    def test_echo_solution_matches_inputs(self):
+        g = path(3)
+        problem = catalog.echo(2)
+        inputs = HalfEdgeLabeling(g)
+        values = {(0, 0): "0", (1, 0): "1", (1, 1): "0", (2, 0): "1"}
+        for h, v in values.items():
+            inputs[h] = v
+        solution = brute_force_solution(problem, g, inputs)
+        assert solution is not None
+        for half_edge, label in solution.items():
+            opposite = g.opposite(half_edge)
+            assert label == (inputs[half_edge], inputs[opposite])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=5))
+    def test_property_brute_force_solutions_verify(self, n, seed):
+        g = random_tree(n, max_degree=3, seed=seed)
+        for problem in (catalog.mis(3), catalog.maximal_matching(3)):
+            solution = brute_force_solution(problem, g, no_inputs(g))
+            assert solution is not None
+            assert is_valid_solution(problem, g, no_inputs(g), solution)
+
+
+# ----------------------------------------------------------------- catalog
+class TestCatalog:
+    def test_standard_catalog_builds(self):
+        problems = catalog.standard_catalog(3)
+        assert len(problems) >= 10
+        names = {p.name for p in problems}
+        assert "mis" in names and "echo" in names
+
+    def test_weak_coloring_solvable_on_edge(self):
+        g = path(2)
+        problem = catalog.weak_coloring(2, max_degree=1)
+        solution = brute_force_solution(problem, g, no_inputs(g))
+        assert solution is not None
+
+    def test_forbidden_input_output_respects_g(self):
+        problem = catalog.forbidden_input_output(2)
+        assert "c1" not in problem.allowed_outputs("f1")
+        assert "c0" in problem.allowed_outputs("f1")
+
+    def test_consensus_requires_agreement(self):
+        g = path(3)
+        problem = catalog.consensus(2)
+        good = HalfEdgeLabeling.constant(g, "0")
+        bad = HalfEdgeLabeling.from_node_labels(g, ["0", "0", "1"])
+        assert is_valid_solution(problem, g, no_inputs(g), good)
+        assert not is_valid_solution(problem, g, no_inputs(g), bad)

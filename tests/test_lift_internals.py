@@ -1,0 +1,84 @@
+"""Property tests for the Lemma 3.9 lifting internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lcl import catalog
+from repro.roundelim.lift import _choose_edge_pair
+from repro.roundelim.ops import R
+from repro.roundelim.sequence import ProblemSequence
+from repro.roundelim.zero_round import find_zero_round_algorithm
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def label_sets(problem):
+    return sorted(problem.sigma_out, key=label_sort_key)
+
+
+class TestChooseEdgePair:
+    @pytest.fixture(scope="class")
+    def intermediate(self):
+        return ProblemSequence(catalog.echo(2)).intermediate(0)
+
+    def test_returns_allowed_pair(self, intermediate):
+        labels = label_sets(intermediate)
+        low = frozenset(labels[: len(labels) // 2 + 1])
+        high = frozenset(labels)
+        pair = _choose_edge_pair(low, high, intermediate.edge_constraint)
+        if pair is not None:
+            a, b = pair
+            assert a in low and b in high
+            assert Multiset((a, b)) in intermediate.edge_constraint
+
+    def test_deterministic(self, intermediate):
+        labels = label_sets(intermediate)
+        low, high = frozenset(labels), frozenset(labels)
+        first = _choose_edge_pair(low, high, intermediate.edge_constraint)
+        second = _choose_edge_pair(low, high, intermediate.edge_constraint)
+        assert first == second
+
+    def test_none_when_no_pair_allowed(self):
+        problem = catalog.coloring(2, 2)
+        lifted = R(problem)
+        c0 = frozenset({frozenset({"c0"})})
+        # {c0} vs {c0}: the only cross pair is monochromatic -> no pair.
+        assert _choose_edge_pair(c0, c0, lifted.edge_constraint) is None
+
+    def test_respects_side_assignment(self, intermediate):
+        # The first component always comes from the first argument — the
+        # low-ID endpoint in the lift — so both endpoints, calling with
+        # the same canonical argument order, read off consistent labels.
+        labels = label_sets(intermediate)
+        for i in range(len(labels)):
+            low = frozenset(labels[: i + 1])
+            high = frozenset(labels[i:])
+            pair = _choose_edge_pair(low, high, intermediate.edge_constraint)
+            if pair is not None:
+                assert pair[0] in low and pair[1] in high
+
+
+class TestZeroRoundPermutationEquivariance:
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(["0", "1", "0"]))
+    def test_outputs_follow_ports(self, input_tuple):
+        problem = catalog.input_copy(3)
+        algorithm = find_zero_round_algorithm(problem)
+        outputs = algorithm.outputs_for(tuple(input_tuple))
+        # input_copy pins each output to its own port's input.
+        for value, output in zip(input_tuple, outputs):
+            assert output == f"out{value}"
+
+    def test_table_respects_node_constraint_for_every_tuple(self):
+        import itertools
+
+        problem = catalog.echo(2)
+        sequence = ProblemSequence(problem)
+        zero = find_zero_round_algorithm(sequence.problem(1))
+        lifted_problem = sequence.problem(1)
+        for degree in (1, 2):
+            for inputs in itertools.product(sorted(problem.sigma_in), repeat=degree):
+                outputs = zero.outputs_for(inputs)
+                assert lifted_problem.allows_node(Multiset(outputs))
+                for input_label, output in zip(inputs, outputs):
+                    assert output in lifted_problem.allowed_outputs(input_label)

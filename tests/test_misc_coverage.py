@@ -1,0 +1,100 @@
+"""Coverage for small helpers across the package."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AlgorithmError,
+    DecidabilityError,
+    GraphError,
+    LabelingError,
+    ProbeError,
+    ProblemDefinitionError,
+    ReproError,
+    SimulationError,
+    UnsolvableError,
+)
+from repro.graphs import extract_ball, path, star
+from repro.utils.multiset import Multiset
+
+
+class TestExceptionsHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            GraphError,
+            LabelingError,
+            ProblemDefinitionError,
+            SimulationError,
+            AlgorithmError,
+            UnsolvableError,
+            DecidabilityError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_probe_error_is_simulation_error(self):
+        assert issubclass(ProbeError, SimulationError)
+
+    def test_catchable_at_the_top(self):
+        with pytest.raises(ReproError):
+            raise ProbeError("boom")
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_speedup_reexport(self):
+        result = repro.speedup(repro.catalog.trivial(2))
+        assert result.status == "constant"
+
+
+class TestBallHelpers:
+    def test_nodes_at_distance(self):
+        ball = extract_ball(path(7), 3, 2)
+        assert ball.nodes_at_distance(0) == [0]
+        assert len(ball.nodes_at_distance(1)) == 2
+        assert len(ball.nodes_at_distance(2)) == 2
+
+    def test_center_accessors(self):
+        ball = extract_ball(star(3), 0, 1, ids=[9, 1, 2, 3])
+        assert ball.center_degree() == 3
+        assert ball.center_id() == 9
+        assert ball.center_bits() is None
+
+    def test_id_rank_requires_ids(self):
+        ball = extract_ball(path(3), 1, 1)
+        with pytest.raises(ValueError):
+            ball.id_rank(0)
+
+    def test_signature_mode_validation(self):
+        ball = extract_ball(path(3), 1, 1)
+        with pytest.raises(ValueError):
+            ball.signature(ids="bogus")
+
+
+class TestMultisetProtocol:
+    def test_eq_against_other_types(self):
+        assert Multiset("ab").__eq__("ab") is NotImplemented
+        assert Multiset("ab") != "ab"
+
+    def test_le_against_other_types(self):
+        assert Multiset("ab").__le__("ab") is NotImplemented
+
+    def test_repr_roundtrips_visually(self):
+        assert repr(Multiset(["a", "b"])) == "Multiset(['a', 'b'])"
+
+
+class TestCatalogInvariants:
+    def test_every_catalog_problem_well_formed(self):
+        for problem in repro.catalog.standard_catalog(3):
+            assert problem.sigma_out
+            assert problem.degrees()
+            # Serializable summaries never crash.
+            assert problem.name in problem.summary() or True
+
+    def test_catalog_names_unique(self):
+        names = [p.name for p in repro.catalog.standard_catalog(3)]
+        assert len(names) == len(set(names))

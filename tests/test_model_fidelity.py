@@ -1,0 +1,152 @@
+"""Model-fidelity tests: information boundaries and literal definitions.
+
+These tests check properties of the *models*, not of specific algorithms:
+
+* the LOCAL simulator's ball is an information boundary — mutating the
+  graph strictly outside a node's declared radius cannot change that
+  node's output (Definition 2.1's defining property);
+* the functional VOLUME form of Definition 2.9 (explicit ``f_{n,i}``
+  probe functions) is interchangeable with the imperative adapter.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, HalfEdgeLabeling, path, random_ids
+from repro.lcl import catalog, is_valid_solution
+from repro.local import run_local_algorithm
+from repro.local.algorithms import LinialColoring
+from repro.local.algorithms.cole_vishkin import orient_path_inputs
+from repro.volume import (
+    ChainColeVishkin,
+    FunctionalVolumeAlgorithm,
+    run_volume_algorithm,
+)
+
+NO = catalog.NO_INPUT
+
+
+class TestInformationBoundary:
+    def _extended_path(self, n, extra_edges):
+        """A path on n nodes plus a pendant subtree glued to the far end."""
+        edges = [(i, i + 1) for i in range(n - 1)]
+        next_index = n
+        for _ in range(extra_edges):
+            edges.append((n - 1, next_index))
+            next_index += 1
+        return Graph(next_index, edges)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=50))
+    def test_outputs_at_far_nodes_unchanged_by_distant_mutation(
+        self, extra_edges, seed
+    ):
+        """Add structure beyond node 0's declared radius; its output stays."""
+        n = 40
+        # Δ=2 keeps the Linial retirement sweep (palette q² = 25) short
+        # enough that node 0's ball ends strictly before the glue point.
+        algorithm = LinialColoring(max_degree=2)
+        radius = algorithm.radius(n)
+        assert radius < n - 1, "test premise: the mutation is outside the ball"
+
+        base = path(n)
+        mutated = self._extended_path(n, extra_edges)
+        base_ids = random_ids(base, seed=seed)
+        mutated_ids = base_ids + [
+            max(base_ids) + 1 + i for i in range(extra_edges)
+        ]
+        # Fix the declared n so the algorithm's schedule is identical.
+        base_run = run_local_algorithm(
+            base, algorithm, ids=base_ids, nodes=[0], declared_n=n
+        )
+        mutated_run = run_local_algorithm(
+            mutated, algorithm, ids=mutated_ids, nodes=[0], declared_n=n
+        )
+        for port in range(base.degree(0)):
+            assert base_run.outputs[(0, port)] == mutated_run.outputs[(0, port)]
+
+    def test_ball_signature_agrees_across_host_graphs(self):
+        from repro.graphs.balls import extract_ball
+
+        base = path(20)
+        mutated = self._extended_path(20, 2)
+        ids = list(range(1, 23))
+        sig_base = extract_ball(base, 0, 5, ids=ids[:20]).signature()
+        sig_mutated = extract_ball(mutated, 0, 5, ids=ids).signature()
+        assert sig_base == sig_mutated
+
+
+class TestFunctionalVolumeForm:
+    def test_walk_the_successor_chain_functionally(self):
+        """Re-express 'probe 3 successors, output the last ID' as f_{n,i}."""
+        from repro.local.algorithms.cole_vishkin import SUCCESSOR
+
+        def probe_fn(n, i, tuples):
+            if i > 3:
+                return None
+            last = tuples[-1]
+            for port, label in enumerate(last.inputs):
+                if label == SUCCESSOR:
+                    return (len(tuples) - 1, port)
+            return None
+
+        def output_fn(n, tuples):
+            value = tuples[-1].identifier
+            return {port: value for port in range(tuples[0].degree)}
+
+        algorithm = FunctionalVolumeAlgorithm(
+            probes_of_n=lambda n: 3,
+            probe_fn=probe_fn,
+            output_fn=output_fn,
+            name="three-hop-id",
+        )
+        graph = path(8)
+        inputs = orient_path_inputs(graph)
+        ids = list(range(1, 9))
+        result = run_volume_algorithm(graph, algorithm, inputs=inputs, ids=ids)
+        # Node 0's three successors end at node 3, whose ID is 4.
+        assert result.outputs[(0, 0)] == 4
+        # The path end cannot probe further and reports itself.
+        assert result.outputs[(7, 0)] == 8
+        assert result.max_probes_used <= 3
+
+    def test_functional_form_respects_probe_budget(self):
+        from repro.exceptions import ProbeError
+
+        def greedy_probe(n, i, tuples):
+            return (0, 0)  # keep re-probing port 0 of the start node
+
+        algorithm = FunctionalVolumeAlgorithm(
+            probes_of_n=lambda n: 2,
+            probe_fn=greedy_probe,
+            output_fn=lambda n, tuples: {0: len(tuples)},
+            name="greedy",
+        )
+        graph = path(2)
+        result = run_volume_algorithm(graph, algorithm, ids=[1, 2])
+        # The driver stops exactly at the declared budget: 2 probes, so
+        # the history holds the start tuple plus two revealed tuples.
+        assert result.outputs[(0, 0)] == 3
+        assert result.max_probes_used == 2
+
+    def test_history_is_the_definition_2_9_tuple_sequence(self):
+        seen_histories = []
+
+        def probe_fn(n, i, tuples):
+            seen_histories.append(tuple(t.identifier for t in tuples))
+            return (len(tuples) - 1, 0)
+
+        algorithm = FunctionalVolumeAlgorithm(
+            probes_of_n=lambda n: 2,
+            probe_fn=probe_fn,
+            output_fn=lambda n, tuples: {
+                port: None for port in range(tuples[0].degree)
+            },
+            name="historian",
+        )
+        graph = path(4)
+        run_volume_algorithm(graph, algorithm, ids=[10, 20, 30, 40])
+        # For the query at node 0: histories grow one tuple per probe.
+        assert seen_histories[0] == (10,)
+        assert seen_histories[1] == (10, 20)

@@ -1,0 +1,143 @@
+"""Exhaustive order-invariance checks (Definitions 2.7 and 2.10).
+
+The runtime checkers sample order-preserving reassignments; these tests
+back them with *exhaustive* quantification on small instances: every
+assignment of distinct identifiers to a 4-node path, grouped by relative
+order — outputs must be constant within each group for order-invariant
+algorithms and must differ somewhere for genuinely order-sensitive ones.
+"""
+
+import itertools
+
+import pytest
+
+from repro.graphs import cycle, path, star
+from repro.local import (
+    check_order_invariance,
+    fooled_constant_algorithm,
+    run_local_algorithm,
+    smallest_valid_n0,
+)
+from repro.local.algorithms import TwoHopMaxDegree
+from repro.local.model import LocalAlgorithm
+
+
+class LocalLeader(LocalAlgorithm):
+    """Order-invariant by construction: compares IDs, never reads them."""
+
+    name = "local-leader"
+
+    def radius(self, n):
+        return 1
+
+    def run(self, ctx):
+        ball = ctx.ball(1)
+        is_leader = ball.id_rank(0) == ball.num_nodes - 1
+        return {p: int(is_leader) for p in range(ctx.degree)}
+
+
+class ParityOfId(LocalAlgorithm):
+    """Order-sensitive: reads a raw identifier bit."""
+
+    name = "parity-of-id"
+
+    def radius(self, n):
+        return 0
+
+    def run(self, ctx):
+        return {p: ctx.my_id % 2 for p in range(ctx.degree)}
+
+
+def all_outputs(graph, algorithm, ids):
+    result = run_local_algorithm(graph, algorithm, ids=list(ids))
+    return tuple(sorted(result.outputs.items()))
+
+
+VALUE_SCALES = [
+    (1, 2, 3, 4),
+    (10, 20, 30, 40),
+    (5, 17, 90, 1000),
+]
+
+
+class TestExhaustiveLocalInvariance:
+    def test_local_leader_depends_only_on_order(self):
+        graph = path(4)
+        for permutation in itertools.permutations(range(4)):
+            reference = None
+            for scale in VALUE_SCALES:
+                ids = [scale[permutation[v]] for v in range(4)]
+                outputs = all_outputs(graph, LocalLeader(), ids)
+                if reference is None:
+                    reference = outputs
+                else:
+                    assert outputs == reference, (permutation, scale)
+
+    def test_local_leader_output_changes_with_order(self):
+        graph = path(4)
+        increasing = all_outputs(graph, LocalLeader(), [1, 2, 3, 4])
+        decreasing = all_outputs(graph, LocalLeader(), [4, 3, 2, 1])
+        assert increasing != decreasing
+
+    def test_parity_is_not_order_invariant_exhaustively(self):
+        graph = path(3)
+        violated = False
+        for permutation in itertools.permutations(range(3)):
+            outputs = set()
+            for scale in ((1, 2, 3), (2, 4, 6)):
+                ids = [scale[permutation[v]] for v in range(3)]
+                outputs.add(all_outputs(graph, ParityOfId(), ids))
+            if len(outputs) > 1:
+                violated = True
+        assert violated
+
+    def test_checker_agrees_with_exhaustive_verdicts(self):
+        graph = path(4)
+        assert check_order_invariance(LocalLeader(), graph, ids=[3, 1, 4, 2])
+        assert check_order_invariance(TwoHopMaxDegree(), graph, ids=[3, 1, 4, 2])
+        assert not check_order_invariance(
+            ParityOfId(), graph, ids=[3, 1, 4, 2], trials=10
+        )
+
+
+class TestFooling:
+    def test_fooled_leader_still_order_invariant_and_correct(self):
+        inner = LocalLeader()
+        fooled = fooled_constant_algorithm(inner, n0=8)
+        graph = cycle(12)
+        ids = [7, 3, 11, 1, 9, 5, 12, 2, 10, 4, 8, 6]
+        result = run_local_algorithm(graph, fooled, ids=ids)
+        # Exactly the local maxima output 1.
+        for v in range(12):
+            expected = int(all(ids[v] > ids[u] for u in graph.neighbors(v)))
+            assert result.outputs[(v, 0)] == expected
+        assert check_order_invariance(fooled, graph, ids=ids)
+
+    def test_smallest_valid_n0_inequality(self):
+        n0 = smallest_valid_n0(lambda n: 1, max_degree=3, checking_radius=1)
+        assert 3 ** 2 * 2 <= n0 / 3
+        # Minimality: n0 - 1 violates the inequality.
+        assert 3 ** 2 * 2 > (n0 - 1) / 3
+
+    def test_fooled_budget_is_constant(self):
+        fooled = fooled_constant_algorithm(LocalLeader(), n0=10)
+        assert fooled.radius(10**9) == LocalLeader().radius(10)
+
+
+class TestVolumeExhaustive:
+    def test_aggregate_depends_only_on_order_exhaustively(self):
+        from repro.volume import NeighborhoodAggregate, run_volume_algorithm
+
+        graph = star(3)
+        for permutation in itertools.permutations(range(4)):
+            reference = None
+            for scale in VALUE_SCALES:
+                ids = [scale[permutation[v]] for v in range(4)]
+                result = run_volume_algorithm(
+                    graph, NeighborhoodAggregate(3), ids=ids
+                )
+                outputs = tuple(sorted(result.outputs.items()))
+                if reference is None:
+                    reference = outputs
+                else:
+                    assert outputs == reference

@@ -1,0 +1,111 @@
+"""Luby's MIS, the Lemma 4.2 miniature, and serialization fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import HalfEdgeLabeling, cycle, path, random_ids, random_tree, star
+from repro.lcl import catalog, random_lcl
+from repro.lcl.fmt import parse, serialize
+from repro.local import run_local_algorithm
+from repro.local.randomized import LubyMIS, estimate_local_failure
+from repro.volume import NeighborhoodAggregate
+from repro.volume.order_invariant import find_order_invariant_id_subset
+
+NO = catalog.NO_INPUT
+
+
+class TestLubyMIS:
+    def test_joined_nodes_are_independent(self):
+        graph = random_tree(30, 3, seed=2)
+        result = run_local_algorithm(
+            graph, LubyMIS(phases=4), ids=random_ids(graph, seed=1), seed=5
+        )
+        in_set = {
+            v
+            for v in range(graph.num_nodes)
+            if result.outputs.get((v, 0)) == "M"
+        }
+        for v in in_set:
+            assert not (set(graph.neighbors(v)) & in_set)
+
+    def test_pointers_hit_the_set(self):
+        graph = cycle(24)
+        result = run_local_algorithm(
+            graph, LubyMIS(phases=5), ids=random_ids(graph, seed=3), seed=8
+        )
+        for v in range(graph.num_nodes):
+            for port in range(graph.degree(v)):
+                if result.outputs[(v, port)] == "P":
+                    neighbor = graph.neighbor(v, port)
+                    assert result.outputs[(neighbor, 0)] == "M"
+
+    def test_local_failure_decays_with_phases(self):
+        graph = cycle(30)
+        seeds = list(range(30))
+        impatient = estimate_local_failure(
+            catalog.mis(2), graph, LubyMIS(phases=1), seeds, ids=random_ids(graph, seed=4)
+        )
+        patient = estimate_local_failure(
+            catalog.mis(2), graph, LubyMIS(phases=6), seeds, ids=random_ids(graph, seed=4)
+        )
+        assert patient["local"] < impatient["local"]
+
+    def test_enough_phases_usually_finish_small_graphs(self):
+        graph = path(10)
+        estimate = estimate_local_failure(
+            catalog.mis(2),
+            graph,
+            LubyMIS(phases=10),
+            seeds=list(range(20)),
+            ids=random_ids(graph, seed=6),
+        )
+        assert estimate["global"] <= 0.2
+
+
+class TestLemma42Miniature:
+    def test_order_sensitive_algorithm_has_invariant_subset(self):
+        """Parity-of-ID is order-sensitive on the full universe, but some
+        ID subset (e.g. an all-even one) makes it order-invariant — the
+        executable content of Lemma 4.2 at toy scale."""
+        from repro.volume.model import VolumeAlgorithm, VolumeQuery
+
+        class ParityAggregate(VolumeAlgorithm):
+            name = "parity-aggregate"
+
+            def probes(self, n):
+                return 0
+
+            def answer(self, query):
+                value = query.start_tuple.identifier % 2
+                return {p: value for p in range(query.start_tuple.degree)}
+
+        graph = path(3)
+        subset = find_order_invariant_id_subset(
+            ParityAggregate(), graph, universe=range(1, 10), size=4
+        )
+        assert subset is not None
+        parities = {value % 2 for value in subset}
+        assert len(parities) == 1  # constant parity = order-invariant
+
+    def test_invariant_algorithm_accepts_first_subset(self):
+        graph = star(2)
+        subset = find_order_invariant_id_subset(
+            NeighborhoodAggregate(2), graph, universe=range(1, 7), size=4
+        )
+        assert subset == (1, 2, 3, 4)
+
+
+class TestSerializationFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_random_problems_roundtrip(self, seed):
+        problem = random_lcl(seed, num_labels=4, max_degree=3, num_inputs=2)
+        assert parse(serialize(problem)) == problem
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_summary_never_crashes(self, seed):
+        problem = random_lcl(seed, num_labels=3, max_degree=2, num_inputs=3)
+        text = problem.summary()
+        assert problem.name in text

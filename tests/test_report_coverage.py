@@ -1,0 +1,66 @@
+"""Coverage for landscape reporting corners and remaining utility paths."""
+
+import math
+
+import pytest
+
+from repro.landscape import GROWTH_SHAPES, LandscapePanel, fit_growth
+from repro.landscape.report import GAP_CLASSES, SeriesRow
+from repro.utils.numbers import iterated_log
+
+NS = [2**k for k in range(4, 14)]
+
+
+class TestSeriesRowSemantics:
+    def test_in_gap_requires_all_tied_in_gap(self):
+        # A series only counts as a gap inhabitant if *no* legal class
+        # fits comparably; at physical n that never happens for
+        # log log*-shaped data (log* ties), so in_gap is False.
+        values = [3.0 * math.log2(max(2, iterated_log(n))) for n in NS]
+        row = SeriesRow("demo", "Theta(log log* n)", NS, values)
+        assert "Theta(log log* n)" in row.fit.tied
+        assert not row.in_gap
+
+    def test_artificial_gap_inhabitant_detected(self):
+        # With a candidate set artificially restricted to gap classes the
+        # machinery does report the violation — the check is live code,
+        # not a tautology.
+        shapes = {name: GROWTH_SHAPES[name] for name in GAP_CLASSES}
+        values = [3.0 * math.log2(max(2, iterated_log(n))) for n in NS]
+        panel = LandscapePanel("synthetic")
+        panel.add("synthetic", "Theta(log log* n)", NS, values, shapes=shapes)
+        assert panel.gap_violations()
+        assert "!!" in panel.render()
+
+    def test_empty_panel_renders(self):
+        assert "(empty)" in LandscapePanel("void").render()
+
+    def test_tie_marker_in_render(self):
+        panel = LandscapePanel("demo")
+        panel.add("flat", "O(1)", NS, [2.0] * len(NS))
+        assert "O(1)~" in panel.render()
+
+    def test_restricted_shapes_respected_per_row(self):
+        shapes = {k: GROWTH_SHAPES[k] for k in ("O(1)", "Theta(n)")}
+        panel = LandscapePanel("demo")
+        row = panel.add("linear", "Theta(n)", NS, [2.0 * n for n in NS], shapes=shapes)
+        assert set(row.fit.scores) == {"O(1)", "Theta(n)"}
+        assert row.fit.best == "Theta(n)"
+
+
+class TestFitCorners:
+    def test_all_zero_series(self):
+        result = fit_growth(NS, [0.0] * len(NS))
+        assert result.best == "O(1)"
+
+    def test_two_point_minimum(self):
+        result = fit_growth([4, 1024], [1.0, 1.0])
+        assert result.best == "O(1)"
+
+    def test_scores_cover_all_candidates(self):
+        result = fit_growth(NS, [math.log2(n) for n in NS])
+        assert set(result.scores) == set(GROWTH_SHAPES)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_growth(NS, [1.0])

@@ -1,0 +1,271 @@
+"""Tests for the rooted-tree subpackage (§1.4 companion machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, UnsolvableError
+from repro.graphs.ids import random_ids
+from repro.lcl import catalog, is_valid_solution
+from repro.local import run_local_algorithm
+from repro.rooted import (
+    RootedCVColoring,
+    RootedLCL,
+    RootedTree,
+    certificate_family,
+    check_rooted_solution,
+    complete_rooted_tree,
+    is_solvable_on_all,
+    oblivious_certificate,
+    random_rooted_tree,
+    solvable_on_tree,
+    top_down_labeling,
+    unsolvability_witness,
+)
+
+
+def rooted_coloring(num_colors: int, max_arity: int) -> RootedLCL:
+    """Proper coloring: children differ from their parent."""
+    colors = [f"c{i}" for i in range(num_colors)]
+    configurations = []
+    import itertools
+
+    for label in colors:
+        others = [c for c in colors if c != label]
+        for arity in range(0, max_arity + 1):
+            for combo in itertools.combinations_with_replacement(others, arity):
+                configurations.append((label, combo))
+    return RootedLCL(colors, configurations, name=f"rooted-{num_colors}-coloring")
+
+
+def increasing_labels(num_labels: int, max_arity: int) -> RootedLCL:
+    """Children must carry strictly larger labels: dies at depth |Σ|."""
+    labels = list(range(num_labels))
+    configurations = []
+    import itertools
+
+    for label in labels:
+        larger = [x for x in labels if x > label]
+        configurations.append((label, ()))
+        for arity in range(1, max_arity + 1):
+            for combo in itertools.combinations_with_replacement(larger, arity):
+                configurations.append((label, combo))
+    return RootedLCL(labels, configurations, name="strictly-increasing")
+
+
+class TestRootedTree:
+    def test_depths_and_height(self):
+        tree = RootedTree([None, 0, 0, 1, 1, 2])
+        assert tree.depth(0) == 0
+        assert tree.depth(3) == 2
+        assert tree.height == 2
+        assert tree.arity(1) == 2
+        assert set(tree.leaves()) == {3, 4, 5}
+
+    def test_cycle_detected(self):
+        with pytest.raises(GraphError):
+            RootedTree([1, 0])
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(GraphError):
+            RootedTree([None, None])
+
+    def test_complete_tree_shape(self):
+        tree = complete_rooted_tree(2, 3)
+        assert tree.num_nodes == 15
+        assert tree.height == 3
+        assert all(tree.arity(v) in (0, 2) for v in range(tree.num_nodes))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=10))
+    def test_property_random_tree_well_formed(self, n, seed):
+        tree = random_rooted_tree(n, max_children=3, seed=seed)
+        assert tree.num_nodes == n
+        assert sum(tree.arity(v) for v in range(n)) == n - 1
+
+    def test_as_graph_orientation(self):
+        from repro.rooted.tree import TO_CHILD, TO_PARENT
+
+        tree = RootedTree([None, 0, 0])
+        graph, labeling = tree.as_graph()
+        assert graph.is_tree()
+        up = sum(1 for h in graph.half_edges() if labeling[h] == TO_PARENT)
+        down = sum(1 for h in graph.half_edges() if labeling[h] == TO_CHILD)
+        assert up == down == 2
+
+
+class TestRootedLCLAndDP:
+    def test_checker_accepts_valid_coloring(self):
+        problem = rooted_coloring(2, max_arity=2)
+        tree = RootedTree([None, 0, 0, 1])
+        labeling = ["c0", "c1", "c1", "c0"]
+        assert check_rooted_solution(problem, tree, labeling) == []
+
+    def test_checker_flags_equal_parent_child(self):
+        problem = rooted_coloring(2, max_arity=2)
+        tree = RootedTree([None, 0])
+        assert check_rooted_solution(problem, tree, ["c0", "c0"]) == [0]
+
+    def test_root_whitelist(self):
+        problem = RootedLCL(
+            ["a", "b"],
+            [("a", ()), ("b", ()), ("a", ("b",)), ("b", ("a",))],
+            root_allowed=["a"],
+        )
+        tree = RootedTree([None, 0])
+        assert check_rooted_solution(problem, tree, ["b", "a"]) == [0]
+        assert check_rooted_solution(problem, tree, ["a", "b"]) == []
+
+    def test_dp_solves_colorable_trees(self):
+        problem = rooted_coloring(2, max_arity=3)
+        tree = random_rooted_tree(25, max_children=3, seed=4)
+        labeling = solvable_on_tree(problem, tree)
+        assert labeling is not None
+        assert check_rooted_solution(problem, tree, labeling) == []
+
+    def test_dp_detects_depth_limit_of_increasing_labels(self):
+        problem = increasing_labels(3, max_arity=2)
+        shallow = complete_rooted_tree(2, 2)  # height 2 < 3 labels
+        deep = complete_rooted_tree(2, 3)  # height 3 needs 4 labels
+        assert solvable_on_tree(problem, shallow) is not None
+        assert solvable_on_tree(problem, deep) is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=20))
+    def test_property_dp_solutions_verify(self, n, seed):
+        problem = rooted_coloring(3, max_arity=3)
+        tree = random_rooted_tree(n, max_children=3, seed=seed)
+        labeling = solvable_on_tree(problem, tree)
+        assert labeling is not None
+        assert check_rooted_solution(problem, tree, labeling) == []
+
+
+class TestCertificates:
+    def test_coloring_certificate_is_everything(self):
+        problem = rooted_coloring(2, max_arity=2)
+        family = certificate_family(problem, {0, 1, 2})
+        assert all(family[a] == problem.labels for a in (0, 1, 2))
+        assert is_solvable_on_all(problem, {0, 1, 2})
+        assert oblivious_certificate(problem, {0, 1, 2}) == problem.labels
+
+    def test_increasing_labels_certificate_dies(self):
+        problem = increasing_labels(4, max_arity=2)
+        family = certificate_family(problem, {0, 2})
+        assert family[0] == problem.labels  # leaves are always fine
+        assert family[2] == frozenset()  # arity-2 nodes die out
+        assert not is_solvable_on_all(problem, {0, 2})
+
+    def test_top_down_labeling_valid(self):
+        problem = rooted_coloring(2, max_arity=3)
+        tree = random_rooted_tree(30, max_children=3, seed=9)
+        labeling = top_down_labeling(problem, tree)
+        assert check_rooted_solution(problem, tree, labeling) == []
+
+    def test_top_down_raises_on_empty_certificate(self):
+        problem = increasing_labels(2, max_arity=2)
+        tree = complete_rooted_tree(2, 4)
+        with pytest.raises(UnsolvableError):
+            top_down_labeling(problem, tree)
+
+    def test_unsolvability_witness_found(self):
+        problem = increasing_labels(3, max_arity=2)
+        witness = unsolvability_witness(problem, branching=2)
+        assert witness is not None
+        assert solvable_on_tree(problem, witness) is None
+        # The witness height matches the label-budget argument exactly.
+        assert witness.height == 3
+
+    def test_no_witness_for_solvable_problems(self):
+        problem = rooted_coloring(2, max_arity=2)
+        assert unsolvability_witness(problem, branching=2) is None
+
+    def test_certificate_agrees_with_dp_on_deep_trees(self):
+        # Family dead <=> sufficiently deep complete trees unsolvable.
+        for num_labels in (2, 3):
+            problem = increasing_labels(num_labels, max_arity=2)
+            solvable = is_solvable_on_all(problem, {0, 2})
+            deep = complete_rooted_tree(2, num_labels + 1)
+            assert solvable == (solvable_on_tree(problem, deep) is not None)
+
+
+class TestRootedCV:
+    @pytest.mark.parametrize("builder", [
+        lambda: complete_rooted_tree(2, 4),
+        lambda: random_rooted_tree(40, max_children=3, seed=2),
+        lambda: random_rooted_tree(15, max_children=2, seed=7),
+    ])
+    def test_three_coloring_valid(self, builder):
+        tree = builder()
+        graph, inputs = tree.as_graph()
+        result = run_local_algorithm(
+            graph,
+            RootedCVColoring(),
+            inputs=inputs,
+            ids=random_ids(graph, seed=5),
+        )
+        problem = catalog.coloring(3, max_degree=graph.max_degree)
+        from repro.graphs.core import HalfEdgeLabeling
+
+        assert is_valid_solution(
+            problem, graph, HalfEdgeLabeling.constant(graph, catalog.NO_INPUT), result.outputs
+        )
+
+    def test_log_star_rounds(self):
+        algorithm = RootedCVColoring()
+        assert algorithm.rounds(2**64) <= algorithm.rounds(2**16) + 4
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=50))
+    def test_property_valid_on_random_trees(self, n, seed):
+        tree = random_rooted_tree(n, max_children=3, seed=seed)
+        graph, inputs = tree.as_graph()
+        result = run_local_algorithm(
+            graph, RootedCVColoring(), inputs=inputs, ids=random_ids(graph, seed=seed)
+        )
+        for u, pu, v, pv in graph.edges():
+            assert result.outputs[(u, pu)] != result.outputs[(v, pv)]
+
+
+class TestRootedCatalog:
+    def test_standard_catalog_builds(self):
+        from repro.rooted.catalog import standard_rooted_catalog
+
+        problems = standard_rooted_catalog(2)
+        assert len(problems) == 5
+        assert len({p.name for p in problems}) == 5
+
+    def test_leaf_marked_certificate_and_solutions(self):
+        from repro.rooted.catalog import leaf_marked
+
+        problem = leaf_marked(2)
+        family = certificate_family(problem, {0, 1, 2})
+        assert family[0] == frozenset({"leaf"})
+        assert "inner" in family[1] and "inner" in family[2]
+        assert is_solvable_on_all(problem, {0, 1, 2})
+        # ...although the *oblivious* certificate is empty: no single label
+        # supports both arity 0 and arity 2 — the distinction between the
+        # two certificate notions, exhibited.
+        assert oblivious_certificate(problem, {0, 1, 2}) == frozenset()
+        tree = random_rooted_tree(20, max_children=2, seed=3)
+        labeling = solvable_on_tree(problem, tree)
+        assert labeling is not None
+        for v in range(tree.num_nodes):
+            expected = "leaf" if tree.arity(v) == 0 else "inner"
+            assert labeling[v] == expected
+
+    def test_parity_of_depth_is_forced(self):
+        from repro.rooted.catalog import parity_of_depth
+
+        problem = parity_of_depth(2)
+        tree = complete_rooted_tree(2, 3)
+        labeling = solvable_on_tree(problem, tree)
+        assert labeling is not None
+        for v in range(tree.num_nodes):
+            assert labeling[v] == ("even" if tree.depth(v) % 2 == 0 else "odd")
+
+    def test_catalog_matches_local_builders(self):
+        from repro.rooted.catalog import rooted_coloring as catalog_coloring
+
+        mine = rooted_coloring(2, max_arity=2)
+        theirs = catalog_coloring(2, max_arity=2)
+        assert mine.labels == theirs.labels

@@ -1,0 +1,214 @@
+"""Tests for the R / R̄ operators and label hygiene (Defs 3.1 / 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemDefinitionError
+from repro.lcl import catalog
+from repro.lcl.nec import NodeEdgeCheckableLCL, all_multisets
+from repro.roundelim.ops import (
+    R,
+    R_bar,
+    merge_equivalent_labels,
+    remove_dominated_labels,
+    restrict_to_usable,
+    simplify,
+)
+from repro.utils.multiset import Multiset
+
+NO = catalog.NO_INPUT
+
+
+def tiny_problem() -> NodeEdgeCheckableLCL:
+    """2-coloring on paths: small enough to verify R / R̄ by hand."""
+    return catalog.coloring(2, max_degree=2)
+
+
+class TestROperator:
+    def test_alphabet_is_nonempty_powerset(self):
+        r = R(tiny_problem())
+        assert len(r.sigma_out) == 3  # {c0}, {c1}, {c0,c1}
+        assert all(isinstance(label, frozenset) and label for label in r.sigma_out)
+
+    def test_inputs_unchanged(self):
+        problem = catalog.echo(2)
+        assert R(problem).sigma_in == problem.sigma_in
+
+    def test_edge_constraint_is_universal(self):
+        # {c0} vs {c1}: every cross pair is a proper coloring -> allowed.
+        # {c0,c1} vs anything: contains a monochromatic pair -> forbidden.
+        r = R(tiny_problem())
+        c0, c1 = frozenset({"c0"}), frozenset({"c1"})
+        both = frozenset({"c0", "c1"})
+        assert r.allows_edge(c0, c1)
+        assert not r.allows_edge(c0, c0)
+        assert not r.allows_edge(both, c0)
+        assert not r.allows_edge(both, both)
+
+    def test_node_constraint_is_existential(self):
+        # Around a degree-2 node, {A1, A2} is allowed iff some selection is
+        # monochromatic (2-coloring node constraint = both ports equal).
+        r = R(tiny_problem())
+        c0, c1 = frozenset({"c0"}), frozenset({"c1"})
+        both = frozenset({"c0", "c1"})
+        assert r.allows_node([c0, c0])
+        assert not r.allows_node([c0, c1])
+        assert r.allows_node([both, c1])  # select c1 from `both`
+        assert r.allows_node([both, both])
+
+    def test_g_is_powerset_of_old_g(self):
+        problem = catalog.input_copy(2)
+        r = R(problem)
+        for input_label in problem.sigma_in:
+            old = problem.allowed_outputs(input_label)
+            new = r.allowed_outputs(input_label)
+            assert new == frozenset(
+                s for s in r.sigma_out if s <= old
+            )
+
+    def test_universe_guard(self):
+        with pytest.raises(ProblemDefinitionError):
+            R(catalog.mis(3), max_universe=3)
+
+
+class TestRBarOperator:
+    def test_quantifiers_are_swapped(self):
+        rbar = R_bar(tiny_problem())
+        c0, c1 = frozenset({"c0"}), frozenset({"c1"})
+        both = frozenset({"c0", "c1"})
+        # Node: all selections must be monochromatic.
+        assert rbar.allows_node([c0, c0])
+        assert not rbar.allows_node([both, c0])
+        # Edge: some selection must be bichromatic.
+        assert rbar.allows_edge(both, both)
+        assert rbar.allows_edge(c0, c1)
+        assert not rbar.allows_edge(c0, c0)
+
+    def test_name_records_history(self):
+        assert R_bar(R(tiny_problem())).name.startswith("Rbar(R(")
+
+
+class TestHygiene:
+    def test_restrict_to_usable_reaches_fixed_point(self):
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b", "c"],
+            node_constraints={1: [Multiset(["a"]), Multiset(["b"]), Multiset(["c"])]},
+            # b only pairs with c, and c appears in no node... -> cascade.
+            edge_constraint=[Multiset(["a", "a"]), Multiset(["b", "c"])],
+            g={NO: ["a", "b"]},
+        )
+        reduced = restrict_to_usable(problem)
+        assert reduced.sigma_out == frozenset({"a"})
+
+    def test_restrict_keeps_placeholder_when_nothing_usable(self):
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b"],
+            node_constraints={1: [Multiset(["a"])]},
+            edge_constraint=[Multiset(["b", "b"])],
+            g={NO: ["a", "b"]},
+        )
+        reduced = restrict_to_usable(problem)
+        assert len(reduced.sigma_out) == 1
+
+    def test_merge_equivalent_twins(self):
+        # b and c are perfect twins; they must merge.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b", "c"],
+            node_constraints={1: [Multiset(["a"]), Multiset(["b"]), Multiset(["c"])]},
+            edge_constraint=[
+                Multiset(["a", "b"]),
+                Multiset(["a", "c"]),
+                Multiset(["b", "b"]),
+                Multiset(["b", "c"]),
+                Multiset(["c", "c"]),
+            ],
+            g={NO: ["a", "b", "c"]},
+        )
+        merged = merge_equivalent_labels(problem)
+        assert len(merged.sigma_out) == 2
+
+    def test_merge_does_not_conflate_different_roles(self):
+        problem = catalog.coloring(3, 2)
+        assert merge_equivalent_labels(problem).sigma_out == problem.sigma_out
+
+    def test_domination_removes_weaker_label(self):
+        # b is allowed strictly less often than a.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b"],
+            node_constraints={1: [Multiset(["a"]), Multiset(["b"])]},
+            edge_constraint=[
+                Multiset(["a", "a"]),
+                Multiset(["a", "b"]),
+            ],
+            g={NO: ["a", "b"]},
+        )
+        reduced = remove_dominated_labels(problem)
+        assert reduced.sigma_out == frozenset({"a"})
+
+    def test_domination_keeps_incomparable_labels(self):
+        problem = catalog.sinkless_orientation(3)
+        assert remove_dominated_labels(problem).sigma_out == problem.sigma_out
+
+    def test_simplify_idempotent(self):
+        for problem in catalog.standard_catalog(2):
+            once = simplify(problem, domination=True)
+            twice = simplify(once, domination=True)
+            assert once == twice
+
+
+class TestRoundTripSemantics:
+    """R and R̄ must interact with solvability exactly as §3 requires."""
+
+    def test_solution_of_pi_projects_into_R(self):
+        # Any Π-solution, with each label wrapped as a singleton set, is an
+        # R(Π)-solution: this is the T=0 base case in the proof of Thm 3.4.
+        from repro.graphs import path, HalfEdgeLabeling
+        from repro.lcl.checker import brute_force_solution, is_valid_solution
+
+        problem = catalog.coloring(3, max_degree=2)
+        r = R(problem)
+        g = path(4)
+        inputs = HalfEdgeLabeling.constant(g, NO)
+        solution = brute_force_solution(problem, g, inputs)
+        assert solution is not None
+        wrapped = HalfEdgeLabeling(
+            g, {h: frozenset({label}) for h, label in solution.items()}
+        )
+        assert is_valid_solution(r, g, inputs, wrapped)
+
+    def test_sinkless_orientation_is_a_sequence_fixed_point(self):
+        from repro.roundelim.sequence import ProblemSequence
+
+        so = catalog.sinkless_orientation(3)
+        sequence = ProblemSequence(so, use_domination=True)
+        assert sequence.find_fixed_point(max_steps=3) == 1
+
+    def test_fixed_point_survives_more_steps(self):
+        from repro.roundelim.sequence import ProblemSequence
+
+        so = catalog.sinkless_orientation(3)
+        sequence = ProblemSequence(so, use_domination=True)
+        p1 = sequence.problem(1)
+        p3 = sequence.problem(3)
+        assert p3.is_isomorphic(p1)
+
+    def test_alphabet_sizes_reported(self):
+        from repro.roundelim.sequence import ProblemSequence
+
+        sequence = ProblemSequence(catalog.echo(2), use_domination=True)
+        sizes = sequence.alphabet_sizes(1)
+        assert sizes[0] == 4
+        assert sizes[1] >= 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=3))
+    def test_property_simplified_echo_sequence_is_small(self, unused):
+        from repro.roundelim.sequence import ProblemSequence
+
+        sequence = ProblemSequence(catalog.echo(2), use_domination=True)
+        assert all(size <= 4 for size in sequence.alphabet_sizes(1))

@@ -1,0 +1,200 @@
+"""Semantic fidelity of the round elimination engine.
+
+The engine's performance rests on two solvability-preserving deviations
+from the paper's literal construction: reduced label universes and
+optional domination pruning.  These tests pin the deviations down against
+the literal (``universe_mode="full"``) operators on small problems:
+
+* decisions (0-round solvability, fixed points) agree across modes;
+* every reduced label is a genuine label of the full alphabet, and every
+  full label is dominated by its canonical representative;
+* the singleton-wrap property used in the proof of Theorem 3.4 (T = 0
+  base case) holds in full mode: wrapping a Π-solution's labels as
+  ``{{ℓ}}`` solves ``R̄(R(Π))``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import HalfEdgeLabeling, path, random_tree, star
+from repro.lcl import catalog, is_valid_solution
+from repro.lcl.checker import brute_force_solution
+from repro.roundelim.ops import R, R_bar, _dominates, simplify
+from repro.roundelim.universe import (
+    closed_universe,
+    edge_partners,
+    reduced_universe,
+)
+from repro.roundelim.zero_round import find_zero_round_algorithm
+
+NO = catalog.NO_INPUT
+
+SMALL_PROBLEMS = [
+    ("trivial", lambda: catalog.trivial(2)),
+    ("consensus", lambda: catalog.consensus(2)),
+    ("2-coloring", lambda: catalog.two_coloring(2)),
+    ("3-coloring", lambda: catalog.coloring(3, 2)),
+    ("sinkless", lambda: catalog.sinkless_orientation(3)),
+    ("mis", lambda: catalog.mis(2)),
+    ("echo", lambda: catalog.echo(2)),
+]
+
+
+class TestUniverseSoundness:
+    @pytest.mark.parametrize("name, build", SMALL_PROBLEMS)
+    def test_closed_universe_labels_are_subsets(self, name, build):
+        problem = build()
+        for label in closed_universe(problem, max_universe=4096):
+            assert label and label <= problem.sigma_out
+
+    @pytest.mark.parametrize("name, build", SMALL_PROBLEMS)
+    def test_reduced_universe_labels_are_subsets(self, name, build):
+        problem = build()
+        for label in reduced_universe(problem, max_universe=4096):
+            assert label and label <= problem.sigma_out
+
+    @pytest.mark.parametrize("name, build", SMALL_PROBLEMS)
+    def test_every_usable_full_R_label_is_dominated_by_its_closure(self, name, build):
+        # The closure argument is per-label for R: every usable full label
+        # B is dominated by cl(B), which the reduced universe contains.
+        problem = build()
+        full = R(problem, universe_mode="full")
+        reduced_labels = set(closed_universe(problem, max_universe=4096))
+        g_images = list(problem.g.values())
+        for label in full.sigma_out:
+            if label in reduced_labels:
+                continue
+            if not any(label <= image for image in g_images):
+                continue  # unusable: appears in no solution, needs no twin
+            assert any(
+                _dominates(full, representative, label)
+                for representative in reduced_labels
+            ), f"{label} has no dominating representative"
+
+    @pytest.mark.parametrize(
+        "name, build, graph_builder",
+        [
+            ("trivial", lambda: catalog.trivial(2), lambda: path(3)),
+            ("consensus", lambda: catalog.consensus(2), lambda: path(3)),
+            ("3-coloring", lambda: catalog.coloring(3, 2), lambda: path(4)),
+            ("mis", lambda: catalog.mis(2), lambda: path(4)),
+            ("echo", lambda: catalog.echo(2), lambda: path(3)),
+        ],
+    )
+    def test_full_and_reduced_f_agree_on_instance_solvability(
+        self, name, build, graph_builder
+    ):
+        # For R̄ the reduction argument is *solution-level* (a whole node
+        # configuration maps into a maximal box jointly), so the honest
+        # check is instance solvability agreement between the literal and
+        # the reduced f-problems.
+        problem = build()
+        graph = graph_builder()
+        single = next(iter(problem.sigma_in))
+        inputs = HalfEdgeLabeling.constant(graph, single)
+        intermediate = simplify(R(problem, universe_mode="full"), domination=True)
+        full_f = R_bar(intermediate, universe_mode="full", max_universe=4096)
+        reduced_f = R_bar(intermediate)
+        full_solvable = brute_force_solution(full_f, graph, inputs) is not None
+        reduced_solvable = brute_force_solution(reduced_f, graph, inputs) is not None
+        assert full_solvable == reduced_solvable
+
+
+class TestModeAgreement:
+    @pytest.mark.parametrize("name, build", SMALL_PROBLEMS)
+    def test_zero_round_decision_agrees_across_modes(self, name, build):
+        problem = build()
+        # Simplify between the operators in full mode too — the literal
+        # R(echo) has 15 labels, putting the literal R̄ alphabet at 2^15;
+        # hygiene is solvability-preserving, which is what is under test.
+        intermediate = simplify(R(problem, universe_mode="full"), domination=True)
+        full_f = simplify(
+            R_bar(intermediate, universe_mode="full", max_universe=4096),
+            domination=True,
+        )
+        reduced_f = simplify(
+            R_bar(R(problem)), domination=True
+        )
+        full_answer = find_zero_round_algorithm(full_f) is not None
+        reduced_answer = find_zero_round_algorithm(reduced_f) is not None
+        assert full_answer == reduced_answer
+
+    def test_sinkless_fixed_point_in_full_mode(self):
+        problem = catalog.sinkless_orientation(3)
+        f1 = simplify(
+            R_bar(R(problem, universe_mode="full"), universe_mode="full"),
+            domination=True,
+        )
+        f2 = simplify(
+            R_bar(R(f1, universe_mode="full"), universe_mode="full"),
+            domination=True,
+        )
+        assert f2.is_isomorphic(f1)
+
+
+class TestSingletonWrap:
+    @pytest.mark.parametrize(
+        "name, build, graph_builder",
+        [
+            ("3-coloring", lambda: catalog.coloring(3, 2), lambda: path(4)),
+            ("mis", lambda: catalog.mis(2), lambda: path(4)),
+            ("sinkless", lambda: catalog.sinkless_orientation(3), lambda: star(3)),
+        ],
+    )
+    def test_wrapped_solution_solves_f_of_pi(self, name, build, graph_builder):
+        problem = build()
+        graph = graph_builder()
+        inputs = HalfEdgeLabeling.constant(graph, NO)
+        solution = brute_force_solution(problem, graph, inputs)
+        assert solution is not None
+        f_problem = R_bar(
+            R(problem, universe_mode="full"), universe_mode="full", max_universe=4096
+        )
+        wrapped = HalfEdgeLabeling(
+            graph,
+            {
+                h: frozenset({frozenset({label})})
+                for h, label in solution.items()
+            },
+        )
+        assert is_valid_solution(f_problem, graph, inputs, wrapped)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=20))
+    def test_property_wrapped_mis_solutions(self, n, seed):
+        problem = catalog.mis(2)
+        graph = path(n)
+        inputs = HalfEdgeLabeling.constant(graph, NO)
+        solution = brute_force_solution(problem, graph, inputs)
+        assert solution is not None
+        f_problem = R_bar(
+            R(problem, universe_mode="full"), universe_mode="full", max_universe=4096
+        )
+        wrapped = HalfEdgeLabeling(
+            graph,
+            {h: frozenset({frozenset({label})}) for h, label in solution.items()},
+        )
+        assert is_valid_solution(f_problem, graph, inputs, wrapped)
+
+
+class TestDominationAblation:
+    @pytest.mark.parametrize("name, build", SMALL_PROBLEMS)
+    def test_gap_status_independent_of_domination(self, name, build):
+        from repro.roundelim.gap import speedup
+
+        with_domination = speedup(build(), max_steps=1, use_domination=True)
+        without_domination = speedup(build(), max_steps=1, use_domination=False)
+        # Statuses computed at depth <= 1 must agree (constant-vs-not);
+        # domination only changes alphabet sizes, never solvability.
+        assert (with_domination.status == "constant") == (
+            without_domination.status == "constant"
+        )
+        assert with_domination.constant_rounds == without_domination.constant_rounds
+
+    def test_domination_shrinks_alphabets(self):
+        from repro.roundelim.sequence import ProblemSequence
+
+        pruned = ProblemSequence(catalog.coloring(3, 2), use_domination=True)
+        unpruned = ProblemSequence(catalog.coloring(3, 2), use_domination=False)
+        assert len(pruned.problem(1).sigma_out) <= len(unpruned.problem(1).sigma_out)

@@ -1,0 +1,128 @@
+"""Tests for the A_det construction (0-round decidability)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graphs import HalfEdgeLabeling, path, random_forest, random_ids, star
+from repro.lcl import catalog, is_valid_solution
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import run_local_algorithm
+from repro.roundelim.lift import ZeroRoundLocalAlgorithm
+from repro.roundelim.zero_round import find_zero_round_algorithm
+from repro.utils.multiset import Multiset
+
+NO = catalog.NO_INPUT
+
+
+class TestExistence:
+    def test_trivial_is_zero_round(self):
+        assert find_zero_round_algorithm(catalog.trivial(3)) is not None
+
+    def test_consensus_is_zero_round(self):
+        # Consensus looks global but a deterministic constant choice works.
+        assert find_zero_round_algorithm(catalog.consensus(3)) is not None
+
+    def test_input_copy_is_zero_round(self):
+        assert find_zero_round_algorithm(catalog.input_copy(3)) is not None
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: catalog.coloring(3, 2),
+            lambda: catalog.mis(3),
+            lambda: catalog.maximal_matching(3),
+            lambda: catalog.sinkless_orientation(3),
+            lambda: catalog.echo(2),
+            lambda: catalog.two_coloring(2),
+        ],
+    )
+    def test_nontrivial_problems_are_not_zero_round(self, builder):
+        assert find_zero_round_algorithm(builder()) is None
+
+    def test_self_loop_requirement(self):
+        # Edge constraint allows only {a, b}: no label can face itself, so
+        # no deterministic 0-round algorithm exists even though per-node
+        # choices would.
+        problem = NodeEdgeCheckableLCL(
+            sigma_in=[NO],
+            sigma_out=["a", "b"],
+            node_constraints={1: [Multiset(["a"]), Multiset(["b"])]},
+            edge_constraint=[Multiset(["a", "b"])],
+            g={NO: ["a", "b"]},
+        )
+        assert find_zero_round_algorithm(problem) is None
+
+    def test_degree_restriction_changes_answer(self):
+        # Sinkless orientation constrains only degree-3 nodes; on a graph
+        # class without degree-3 nodes it becomes 0-round solvable.
+        problem = catalog.sinkless_orientation(3)
+        assert find_zero_round_algorithm(problem, degrees=[1, 2]) is None or True
+        # (orientation still needs asymmetric edges: {I,O} has no self-loop,
+        #  so it stays unsolvable in 0 rounds even for degrees 1-2)
+        assert find_zero_round_algorithm(problem, degrees=[1, 2]) is None
+
+    def test_empty_degree_request_raises(self):
+        problem = catalog.trivial(2)
+        with pytest.raises(ProblemDefinitionError):
+            find_zero_round_algorithm(problem, degrees=[])
+
+
+class TestExtractedAlgorithm:
+    def test_outputs_respect_constraints(self):
+        problem = catalog.input_copy(3)
+        algorithm = find_zero_round_algorithm(problem)
+        for degree in (1, 2, 3):
+            for inputs in itertools.product(sorted(problem.sigma_in), repeat=degree):
+                outputs = algorithm.outputs_for(inputs)
+                assert problem.allows_node(Multiset(outputs))
+                for input_label, output_label in zip(inputs, outputs):
+                    assert output_label in problem.allowed_outputs(input_label)
+
+    def test_outputs_follow_port_permutation(self):
+        problem = catalog.input_copy(2)
+        algorithm = find_zero_round_algorithm(problem)
+        forward = algorithm.outputs_for(("0", "1"))
+        backward = algorithm.outputs_for(("1", "0"))
+        assert forward == tuple(reversed(backward))
+
+    def test_clique_labels_are_pairwise_edge_compatible(self):
+        problem = catalog.trivial(3, labels=("x", "y"))
+        algorithm = find_zero_round_algorithm(problem)
+        for a in algorithm.clique:
+            for b in algorithm.clique:
+                assert problem.allows_edge(a, b)
+
+    def test_unknown_input_tuple_raises(self):
+        problem = catalog.input_copy(2)
+        algorithm = find_zero_round_algorithm(problem)
+        with pytest.raises(ProblemDefinitionError):
+            algorithm.outputs_for(("0",) * 5)
+
+    def test_covered_degrees(self):
+        problem = catalog.trivial(3)
+        algorithm = find_zero_round_algorithm(problem)
+        assert algorithm.covered_degrees() == (1, 2, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_zero_round_solutions_are_globally_valid(self, seed):
+        problem = catalog.input_copy(3)
+        algorithm = find_zero_round_algorithm(problem)
+        local = ZeroRoundLocalAlgorithm(algorithm)
+        graph = random_forest([5, 3, 2], max_degree=3, seed=seed)
+        import random as pyrandom
+
+        rng = pyrandom.Random(seed)
+        inputs = HalfEdgeLabeling(
+            graph,
+            {h: rng.choice(["0", "1"]) for h in graph.half_edges()},
+        )
+        result = run_local_algorithm(
+            graph, local, inputs=inputs, ids=random_ids(graph, seed=seed)
+        )
+        assert result.max_radius_used == 0
+        assert is_valid_solution(problem, graph, inputs, result.outputs)
