@@ -13,7 +13,7 @@ neither changes any decision:
 
 import time
 
-from conftest import write_report
+from conftest import cache_report_lines, write_report
 
 from repro.lcl import catalog
 from repro.roundelim.gap import speedup
@@ -89,8 +89,9 @@ def run_experiment():
     return agreement, full_agreement, "\n".join(lines)
 
 
-def test_ablation(once):
+def test_ablation(once, roundelim_cache):
     agreement, full_agreement, report = once(run_experiment)
+    report += "\n" + "\n".join(cache_report_lines(roundelim_cache))
     write_report("ablation", report)
     assert all(agrees for _, agrees in agreement)
     assert all(same for _, same in full_agreement)

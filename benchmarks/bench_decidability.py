@@ -7,7 +7,7 @@ semidecision on both sides of the gap.
 """
 
 import pytest
-from conftest import write_report
+from conftest import cache_report_lines, write_report
 
 from repro.decidability import (
     classify_cycle_problem,
@@ -54,8 +54,9 @@ def run_experiment():
     return outcomes, histogram, "\n".join(lines)
 
 
-def test_decidability(once):
+def test_decidability(once, roundelim_cache):
     outcomes, histogram, report = once(run_experiment)
+    report += "\n" + "\n".join(cache_report_lines(roundelim_cache))
     write_report("decidability", report)
 
     for name, build, expected in EXPECTED_CYCLES:

@@ -4,10 +4,18 @@ Times the R / R̄ operators across the catalog, tracks the alphabet sizes
 along ``f^k`` (the §3.2 growth remark, tamed by label hygiene), and
 regenerates the classic certificate: sinkless orientation is a fixed
 point of ``f`` that is not 0-round solvable, hence not o(log* n).
+
+The experiment runs twice — a cold pass and a warm pass over the same
+problems — so the report also shows what the canonical operator cache
+buys: the warm pass must reproduce the cold outputs exactly while
+(cache enabled) hitting on every operator application.  ``--no-cache``
+reruns everything through the raw kernels.
 """
 
+import time
+
 import pytest
-from conftest import write_report
+from conftest import cache_report_lines, write_report
 
 from repro.decidability import find_fixed_point_certificate
 from repro.lcl import catalog
@@ -25,13 +33,13 @@ PROBLEMS = [
 ]
 
 
-def run_experiment():
+def run_experiment(problems=PROBLEMS, use_cache=True):
     lines = ["RE-fixedpoint: operator sizes and fixed-point certificates", ""]
     lines.append(f"  {'problem':<22} {'|out|':>5} {'|R|':>5} {'|f|':>5}  sequence")
     sizes = {}
-    for name, build in PROBLEMS:
+    for name, build in problems:
         problem = build()
-        sequence = ProblemSequence(problem, use_domination=True)
+        sequence = ProblemSequence(problem, use_domination=True, use_cache=use_cache)
         try:
             r_size = len(sequence.intermediate(0).sigma_out)
             f_size = len(sequence.problem(1).sigma_out)
@@ -50,8 +58,33 @@ def run_experiment():
     return sizes, certificate, "\n".join(lines)
 
 
-def test_roundelim_sizes_and_certificate(once):
-    sizes, certificate, report = once(run_experiment)
+def test_roundelim_sizes_and_certificate(once, roundelim_cache):
+    use_cache = roundelim_cache.get_cache().enabled
+
+    cold_start = time.perf_counter()
+    sizes, certificate, report = once(run_experiment, use_cache=use_cache)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm_sizes, warm_certificate, _ = run_experiment(use_cache=use_cache)
+    warm_seconds = time.perf_counter() - warm_start
+
+    # The cache must be invisible in the outputs...
+    assert warm_sizes == sizes
+    assert warm_certificate.certifies_lower_bound == certificate.certifies_lower_bound
+    if use_cache:
+        # ...while actually being used (and paying off) on the warm pass.
+        assert roundelim_cache.hit_rate() > 0
+        computes = {
+            op: c["computes"]
+            for op, c in roundelim_cache.stats()["operators"].items()
+        }
+        assert any(computes.values()), "cold pass should have executed kernels"
+
+    report += "\n" + "\n".join(cache_report_lines(roundelim_cache))
+    report += (
+        f"\n  cold pass: {cold_seconds:.3f}s  warm pass: {warm_seconds:.3f}s"
+    )
     write_report("roundelim", report)
 
     # Hygiene keeps the constant-class and fixed-point sequences tiny.
@@ -63,16 +96,41 @@ def test_roundelim_sizes_and_certificate(once):
     assert certificate is not None and certificate.certifies_lower_bound
 
 
+def test_warm_cache_speedup(roundelim_cache):
+    """Warm ``f``-walks hit the cache on every operator application."""
+    if not roundelim_cache.get_cache().enabled:
+        pytest.skip("--no-cache")
+    problem = catalog.mis(3)
+    ProblemSequence(problem, use_domination=True).problem(1)
+    before = {
+        op: c["computes"] for op, c in roundelim_cache.stats()["operators"].items()
+    }
+    ProblemSequence(problem, use_domination=True).problem(1)
+    after = {
+        op: c["computes"] for op, c in roundelim_cache.stats()["operators"].items()
+    }
+    assert after == before, "warm walk recomputed an operator"
+    assert roundelim_cache.hit_rate() > 0
+
+
 @pytest.mark.parametrize(
     "name, build",
     [(n, b) for n, b in PROBLEMS if n in ("sinkless-orientation", "echo", "mis")],
 )
-def test_kernel_R_operator(benchmark, name, build):
+def test_kernel_R_operator(benchmark, roundelim_cache, name, build):
     problem = build()
-    result = benchmark(lambda: R(problem))
+    use_cache = roundelim_cache.get_cache().enabled
+    result = benchmark(lambda: R(problem, use_cache=use_cache))
     assert result.sigma_out
 
 
-def test_kernel_full_f_step(benchmark):
+def test_kernel_full_f_step(benchmark, roundelim_cache):
     problem = catalog.sinkless_orientation(3)
-    benchmark(lambda: simplify(R_bar(R(problem)), domination=True))
+    use_cache = roundelim_cache.get_cache().enabled
+    benchmark(
+        lambda: simplify(
+            R_bar(R(problem, use_cache=use_cache), use_cache=use_cache),
+            domination=True,
+            use_cache=use_cache,
+        )
+    )

@@ -8,7 +8,7 @@ sinkless orientation it must produce the fixed-point certificate.
 """
 
 import pytest
-from conftest import write_report
+from conftest import cache_report_lines, write_report
 
 from repro.lcl import catalog
 from repro.roundelim.gap import speedup, verify_on_random_forests
@@ -29,11 +29,11 @@ HARD_CASES = [
 ]
 
 
-def run_all():
+def run_all(constant_cases=CONSTANT_CASES, hard_cases=HARD_CASES, use_cache=True):
     lines = ["T-3.11: gap pipeline (speedup o(log* n) -> O(1)) on trees/forests", ""]
     outcomes = {}
-    for name, build, expected_rounds in CONSTANT_CASES:
-        result = speedup(build(), max_steps=4)
+    for name, build, expected_rounds in constant_cases:
+        result = speedup(build(), max_steps=4, use_cache=use_cache)
         verified = verify_on_random_forests(
             result,
             component_sizes=(6, 4, 1) if result.problem.max_degree == 2 else (7, 5, 3, 1),
@@ -44,14 +44,14 @@ def run_all():
             f"  {name:<18} status={result.status:<12} rounds={result.constant_rounds} "
             f"alphabets={result.alphabet_sizes} verified={verified}"
         )
-    for name, build in HARD_CASES:
-        result = speedup(build(), max_steps=1)
+    for name, build in hard_cases:
+        result = speedup(build(), max_steps=1, use_cache=use_cache)
         outcomes[name] = (result, None)
         lines.append(
             f"  {name:<18} status={result.status:<12} rounds={result.constant_rounds} "
             f"alphabets={result.alphabet_sizes}"
         )
-    so = speedup(catalog.sinkless_orientation(3), max_steps=3)
+    so = speedup(catalog.sinkless_orientation(3), max_steps=3, use_cache=use_cache)
     outcomes["sinkless-orientation"] = (so, None)
     lines.append(
         f"  {'sinkless-orient.':<18} status={so.status:<12} fixed_point_at={so.fixed_point_at}"
@@ -59,8 +59,10 @@ def run_all():
     return outcomes, "\n".join(lines)
 
 
-def test_speedup_pipeline(once):
-    outcomes, report = once(run_all)
+def test_speedup_pipeline(once, roundelim_cache):
+    use_cache = roundelim_cache.get_cache().enabled
+    outcomes, report = once(run_all, use_cache=use_cache)
+    report += "\n" + "\n".join(cache_report_lines(roundelim_cache))
     write_report("speedup_trees", report)
 
     for name, build, expected_rounds in CONSTANT_CASES:

@@ -16,6 +16,46 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="run the round-elimination experiments with the operator cache disabled",
+    )
+
+
+@pytest.fixture
+def roundelim_cache(request):
+    """The operator-cache module, configured per the ``--no-cache`` flag.
+
+    Counters are zeroed on entry so every experiment reports its own hit
+    rate; the cache itself is cleared so 'cold' passes are genuinely cold
+    and the prior global configuration is restored afterwards.
+    """
+    from repro.utils import cache as operator_cache
+
+    operator_cache.reset()
+    enabled = not request.config.getoption("--no-cache")
+    operator_cache.configure(enabled=enabled, disk_dir=None)
+    operator_cache.reset_stats()
+    yield operator_cache
+    operator_cache.reset()
+    operator_cache.reset_stats()
+
+
+def cache_report_lines(operator_cache) -> list:
+    """Report footer: cache mode plus the per-operator counter table."""
+    enabled = operator_cache.get_cache().enabled
+    rate = operator_cache.hit_rate()
+    return [
+        "",
+        f"  cache mode: {'enabled' if enabled else 'disabled (--no-cache)'}; "
+        f"hit rate: {'n/a' if rate is None else f'{rate:.1%}'}",
+        operator_cache.format_stats(),
+    ]
+
+
 def write_report(name: str, text: str) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     target = RESULTS_DIR / f"{name}.txt"

@@ -8,6 +8,8 @@ Subcommands:
 * ``speedup <problem>``     — run the Theorem 3.10/3.11 gap pipeline
   (Question 1.7 semidecision) and, on success, verify the synthesized
   algorithm on random forests;
+* ``roundelim <problem>``   — iterate ``f = R̄∘R`` directly, printing the
+  alphabet growth (and ``--stats``: cache/parallel engine counters);
 * ``catalog``               — list the built-in problems.
 
 Problems are named like ``mis``, ``coloring:3``, ``sinkless:3``,
@@ -191,6 +193,47 @@ def cmd_landscape(args: argparse.Namespace) -> int:
     return 1 if panel.gap_violations() else 0
 
 
+def cmd_roundelim(args: argparse.Namespace) -> int:
+    from repro.exceptions import ProblemDefinitionError
+    from repro.roundelim import ProblemSequence, configure_parallel, find_zero_round_algorithm
+    from repro.utils import cache as operator_cache
+
+    if args.no_cache:
+        operator_cache.configure(enabled=False)
+    if args.workers is not None:
+        configure_parallel(workers=args.workers)
+    operator_cache.reset_stats()
+    problem = resolve_problem(args.problem)
+    sequence = ProblemSequence(
+        problem,
+        use_domination=not args.no_domination,
+        max_universe=args.max_universe,
+        use_cache=not args.no_cache,
+    )
+    print(f"problem: {problem.name}")
+    fixed_point = None
+    for k in range(args.steps + 1):
+        try:
+            current = sequence.problem(k)
+        except ProblemDefinitionError as error:
+            print(f"  f^{k}: alphabet blow-up ({error})")
+            break
+        zero = find_zero_round_algorithm(current)
+        print(
+            f"  f^{k}: |sigma_out| = {len(current.sigma_out):<5d} "
+            f"0-round solvable: {'yes' if zero is not None else 'no'}"
+        )
+        if k > 0 and fixed_point is None and sequence.find_fixed_point(k) is not None:
+            fixed_point = sequence.find_fixed_point(k)
+    if fixed_point is not None:
+        print(f"  fixed point (up to relabeling) at step {fixed_point}")
+    if args.stats:
+        from repro.utils.cache import format_stats
+
+        print(format_stats())
+    return 0
+
+
 def cmd_speedup(args: argparse.Namespace) -> int:
     from repro.roundelim.gap import speedup, verify_on_random_forests
 
@@ -227,6 +270,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("problem")
     classify.set_defaults(handler=cmd_classify)
+
+    roundelim = commands.add_parser(
+        "roundelim",
+        help="iterate f = Rbar(R(.)) and report alphabet growth / engine stats",
+    )
+    roundelim.add_argument("problem")
+    roundelim.add_argument("--steps", type=int, default=3)
+    roundelim.add_argument("--max-universe", type=int, default=4096)
+    roundelim.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss, configurations-tested, and wall-time counters",
+    )
+    roundelim.add_argument(
+        "--no-cache", action="store_true", help="bypass the canonical operator cache"
+    )
+    roundelim.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the quantifier loops (default: REPRO_WORKERS)",
+    )
+    roundelim.add_argument(
+        "--no-domination",
+        action="store_true",
+        help="disable dominated-label pruning during hygiene",
+    )
+    roundelim.set_defaults(handler=cmd_roundelim)
 
     speedup = commands.add_parser(
         "speedup", help="run the Theorem 3.10/3.11 gap pipeline"

@@ -15,12 +15,13 @@ certificate — only ``INCONCLUSIVE`` reflects the budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.local.model import LocalAlgorithm
 from repro.roundelim.gap import GapResult, speedup
+from repro.utils import cache as operator_cache
 
 CONSTANT = "CONSTANT"
 NOT_CONSTANT = "NOT_CONSTANT"
@@ -37,6 +38,9 @@ class ConstantTimeVerdict:
     algorithm: Optional[LocalAlgorithm]
     #: The underlying gap-pipeline result.
     gap_result: GapResult
+    #: Per-operator counter deltas (hits/misses/computes/…) accumulated by
+    #: this run alone — how much work the walk did vs. found cached.
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def summary(self) -> str:
         if self.verdict == CONSTANT:
@@ -53,13 +57,38 @@ class ConstantTimeVerdict:
         return f"{self.problem.name}: inconclusive within the step budget"
 
 
+def _stats_delta(
+    before: Dict[str, Dict[str, float]], after: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    delta: Dict[str, Dict[str, float]] = {}
+    for operator, counters in after.items():
+        baseline = before.get(operator, {})
+        changed = {
+            f: v - baseline.get(f, 0) for f, v in counters.items() if v != baseline.get(f, 0)
+        }
+        if changed:
+            delta[operator] = changed
+    return delta
+
+
 def semidecide_constant_time(
     problem: NodeEdgeCheckableLCL,
     max_steps: int = 4,
     max_universe: int = 4096,
+    use_cache: bool = True,
 ) -> ConstantTimeVerdict:
-    """Run the Question 1.7 semidecision loop on a node-edge-checkable LCL."""
-    result = speedup(problem, max_steps=max_steps, max_universe=max_universe)
+    """Run the Question 1.7 semidecision loop on a node-edge-checkable LCL.
+
+    The round-elimination walk runs through the canonical operator cache
+    (unless ``use_cache=False``); the verdict's ``cache_stats`` records
+    the per-operator hit/miss/compute deltas of this run, so a warm
+    re-verdict shows zero ``computes``.
+    """
+    before = operator_cache.stats()["operators"]
+    result = speedup(
+        problem, max_steps=max_steps, max_universe=max_universe, use_cache=use_cache
+    )
+    cache_stats = _stats_delta(before, operator_cache.stats()["operators"])
     if result.status == "constant":
         return ConstantTimeVerdict(
             problem=problem,
@@ -67,6 +96,7 @@ def semidecide_constant_time(
             rounds=result.constant_rounds,
             algorithm=result.algorithm,
             gap_result=result,
+            cache_stats=cache_stats,
         )
     if result.status == "fixed-point":
         return ConstantTimeVerdict(
@@ -75,6 +105,7 @@ def semidecide_constant_time(
             rounds=None,
             algorithm=None,
             gap_result=result,
+            cache_stats=cache_stats,
         )
     return ConstantTimeVerdict(
         problem=problem,
@@ -82,4 +113,5 @@ def semidecide_constant_time(
         rounds=None,
         algorithm=None,
         gap_result=result,
+        cache_stats=cache_stats,
     )

@@ -34,6 +34,7 @@ from repro.graphs.ids import random_ids
 from repro.lcl.checker import check_solution
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.local.model import LocalAlgorithm, run_local_algorithm
+from repro.roundelim.canonical import canonically_equal
 from repro.roundelim.lift import ZeroRoundLocalAlgorithm, lift_to_local_algorithm
 from repro.roundelim.sequence import ProblemSequence
 from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
@@ -84,18 +85,23 @@ def speedup(
     use_domination: bool = True,
     max_universe: int = 4096,
     detect_fixed_points: bool = True,
+    use_cache: bool = True,
 ) -> GapResult:
     """Run the Theorem 3.10 pipeline on a node-edge-checkable problem.
 
     ``max_steps`` bounds the elimination depth (the procedure is a
     semidecision: constant-time problems terminate, Θ(log* n) problems
-    never would).  See :class:`GapResult` for the three outcomes.
+    never would).  See :class:`GapResult` for the three outcomes.  The
+    underlying operators run through the canonical result cache unless
+    ``use_cache=False``, so repeated walks over the same problem are
+    pure lookups.
     """
     sequence = ProblemSequence(
         problem,
         use_simplification=True,
         use_domination=use_domination,
         max_universe=max_universe,
+        use_cache=use_cache,
     )
     alphabet_sizes: List[int] = []
     note = ""
@@ -125,7 +131,7 @@ def speedup(
             )
         if detect_fixed_points and step < max_steps:
             try:
-                is_fixed = sequence.problem(step + 1).is_isomorphic(current)
+                is_fixed = canonically_equal(sequence.problem(step + 1), current)
             except ProblemDefinitionError as error:
                 note = f"stopped before step {step + 1}: {error}"
                 break

@@ -34,15 +34,46 @@ provides three *solvability-preserving* reductions:
 Each reduction returns a problem whose solutions are solutions of the
 original (soundness for the Lemma 3.9 lifting) and onto which solutions of
 the original project (completeness for the semidecision procedure).
+
+Memoization and parallelism
+---------------------------
+``R``, ``R̄``, and ``simplify`` are pure, deterministic functions of their
+input problem and options, so this module wraps each in the canonical
+operator cache (:mod:`repro.utils.cache` keyed by
+:func:`repro.roundelim.canonical.canonical_hash`): a problem met twice —
+even under different output label spellings, even in a different process
+when the disk layer is on — is computed once.  Pass ``use_cache=False``
+(or set ``REPRO_CACHE=0``) to force recomputation.
+
+The quantifier loops of the power-set construction (the exponential part)
+additionally chunk across a ``concurrent.futures`` process pool when the
+work is large enough: ``REPRO_WORKERS`` sets the worker count (``1``
+forces serial; unset uses the CPU count, capped), and
+``REPRO_PARALLEL_THRESHOLD`` the minimal number of candidate
+configurations before a pool is spun up — below it, or when a pool
+cannot be created, the loops run serially with identical semantics
+(including the early exits inside each selection check).
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ProblemDefinitionError
 from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.roundelim.canonical import (
+    UnencodableLabelError,
+    canonical_hash,
+    decode_result,
+    encode_result,
+)
+from repro.utils import cache as operator_cache
 from repro.utils.multiset import Multiset, label_sort_key
 
 
@@ -90,6 +121,117 @@ def _all_selections_in(
     return True
 
 
+# ----------------------------------------------------------- parallel kernel
+_ENV_WORKERS = "REPRO_WORKERS"
+_ENV_THRESHOLD = "REPRO_PARALLEL_THRESHOLD"
+_DEFAULT_THRESHOLD = 20_000
+_MAX_DEFAULT_WORKERS = 8
+
+#: Programmatic overrides (take precedence over the environment).
+_parallel_overrides: Dict[str, Optional[int]] = {"workers": None, "threshold": None}
+
+
+def configure_parallel(
+    workers: Optional[int] = None, threshold: Optional[int] = None
+) -> None:
+    """Override the worker count / parallel threshold for this process.
+
+    ``None`` clears an override (falling back to ``REPRO_WORKERS`` /
+    ``REPRO_PARALLEL_THRESHOLD``, then to the defaults).
+    """
+    _parallel_overrides["workers"] = workers
+    _parallel_overrides["threshold"] = threshold
+
+
+def _effective_workers() -> int:
+    if _parallel_overrides["workers"] is not None:
+        return max(1, _parallel_overrides["workers"])
+    raw = os.environ.get(_ENV_WORKERS)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS)
+
+
+def _effective_threshold() -> int:
+    if _parallel_overrides["threshold"] is not None:
+        return max(1, _parallel_overrides["threshold"])
+    raw = os.environ.get(_ENV_THRESHOLD)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _DEFAULT_THRESHOLD
+
+
+# Worker-process state, installed once per pool via the initializer so the
+# (potentially large) constraint tables are pickled once, not per chunk.
+_worker_state: Dict[str, Any] = {}
+
+
+def _init_node_worker(allowed: FrozenSet[Multiset], node_forall: bool) -> None:
+    _worker_state["allowed"] = allowed
+    _worker_state["node_forall"] = node_forall
+
+
+def _node_chunk_worker(
+    combos: List[Tuple[FrozenSet[Any], ...]]
+) -> List[Tuple[FrozenSet[Any], ...]]:
+    allowed = _worker_state["allowed"]
+    check = _all_selections_in if _worker_state["node_forall"] else _some_selection_in
+    return [combo for combo in combos if check(combo, allowed)]
+
+
+def _init_edge_worker(
+    universe: List[FrozenSet[Any]],
+    summaries: Dict[FrozenSet[Any], frozenset],
+    node_forall: bool,
+) -> None:
+    _worker_state["universe"] = universe
+    _worker_state["summaries"] = summaries
+    _worker_state["node_forall"] = node_forall
+
+
+def _edge_chunk_worker(row_range: Tuple[int, int]) -> List[Tuple[int, int]]:
+    universe = _worker_state["universe"]
+    summaries = _worker_state["summaries"]
+    node_forall = _worker_state["node_forall"]
+    pairs: List[Tuple[int, int]] = []
+    for i in range(row_range[0], row_range[1]):
+        first = universe[i]
+        summary = summaries[first]
+        for j in range(i, len(universe)):
+            second = universe[j]
+            if node_forall:
+                allowed = bool(summary & second)
+            else:
+                allowed = second <= summary
+            if allowed:
+                pairs.append((i, j))
+    return pairs
+
+
+def _make_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
+def _chunked(items: List[Any], chunks: int) -> List[List[Any]]:
+    size = max(1, math.ceil(len(items) / max(1, chunks)))
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 def _power_problem(
     problem: NodeEdgeCheckableLCL,
     node_forall: bool,
@@ -118,6 +260,10 @@ def _power_problem(
     else:
         raise ProblemDefinitionError(f"unknown universe_mode: {universe_mode!r}")
 
+    workers = _effective_workers()
+    threshold = _effective_threshold()
+    configurations_tested = 0
+
     # --- edge constraint via partner-set algebra --------------------------
     partners = edge_partners(problem)
     summaries: Dict[Any, frozenset] = {}
@@ -129,26 +275,76 @@ def _power_problem(
         else:
             # R: forall-at-edges — only the intersection matters.
             summaries[subset] = frozenset.intersection(*partner_sets)
-    edge_configurations = []
-    for i, first in enumerate(universe):
-        for second in universe[i:]:
-            if node_forall:
-                allowed = bool(summaries[first] & second)
-            else:
-                allowed = second <= summaries[first]
-            if allowed:
-                edge_configurations.append(Multiset((first, second)))
+    pair_count = len(universe) * (len(universe) + 1) // 2
+    configurations_tested += pair_count
+    edge_pairs: Optional[List[Tuple[int, int]]] = None
+    if workers > 1 and pair_count >= threshold:
+        row_ranges = [
+            (chunk[0], chunk[-1] + 1)
+            for chunk in _chunked(list(range(len(universe))), 4 * workers)
+        ]
+        try:
+            with _make_pool(
+                workers, _init_edge_worker, (universe, summaries, node_forall)
+            ) as pool:
+                edge_pairs = [
+                    pair
+                    for chunk in pool.map(_edge_chunk_worker, row_ranges)
+                    for pair in chunk
+                ]
+        except (OSError, RuntimeError):
+            edge_pairs = None  # pool unavailable: fall through to serial
+    if edge_pairs is not None:
+        edge_configurations = [
+            Multiset((universe[i], universe[j])) for i, j in edge_pairs
+        ]
+    else:
+        edge_configurations = []
+        for i, first in enumerate(universe):
+            for second in universe[i:]:
+                if node_forall:
+                    allowed = bool(summaries[first] & second)
+                else:
+                    allowed = second <= summaries[first]
+                if allowed:
+                    edge_configurations.append(Multiset((first, second)))
 
     # --- node constraint ---------------------------------------------------
     node_check: Callable = _all_selections_in if node_forall else _some_selection_in
     node_constraints: Dict[int, List[Multiset]] = {}
     for degree, allowed in problem.node_constraints.items():
-        configurations = []
+        configurations: List[Multiset] = []
         if allowed:
-            for combo in itertools.combinations_with_replacement(universe, degree):
-                if node_check(combo, allowed):
-                    configurations.append(Multiset(combo))
+            combo_count = math.comb(len(universe) + degree - 1, degree)
+            configurations_tested += combo_count
+            passing: Optional[List[Tuple[FrozenSet[Any], ...]]] = None
+            if workers > 1 and combo_count >= threshold:
+                combos = list(
+                    itertools.combinations_with_replacement(universe, degree)
+                )
+                try:
+                    with _make_pool(
+                        workers, _init_node_worker, (allowed, node_forall)
+                    ) as pool:
+                        passing = [
+                            combo
+                            for chunk in pool.map(
+                                _node_chunk_worker, _chunked(combos, 4 * workers)
+                            )
+                            for combo in chunk
+                        ]
+                except (OSError, RuntimeError):
+                    passing = None
+            if passing is not None:
+                configurations = [Multiset(combo) for combo in passing]
+            else:
+                for combo in itertools.combinations_with_replacement(
+                    universe, degree
+                ):
+                    if node_check(combo, allowed):
+                        configurations.append(Multiset(combo))
         node_constraints[degree] = configurations
+    operator_cache.record(name_prefix, configurations_tested=configurations_tested)
 
     g = {
         input_label: frozenset(
@@ -166,10 +362,59 @@ def _power_problem(
     )
 
 
+def _cached_call(
+    operator: str,
+    problem: NodeEdgeCheckableLCL,
+    flags: str,
+    compute: Callable[[], NodeEdgeCheckableLCL],
+    result_name: str,
+    use_cache: bool,
+) -> NodeEdgeCheckableLCL:
+    """Run ``compute`` through the canonical operator cache.
+
+    Safe by construction: a hit is decoded against the *query* problem's
+    canonical order (correct even when the entry was stored for an
+    isomorphic relabeling), and any decode failure — e.g. a poisoned
+    on-disk entry — invalidates the entry and falls back to computing.
+    """
+    start = time.perf_counter()
+    store = operator_cache.get_cache()
+    if not (use_cache and store.enabled):
+        result = compute()
+        operator_cache.record(
+            operator, computes=1, wall_time=time.perf_counter() - start
+        )
+        return result
+    key = (operator, canonical_hash(problem), flags)
+    payload = store.get(key, stat_key=operator)
+    if payload is not None:
+        try:
+            result = decode_result(problem, payload, name=result_name)
+        except Exception:
+            store.invalidate(key)
+            operator_cache.record(operator, decode_errors=1)
+        else:
+            operator_cache.record(
+                operator, hits=1, wall_time=time.perf_counter() - start
+            )
+            return result
+    result = compute()
+    try:
+        store.put(key, encode_result(problem, result))
+        operator_cache.record(operator, stores=1)
+    except UnencodableLabelError:
+        pass  # exotic label types: recompute next time
+    operator_cache.record(
+        operator, misses=1, computes=1, wall_time=time.perf_counter() - start
+    )
+    return result
+
+
 def R(
     problem: NodeEdgeCheckableLCL,
     max_universe: int = 4096,
     universe_mode: str = "reduced",
+    use_cache: bool = True,
 ) -> NodeEdgeCheckableLCL:
     """Definition 3.1: exists-at-nodes, forall-at-edges power problem.
 
@@ -180,13 +425,23 @@ def R(
     ``"reduced"`` restricts to domination-closed labels (see
     :mod:`repro.roundelim.universe`), which is solvability-equivalent and
     what keeps iterated sequences tractable.
+
+    Results are memoized by canonical problem hash (see the module
+    docstring); ``use_cache=False`` bypasses both lookup and store.
     """
-    return _power_problem(
+    return _cached_call(
+        "R",
         problem,
-        node_forall=False,
-        name_prefix="R",
-        max_universe=max_universe,
-        universe_mode=universe_mode,
+        f"max_universe={max_universe};universe_mode={universe_mode}",
+        lambda: _power_problem(
+            problem,
+            node_forall=False,
+            name_prefix="R",
+            max_universe=max_universe,
+            universe_mode=universe_mode,
+        ),
+        result_name=f"R({problem.name})",
+        use_cache=use_cache,
     )
 
 
@@ -194,18 +449,27 @@ def R_bar(
     problem: NodeEdgeCheckableLCL,
     max_universe: int = 4096,
     universe_mode: str = "reduced",
+    use_cache: bool = True,
 ) -> NodeEdgeCheckableLCL:
     """Definition 3.2: forall-at-nodes, exists-at-edges power problem.
 
-    See :func:`R` for the ``universe_mode`` semantics; the reduced universe
-    for ``R̄`` consists of the partner-antichain ("reduced") set labels.
+    See :func:`R` for the ``universe_mode`` semantics and caching; the
+    reduced universe for ``R̄`` consists of the partner-antichain
+    ("reduced") set labels.
     """
-    return _power_problem(
+    return _cached_call(
+        "Rbar",
         problem,
-        node_forall=True,
-        name_prefix="Rbar",
-        max_universe=max_universe,
-        universe_mode=universe_mode,
+        f"max_universe={max_universe};universe_mode={universe_mode}",
+        lambda: _power_problem(
+            problem,
+            node_forall=True,
+            name_prefix="Rbar",
+            max_universe=max_universe,
+            universe_mode=universe_mode,
+        ),
+        result_name=f"Rbar({problem.name})",
+        use_cache=use_cache,
     )
 
 
@@ -319,14 +583,9 @@ def remove_dominated_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableL
         )
 
 
-def simplify(
-    problem: NodeEdgeCheckableLCL, domination: bool = False
+def _simplify_impl(
+    problem: NodeEdgeCheckableLCL, domination: bool
 ) -> NodeEdgeCheckableLCL:
-    """Run the hygiene passes to a joint fixed point.
-
-    ``domination=True`` additionally removes dominated labels (see
-    :func:`remove_dominated_labels` for the fidelity caveat).
-    """
     current = problem
     while True:
         reduced = restrict_to_usable(current)
@@ -336,3 +595,25 @@ def simplify(
         if reduced.sigma_out == current.sigma_out:
             return reduced
         current = reduced
+
+
+def simplify(
+    problem: NodeEdgeCheckableLCL,
+    domination: bool = False,
+    use_cache: bool = True,
+) -> NodeEdgeCheckableLCL:
+    """Run the hygiene passes to a joint fixed point.
+
+    ``domination=True`` additionally removes dominated labels (see
+    :func:`remove_dominated_labels` for the fidelity caveat).  Results
+    are memoized like :func:`R` / :func:`R_bar`; ``use_cache=False``
+    bypasses the cache.
+    """
+    return _cached_call(
+        "simplify",
+        problem,
+        f"domination={domination}",
+        lambda: _simplify_impl(problem, domination),
+        result_name=problem.name,
+        use_cache=use_cache,
+    )

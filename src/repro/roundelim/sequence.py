@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.roundelim.canonical import canonically_equal
 from repro.roundelim.ops import R, R_bar, simplify
 
 
@@ -39,6 +40,12 @@ class ProblemSequence:
         checking literal fixed-point structure, on for the gap pipeline).
     max_universe:
         Safety bound on the power-set alphabet per step.
+    use_cache:
+        Route each ``R`` / ``R̄`` / ``simplify`` application through the
+        canonical operator cache (:mod:`repro.utils.cache`): a warm
+        sequence over a previously seen problem performs zero operator
+        recomputations.  ``False`` forces fresh kernel runs (the
+        per-instance memo in this object still applies).
     """
 
     def __init__(
@@ -48,25 +55,34 @@ class ProblemSequence:
         use_domination: bool = True,
         max_universe: int = 4096,
         universe_mode: str = "reduced",
+        use_cache: bool = True,
     ):
         self.base = problem
         self.use_simplification = use_simplification
         self.use_domination = use_domination
         self.max_universe = max_universe
         self.universe_mode = universe_mode
+        self.use_cache = use_cache
         self._problems: List[NodeEdgeCheckableLCL] = [problem]
         self._intermediates: Dict[int, NodeEdgeCheckableLCL] = {}
 
     def _clean(self, problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
         if not self.use_simplification:
             return problem
-        return simplify(problem, domination=self.use_domination)
+        return simplify(
+            problem, domination=self.use_domination, use_cache=self.use_cache
+        )
 
     def intermediate(self, k: int) -> NodeEdgeCheckableLCL:
         """``R(Π_k)`` — the half-step problem between ``Π_k`` and ``Π_{k+1}``."""
         if k not in self._intermediates:
             self._intermediates[k] = self._clean(
-                R(self.problem(k), max_universe=self.max_universe, universe_mode=self.universe_mode)
+                R(
+                    self.problem(k),
+                    max_universe=self.max_universe,
+                    universe_mode=self.universe_mode,
+                    use_cache=self.use_cache,
+                )
             )
         return self._intermediates[k]
 
@@ -77,8 +93,13 @@ class ProblemSequence:
             half = self.intermediate(index)
             self._problems.append(
                 self._clean(
-                R_bar(half, max_universe=self.max_universe, universe_mode=self.universe_mode)
-            )
+                    R_bar(
+                        half,
+                        max_universe=self.max_universe,
+                        universe_mode=self.universe_mode,
+                        use_cache=self.use_cache,
+                    )
+                )
             )
         return self._problems[k]
 
@@ -91,10 +112,13 @@ class ProblemSequence:
 
         A fixed point of ``f`` that is not 0-round solvable is the classic
         round-elimination lower-bound certificate (e.g. sinkless
-        orientation).  Isomorphism is checked up to output renaming, which
-        is only meaningful with hygiene enabled.
+        orientation).  Isomorphism is checked up to output renaming
+        (via :func:`repro.roundelim.canonical.canonically_equal`, i.e.
+        canonical-hash comparison with an exact fallback), so sequences
+        that stabilize only up to relabeling are still detected; this is
+        only meaningful with hygiene enabled.
         """
         for k in range(max_steps):
-            if self.problem(k + 1).is_isomorphic(self.problem(k)):
+            if canonically_equal(self.problem(k + 1), self.problem(k)):
                 return k
         return None

@@ -1,5 +1,7 @@
-"""Shared utilities: canonical multisets, number theory, log*, RNG helpers."""
+"""Shared utilities: canonical multisets, number theory, log*, RNG
+helpers, and the round-elimination operator cache (:mod:`repro.utils.cache`)."""
 
+from repro.utils.cache import RoundElimCache, configure, format_stats, hit_rate, reset_stats, stats
 from repro.utils.multiset import Multiset
 from repro.utils.numbers import (
     GFPolynomial,
@@ -12,6 +14,12 @@ from repro.utils.rng import SplittableRNG, derive_seed
 
 __all__ = [
     "Multiset",
+    "RoundElimCache",
+    "configure",
+    "format_stats",
+    "hit_rate",
+    "reset_stats",
+    "stats",
     "GFPolynomial",
     "iterated_log",
     "is_prime",

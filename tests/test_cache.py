@@ -1,0 +1,177 @@
+"""Unit tests for the operator cache layer (:mod:`repro.utils.cache`).
+
+Cover the LRU policy, the on-disk JSON layer (roundtrip, atomicity side
+effects, key-echo verification), the poisoning guard (corrupt entries
+degrade to recomputation, never to a crash or a wrong result), the
+``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` environment knobs, and the stats
+accounting surface.
+"""
+
+import json
+
+import pytest
+
+from repro.lcl import catalog
+from repro.roundelim.ops import R, simplify
+from repro.utils import cache as cache_module
+from repro.utils.cache import RoundElimCache
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache_module.reset()
+    cache_module.reset_stats()
+    yield
+    cache_module.reset()
+    cache_module.reset_stats()
+
+
+def key(n: int):
+    return ("R", f"hash{n}", "flags")
+
+
+class TestMemoryLRU:
+    def test_roundtrip(self):
+        store = RoundElimCache(memory_entries=4)
+        store.put(key(1), {"v": 1})
+        assert store.get(key(1)) == {"v": 1}
+        assert store.get(key(2)) is None
+
+    def test_eviction_drops_least_recently_used(self):
+        store = RoundElimCache(memory_entries=2)
+        store.put(key(1), {"v": 1})
+        store.put(key(2), {"v": 2})
+        store.get(key(1))  # touch 1 so 2 becomes the LRU entry
+        store.put(key(3), {"v": 3})
+        assert store.get(key(2)) is None
+        assert store.get(key(1)) == {"v": 1}
+        assert store.get(key(3)) == {"v": 3}
+        assert len(store) == 2
+
+    def test_invalidate(self):
+        store = RoundElimCache()
+        store.put(key(1), {"v": 1})
+        store.invalidate(key(1))
+        assert store.get(key(1)) is None
+
+
+class TestDiskLayer:
+    def test_disk_roundtrip_and_promotion(self, tmp_path):
+        writer = RoundElimCache(disk_dir=tmp_path)
+        writer.put(key(1), {"v": 1})
+        files = list(tmp_path.glob("R-*.json"))
+        assert len(files) == 1
+
+        reader = RoundElimCache(disk_dir=tmp_path)  # cold memory, same disk
+        assert reader.get(key(1), stat_key="R") == {"v": 1}
+        assert len(reader) == 1  # promoted into memory
+        assert cache_module.stats()["operators"]["R"]["disk_hits"] == 1
+        assert not list(tmp_path.glob("*.tmp*")), "atomic write left a temp file"
+
+    def test_disk_entry_echoes_its_key(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path)
+        store.put(key(1), {"v": 1})
+        entry = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert entry["key"] == list(key(1))
+        assert entry["payload"] == {"v": 1}
+
+    def test_corrupt_json_is_deleted_and_misses(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path)
+        store.put(key(1), {"v": 1})
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{truncated", encoding="utf-8")
+
+        reader = RoundElimCache(disk_dir=tmp_path)
+        assert reader.get(key(1), stat_key="R") is None
+        assert not path.exists(), "poisoned entry must be removed"
+        assert cache_module.stats()["operators"]["R"]["disk_errors"] == 1
+
+    def test_key_mismatch_is_treated_as_poison(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path)
+        store.put(key(1), {"v": 1})
+        path = next(tmp_path.glob("*.json"))
+        path.write_text(
+            json.dumps({"key": ["R", "other", "flags"], "payload": {"v": 1}}),
+            encoding="utf-8",
+        )
+        reader = RoundElimCache(disk_dir=tmp_path)
+        assert reader.get(key(1), stat_key="R") is None
+        assert not path.exists()
+
+    def test_clear_disk(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path)
+        store.put(key(1), {"v": 1})
+        store.clear(disk=True)
+        assert len(store) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_poisoned_disk_cache_recomputes_correct_result(self, tmp_path):
+        # End-to-end guard: corrupt every disk entry between two R() calls;
+        # the second call must silently recompute the same problem.
+        cache_module.configure(enabled=True, disk_dir=tmp_path)
+        problem = catalog.mis(2)
+        first = R(problem)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("\x00garbage", encoding="utf-8")
+        cache_module.configure(disk_dir=tmp_path)  # rebuild → cold memory
+        assert R(problem) == first
+
+
+class TestEnvironmentKnobs:
+    def test_repro_cache_0_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        cache_module.reset()
+        assert cache_module.get_cache().enabled is False
+        problem = catalog.trivial(2)
+        R(problem)
+        R(problem)
+        counters = cache_module.stats()["operators"]["R"]
+        assert counters["hits"] == 0 and counters["misses"] == 0
+        assert counters["computes"] == 2
+
+    @pytest.mark.parametrize("value", ["false", "OFF", "no"])
+    def test_disable_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE", value)
+        cache_module.reset()
+        assert cache_module.get_cache().enabled is False
+
+    def test_repro_cache_dir_enables_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache_module.reset()
+        problem = catalog.trivial(2)
+        simplify(R(problem), domination=True)
+        assert list(tmp_path.glob("*.json")), "disk layer did not persist entries"
+
+    def test_configure_overrides_and_preserves(self, tmp_path):
+        cache_module.configure(enabled=True, memory_entries=7, disk_dir=tmp_path)
+        store = cache_module.get_cache()
+        assert store.memory_entries == 7 and store.disk_dir == tmp_path
+        store = cache_module.configure(enabled=False)  # others preserved
+        assert store.enabled is False
+        assert store.memory_entries == 7 and store.disk_dir == tmp_path
+        store = cache_module.configure(disk_dir=None)
+        assert store.disk_dir is None
+
+
+class TestStats:
+    def test_record_rejects_unknown_fields(self):
+        with pytest.raises(KeyError):
+            cache_module.record("R", bogus_counter=1)
+
+    def test_hit_rate_none_when_idle(self):
+        assert cache_module.hit_rate() is None
+
+    def test_counters_accumulate_and_reset(self):
+        cache_module.record("R", hits=2, misses=1, wall_time=0.5)
+        assert cache_module.hit_rate("R") == pytest.approx(2 / 3)
+        assert cache_module.stats()["operators"]["R"]["wall_time"] == pytest.approx(0.5)
+        cache_module.reset_stats()
+        assert cache_module.stats()["operators"] == {}
+
+    def test_format_stats_renders_table(self):
+        cache_module.record("R", hits=1, misses=1, computes=1, configurations_tested=42)
+        text = cache_module.format_stats()
+        assert "operator" in text and "R" in text
+        assert "overall hit rate: 50.0%" in text

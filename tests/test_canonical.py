@@ -1,0 +1,249 @@
+"""Property tests for the canonical problem hash (roundelim.canonical).
+
+The operator cache is only sound if the hash is (a) invariant under
+output relabeling, (b) discriminating on genuinely different problems,
+and (c) stable across interpreter processes (no ``PYTHONHASHSEED``
+dependence).  Each property is exercised here on catalog and random
+problems.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.lcl import catalog
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.lcl.random_problems import random_lcl
+from repro.roundelim.canonical import (
+    canonical_encoding,
+    canonical_form,
+    canonical_hash,
+    canonical_order,
+    canonically_equal,
+    decode_result,
+    encode_result,
+    is_search_exhaustive,
+)
+from repro.roundelim.ops import R, R_bar, simplify
+from repro.utils.multiset import Multiset
+
+CATALOG = [
+    ("trivial", lambda: catalog.trivial(3)),
+    ("consensus", lambda: catalog.consensus(3)),
+    ("3-coloring", lambda: catalog.coloring(3, 2)),
+    ("mis", lambda: catalog.mis(3)),
+    ("matching", lambda: catalog.maximal_matching(3)),
+    ("sinkless", lambda: catalog.sinkless_orientation(3)),
+    ("echo", lambda: catalog.echo(2)),
+    ("echo2", lambda: catalog.echo2()),
+    ("input-copy", lambda: catalog.input_copy(3)),
+]
+
+
+def permuted(problem: NodeEdgeCheckableLCL, seed: int) -> NodeEdgeCheckableLCL:
+    """A relabeling of the outputs by a seeded random bijection."""
+    labels = sorted(problem.sigma_out, key=repr)
+    renamed = [f"p{seed}_{i}" for i in range(len(labels))]
+    random.Random(seed).shuffle(renamed)
+    return problem.rename_outputs(dict(zip(labels, renamed)))
+
+
+class TestRelabelingInvariance:
+    @pytest.mark.parametrize("name, build", CATALOG)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_catalog_permutations_hash_equal(self, name, build, seed):
+        problem = build()
+        twin = permuted(problem, seed)
+        assert canonical_hash(twin) == canonical_hash(problem)
+        assert canonically_equal(problem, twin)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_problem_permutations_hash_equal(self, seed):
+        problem = random_lcl(seed, num_labels=4, max_degree=3, num_inputs=2)
+        twin = permuted(problem, seed + 100)
+        assert canonical_hash(twin) == canonical_hash(problem)
+
+    def test_name_does_not_affect_hash(self):
+        a = catalog.mis(3)
+        b = NodeEdgeCheckableLCL(
+            sigma_in=a.sigma_in,
+            sigma_out=a.sigma_out,
+            node_constraints=a.node_constraints,
+            edge_constraint=a.edge_constraint,
+            g=a.g,
+            name="something-else",
+        )
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_operator_output_relabelings(self):
+        # Frozenset-valued labels (the post-R world) canonicalize too.
+        base = catalog.sinkless_orientation(3)
+        r = simplify(R(base), domination=True)
+        twin = permuted(r, 7)
+        assert canonical_hash(twin) == canonical_hash(r)
+
+
+class TestDiscrimination:
+    def test_mutated_node_configuration_changes_hash(self):
+        problem = catalog.coloring(3, 2)
+        degree = 2
+        configurations = list(problem.node_constraints[degree])
+        mutated = NodeEdgeCheckableLCL(
+            sigma_in=problem.sigma_in,
+            sigma_out=problem.sigma_out,
+            node_constraints={
+                **problem.node_constraints,
+                degree: configurations[:-1],
+            },
+            edge_constraint=problem.edge_constraint,
+            g=problem.g,
+            name=problem.name,
+        )
+        assert canonical_hash(mutated) != canonical_hash(problem)
+        assert not canonically_equal(mutated, problem)
+
+    def test_mutated_edge_constraint_changes_hash(self):
+        problem = catalog.mis(2)
+        label = sorted(problem.sigma_out, key=repr)[0]
+        extended = NodeEdgeCheckableLCL(
+            sigma_in=problem.sigma_in,
+            sigma_out=problem.sigma_out,
+            node_constraints=problem.node_constraints,
+            edge_constraint=list(problem.edge_constraint) + [Multiset((label, label))],
+            g=problem.g,
+            name=problem.name,
+        )
+        if Multiset((label, label)) in problem.edge_constraint:
+            pytest.skip("mutation was a no-op for this problem")
+        assert canonical_hash(extended) != canonical_hash(problem)
+
+    def test_mutated_g_changes_hash(self):
+        problem = catalog.echo(2)
+        some_input = sorted(problem.sigma_in, key=repr)[0]
+        shrunk_g = dict(problem.g)
+        allowed = sorted(shrunk_g[some_input], key=repr)
+        assert len(allowed) > 1
+        shrunk_g[some_input] = frozenset(allowed[:-1])
+        mutated = NodeEdgeCheckableLCL(
+            sigma_in=problem.sigma_in,
+            sigma_out=problem.sigma_out,
+            node_constraints=problem.node_constraints,
+            edge_constraint=problem.edge_constraint,
+            g=shrunk_g,
+            name=problem.name,
+        )
+        assert canonical_hash(mutated) != canonical_hash(problem)
+
+    def test_different_input_labels_distinguished(self):
+        # Inputs are part of the instance: renaming them must NOT be
+        # identified (mirrors is_isomorphic's contract).
+        problem = catalog.echo(2)
+        renamed_inputs = {label: f"in_{label}" for label in problem.sigma_in}
+        twin = NodeEdgeCheckableLCL(
+            sigma_in=renamed_inputs.values(),
+            sigma_out=problem.sigma_out,
+            node_constraints=problem.node_constraints,
+            edge_constraint=problem.edge_constraint,
+            g={renamed_inputs[k]: v for k, v in problem.g.items()},
+            name=problem.name,
+        )
+        assert canonical_hash(twin) != canonical_hash(problem)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_with_backtracking_isomorphism(self, seed):
+        left = random_lcl(seed, num_labels=3, max_degree=2)
+        right = random_lcl(seed + 1000, num_labels=3, max_degree=2)
+        assert canonically_equal(left, right) == left.is_isomorphic(right)
+
+
+class TestCrossProcessStability:
+    def _subprocess_hash(self, extra_env: dict) -> str:
+        code = (
+            "from repro.lcl import catalog\n"
+            "from repro.roundelim.canonical import canonical_hash\n"
+            "from repro.roundelim.ops import R, simplify\n"
+            "p = simplify(R(catalog.mis(3)), domination=True, use_cache=False)\n"
+            "print(canonical_hash(p))\n"
+        )
+        env = {**os.environ, **extra_env}
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE"] = "0"
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        return output.stdout.strip()
+
+    def test_hash_stable_across_hash_seeds(self):
+        here = simplify(R(catalog.mis(3)), domination=True, use_cache=False)
+        expected = canonical_hash(here)
+        for seed in ("0", "1", "424242"):
+            assert self._subprocess_hash({"PYTHONHASHSEED": seed}) == expected
+
+
+class TestCanonicalForm:
+    @pytest.mark.parametrize("name, build", CATALOG)
+    def test_canonical_forms_of_relabelings_coincide(self, name, build):
+        problem = build()
+        twin = permuted(problem, 5)
+        assert canonical_form(problem) == canonical_form(twin)
+
+    def test_canonical_form_is_isomorphic_to_original(self):
+        problem = catalog.maximal_matching(3)
+        form = canonical_form(problem)
+        assert form.is_isomorphic(problem)
+        assert canonical_hash(form) == canonical_hash(problem)
+
+    def test_order_is_a_permutation_of_sigma_out(self):
+        problem = catalog.mis(3)
+        order = canonical_order(problem)
+        assert frozenset(order) == problem.sigma_out
+        assert len(order) == len(problem.sigma_out)
+
+    def test_encoding_is_pure_structure(self):
+        # The encoding must contain no output label spellings at all.
+        problem = catalog.coloring(3, 2)
+        flattened = repr(canonical_encoding(problem))
+        for label in problem.sigma_out:
+            assert repr(label) not in flattened
+
+    @pytest.mark.parametrize("name, build", CATALOG)
+    def test_search_exhaustive_on_catalog(self, name, build):
+        assert is_search_exhaustive(build())
+
+
+class TestResultCodec:
+    @pytest.mark.parametrize(
+        "operator", [lambda p: R(p, use_cache=False), lambda p: R_bar(p, use_cache=False)]
+    )
+    def test_roundtrip_same_spelling(self, operator):
+        base = catalog.mis(2)
+        result = operator(base)
+        payload = encode_result(base, result)
+        assert decode_result(base, payload, name=result.name) == result
+
+    def test_decode_against_relabeled_base(self):
+        base = catalog.sinkless_orientation(3)
+        twin = permuted(base, 11)
+        payload = encode_result(base, R(base, use_cache=False))
+        direct = R(twin, use_cache=False)
+        decoded = decode_result(twin, payload, name=direct.name)
+        assert decoded == direct
+
+    def test_payload_is_json_roundtrippable(self):
+        import json
+
+        base = catalog.echo(2)
+        result = simplify(R(base, use_cache=False), domination=True, use_cache=False)
+        payload = encode_result(base, result)
+        assert (
+            decode_result(base, json.loads(json.dumps(payload)), name=result.name)
+            == result
+        )

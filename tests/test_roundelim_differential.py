@@ -1,0 +1,162 @@
+"""Differential harness for the memoized/parallel round-elimination engine.
+
+For every catalog problem plus a batch of seeded random problems, the
+operators ``R``, ``R_bar`` and ``simplify`` are run through four
+configurations — cache disabled, cache cold, cache warm, and parallel
+workers — and the results must be canonically identical (in fact exactly
+equal, since the inputs have identical spellings).  A second set of tests
+locks the *accounting*: warm runs must hit the cache, and a warm
+``ProblemSequence`` walk must perform zero operator recomputations.
+"""
+
+import pytest
+
+from repro.exceptions import ProblemDefinitionError
+from repro.lcl.catalog import standard_catalog
+from repro.lcl.random_problems import random_lcl
+from repro.roundelim import ProblemSequence
+from repro.roundelim.canonical import canonical_hash, canonically_equal
+from repro.roundelim.ops import R, R_bar, configure_parallel, simplify
+from repro.utils import cache as operator_cache
+
+CATALOG_PROBLEMS = [(p.name, p) for p in standard_catalog(max_degree=3)]
+
+RANDOM_PROBLEMS = [
+    (f"random-{seed}", random_lcl(seed, num_labels=3, max_degree=2, num_inputs=1))
+    for seed in range(35)
+] + [
+    (f"random-wide-{seed}", random_lcl(seed, num_labels=4, max_degree=3, num_inputs=2))
+    for seed in range(15)
+]
+
+ALL_PROBLEMS = CATALOG_PROBLEMS + RANDOM_PROBLEMS
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine():
+    """Memory-only cache, serial workers, zeroed counters for every test."""
+    operator_cache.reset()
+    operator_cache.reset_stats()
+    operator_cache.configure(enabled=True, disk_dir=None)
+    configure_parallel(workers=1)
+    yield
+    operator_cache.reset()
+    operator_cache.reset_stats()
+    configure_parallel(workers=None, threshold=None)
+
+
+def apply_operators(problem, use_cache):
+    """The tuple of engine outputs whose agreement the harness asserts."""
+    try:
+        r = R(problem, use_cache=use_cache)
+    except ProblemDefinitionError:
+        return ("R blow-up",)
+    simplified = simplify(r, domination=True, use_cache=use_cache)
+    try:
+        rbar = R_bar(simplified, use_cache=use_cache)
+    except ProblemDefinitionError:
+        return ("R", r, "simplify", simplified, "Rbar blow-up")
+    return ("R", r, "simplify", simplified, "Rbar", rbar)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name, problem", ALL_PROBLEMS, ids=[n for n, _ in ALL_PROBLEMS])
+    def test_cached_and_parallel_paths_agree(self, name, problem):
+        baseline = apply_operators(problem, use_cache=False)
+
+        cold = apply_operators(problem, use_cache=True)
+        assert cold == baseline, "cold cache run diverged from the uncached engine"
+
+        warm = apply_operators(problem, use_cache=True)
+        assert warm == baseline, "warm cache run diverged from the uncached engine"
+
+        configure_parallel(workers=2, threshold=1)
+        operator_cache.configure(enabled=False)
+        parallel = apply_operators(problem, use_cache=False)
+        assert parallel == baseline, "parallel workers diverged from the serial engine"
+
+    @pytest.mark.parametrize(
+        "name, problem", CATALOG_PROBLEMS, ids=[n for n, _ in CATALOG_PROBLEMS]
+    )
+    def test_warm_run_hits_cache(self, name, problem):
+        first = apply_operators(problem, use_cache=True)
+        hits_before = operator_cache.hit_rate()
+        counters = operator_cache.stats()["operators"]
+        misses_before = sum(c["misses"] for c in counters.values())
+
+        second = apply_operators(problem, use_cache=True)
+        assert second == first
+
+        counters = operator_cache.stats()["operators"]
+        misses_after = sum(c["misses"] for c in counters.values())
+        assert misses_after == misses_before, "warm run should not miss"
+        assert operator_cache.hit_rate() > hits_before
+
+    def test_relabeled_problem_hits_same_entries(self):
+        # A structurally-identical problem under different label names
+        # must reuse the cache, and the decoded result must live in *its*
+        # alphabet, matching a direct computation exactly.
+        problem = CATALOG_PROBLEMS[4][1]  # mis
+        renaming = {
+            label: f"alias_{i}" for i, label in enumerate(sorted(problem.sigma_out, key=repr))
+        }
+        twin = problem.rename_outputs(renaming)
+        assert canonical_hash(twin) == canonical_hash(problem)
+
+        direct = R(twin, use_cache=False)
+        R(problem, use_cache=True)  # populate
+        misses = operator_cache.stats()["operators"]["R"]["misses"]
+        via_cache = R(twin, use_cache=True)
+        assert operator_cache.stats()["operators"]["R"]["misses"] == misses
+        assert operator_cache.stats()["operators"]["R"]["hits"] >= 1
+        assert via_cache == direct
+
+
+class TestSequenceMemoization:
+    def test_warm_sequence_recomputes_nothing(self):
+        problem = dict(CATALOG_PROBLEMS)["sinkless-orientation(delta=3)"]
+        ProblemSequence(problem).problem(2)
+
+        before = {
+            op: dict(c) for op, c in operator_cache.stats()["operators"].items()
+        }
+        rerun = ProblemSequence(problem)  # fresh object, warm global cache
+        result = rerun.problem(2)
+        after = operator_cache.stats()["operators"]
+
+        for op, counters in after.items():
+            assert counters["computes"] == before.get(op, {}).get("computes", 0), (
+                f"warm walk recomputed {op}"
+            )
+        cold = ProblemSequence(problem, use_cache=False).problem(2)
+        assert result == cold
+
+    def test_sequence_respects_use_cache_flag(self):
+        problem = dict(CATALOG_PROBLEMS)["mis"]
+        ProblemSequence(problem, use_cache=False).problem(1)
+        counters = operator_cache.stats()["operators"]
+        assert all(c["hits"] == 0 and c["misses"] == 0 for c in counters.values())
+        assert any(c["computes"] > 0 for c in counters.values())
+
+
+class TestFixedPointUpToRelabeling:
+    def test_find_fixed_point_modulo_isomorphism(self):
+        # Force the sequence's step-1 problem to be a *relabeled* copy of
+        # step 0: `==` fails but the canonical check must still detect
+        # stabilization at step 0.
+        problem = dict(CATALOG_PROBLEMS)["sinkless-orientation(delta=3)"]
+        sequence = ProblemSequence(problem)
+        renaming = {
+            label: ("spin", i)
+            for i, label in enumerate(sorted(problem.sigma_out, key=repr))
+        }
+        twin = problem.rename_outputs(renaming)
+        sequence._problems.append(twin)  # simulate a relabeling-only step
+
+        assert twin != problem
+        assert canonically_equal(twin, problem)
+        assert sequence.find_fixed_point(3) == 0
+
+    def test_sinkless_orientation_is_a_fixed_point(self):
+        problem = dict(CATALOG_PROBLEMS)["sinkless-orientation(delta=3)"]
+        assert ProblemSequence(problem).find_fixed_point(2) == 1
