@@ -15,11 +15,20 @@ Subcommands:
 Problems are named like ``mis``, ``coloring:3``, ``sinkless:3``,
 ``echo:2`` — see ``lcl-landscape catalog`` — or given as ``file:PATH``
 in the :mod:`repro.lcl.fmt` text format.
+
+Robustness flags: ``--timeout`` / ``--max-configs`` attach a cooperative
+:class:`repro.utils.budget.Budget` (exhaustion yields a structured
+``UNKNOWN(>= step k)`` instead of a hang), ``--checkpoint`` /
+``--resume`` persist and restore sequence walks, and the global
+``--verbose`` / ``--quiet`` flags control the ``repro`` logger, which is
+where budget hits, retries, pool fallbacks, and checkpoint writes are
+reported.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Dict, Optional
 
@@ -27,6 +36,7 @@ from repro.exceptions import ReproError
 from repro.lcl import catalog
 from repro.lcl.fmt import parse as parse_problem
 from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.budget import Budget
 
 #: name -> (builder taking one optional int parameter, description)
 CATALOG: Dict[str, tuple] = {
@@ -54,6 +64,38 @@ CATALOG: Dict[str, tuple] = {
     ),
     "2-coloring": (lambda k: catalog.two_coloring(k or 2), "proper 2-coloring (Theta(n))"),
 }
+
+
+def configure_logging(verbosity: int) -> None:
+    """Map ``-q``/``-v`` counts onto the ``repro`` logger level.
+
+    ``0`` → WARNING (budget hits, fallbacks, corrupt caches are always
+    visible), ``1`` → INFO (checkpoint writes, resumes, evictions),
+    ``2+`` → DEBUG; negative (``--quiet``) → ERROR.
+    """
+    if verbosity < 0:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    repro_logger = logging.getLogger("repro")
+    repro_logger.handlers[:] = [handler]
+    repro_logger.setLevel(level)
+    repro_logger.propagate = False
+
+
+def build_budget(args: argparse.Namespace) -> Optional[Budget]:
+    """A budget from ``--timeout`` / ``--max-configs``, or ``None``."""
+    timeout = getattr(args, "timeout", None)
+    max_configs = getattr(args, "max_configs", None)
+    if timeout is None and max_configs is None:
+        return None
+    return Budget(deadline=timeout, max_configs=max_configs)
 
 
 def resolve_problem(spec: str) -> NodeEdgeCheckableLCL:
@@ -94,6 +136,18 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_landscape(args: argparse.Namespace) -> int:
     from repro.landscape import LandscapePanel
 
+    if args.panel == "re":
+        from repro.landscape import classify_constant_time
+
+        problems = [resolve_problem(spec) for spec in ("trivial", "echo", "mis", "sinkless")]
+        panel = classify_constant_time(
+            problems,
+            max_steps=args.max_steps,
+            time_limit=args.timeout,
+            max_configs=args.max_configs,
+        )
+        print(panel.render())
+        return 0
     if args.panel == "trees":
         from repro.graphs import path, random_tree
         from repro.local.algorithms import LinialColoring, TwoHopMaxDegree
@@ -194,7 +248,9 @@ def cmd_landscape(args: argparse.Namespace) -> int:
 
 
 def cmd_roundelim(args: argparse.Namespace) -> int:
-    from repro.exceptions import ProblemDefinitionError
+    import contextlib
+
+    from repro.exceptions import BudgetExceededError, ProblemDefinitionError
     from repro.roundelim import ProblemSequence, configure_parallel, find_zero_round_algorithm
     from repro.utils import cache as operator_cache
 
@@ -209,22 +265,32 @@ def cmd_roundelim(args: argparse.Namespace) -> int:
         use_domination=not args.no_domination,
         max_universe=args.max_universe,
         use_cache=not args.no_cache,
+        checkpoint=args.checkpoint,
     )
     print(f"problem: {problem.name}")
+    if args.resume:
+        restored = sequence.resume()
+        print(f"  resumed {restored} completed step(s) from checkpoint")
+    budget = build_budget(args)
     fixed_point = None
-    for k in range(args.steps + 1):
-        try:
-            current = sequence.problem(k)
-        except ProblemDefinitionError as error:
-            print(f"  f^{k}: alphabet blow-up ({error})")
-            break
-        zero = find_zero_round_algorithm(current)
-        print(
-            f"  f^{k}: |sigma_out| = {len(current.sigma_out):<5d} "
-            f"0-round solvable: {'yes' if zero is not None else 'no'}"
-        )
-        if k > 0 and fixed_point is None and sequence.find_fixed_point(k) is not None:
-            fixed_point = sequence.find_fixed_point(k)
+    with budget if budget is not None else contextlib.nullcontext():
+        for k in range(args.steps + 1):
+            try:
+                current = sequence.problem(k)
+            except ProblemDefinitionError as error:
+                print(f"  f^{k}: alphabet blow-up ({error})")
+                break
+            except BudgetExceededError as error:
+                print(f"  f^{k}: UNKNOWN(>= step {sequence.completed_steps()})")
+                print(f"  budget: {error.diagnostics.as_dict()}")
+                break
+            zero = find_zero_round_algorithm(current)
+            print(
+                f"  f^{k}: |sigma_out| = {len(current.sigma_out):<5d} "
+                f"0-round solvable: {'yes' if zero is not None else 'no'}"
+            )
+            if k > 0 and fixed_point is None and sequence.find_fixed_point(k) is not None:
+                fixed_point = sequence.find_fixed_point(k)
     if fixed_point is not None:
         print(f"  fixed point (up to relabeling) at step {fixed_point}")
     if args.stats:
@@ -238,7 +304,13 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     from repro.roundelim.gap import speedup, verify_on_random_forests
 
     problem = resolve_problem(args.problem)
-    result = speedup(problem, max_steps=args.max_steps)
+    result = speedup(
+        problem,
+        max_steps=args.max_steps,
+        budget=build_budget(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     print(result.summary())
     if result.status == "constant" and not args.no_verify:
         sizes = (6, 4, 1) if problem.max_degree <= 2 else (7, 5, 3, 1)
@@ -256,7 +328,49 @@ def build_parser() -> argparse.ArgumentParser:
             "Complexities on Trees and Beyond' (PODC 2022)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase repro logger verbosity (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only log errors (suppresses budget/fallback warnings)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_budget_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget; exhaustion yields UNKNOWN(>= step k)",
+        )
+        sub.add_argument(
+            "--max-configs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="budget on enumerated configurations across the walk",
+        )
+
+    def add_checkpoint_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="DIR",
+            help="persist the sequence walk under DIR (default: REPRO_CHECKPOINT_DIR)",
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="restore completed steps from the checkpoint before walking",
+        )
 
     show = commands.add_parser("show", help="print a problem definition")
     show.add_argument("problem")
@@ -297,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable dominated-label pruning during hygiene",
     )
+    add_budget_flags(roundelim)
+    add_checkpoint_flags(roundelim)
     roundelim.set_defaults(handler=cmd_roundelim)
 
     speedup = commands.add_parser(
@@ -306,13 +422,21 @@ def build_parser() -> argparse.ArgumentParser:
     speedup.add_argument("--max-steps", type=int, default=4)
     speedup.add_argument("--trials", type=int, default=3)
     speedup.add_argument("--no-verify", action="store_true")
+    add_budget_flags(speedup)
+    add_checkpoint_flags(speedup)
     speedup.set_defaults(handler=cmd_speedup)
 
     landscape = commands.add_parser(
         "landscape", help="measure a Figure-1 landscape panel"
     )
-    landscape.add_argument("panel", choices=["trees", "grids", "volume"])
+    landscape.add_argument(
+        "panel",
+        choices=["trees", "grids", "volume", "re"],
+        help="'re': anytime Question-1.7 verdict panel via round elimination",
+    )
     landscape.add_argument("--points", type=int, default=5)
+    landscape.add_argument("--max-steps", type=int, default=3)
+    add_budget_flags(landscape)
     landscape.set_defaults(handler=cmd_landscape)
     return parser
 
@@ -320,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
     try:
         return args.handler(args)
     except ReproError as error:

@@ -22,6 +22,7 @@ from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.local.model import LocalAlgorithm
 from repro.roundelim.gap import GapResult, speedup
 from repro.utils import cache as operator_cache
+from repro.utils.budget import Budget, BudgetDiagnostics
 
 CONSTANT = "CONSTANT"
 NOT_CONSTANT = "NOT_CONSTANT"
@@ -42,6 +43,17 @@ class ConstantTimeVerdict:
     #: this run alone — how much work the walk did vs. found cached.
     cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    @property
+    def unknown_since_step(self) -> Optional[int]:
+        """For INCONCLUSIVE: no ``f^j(Π)`` with ``j`` below this is 0-round
+        solvable — the anytime partial answer ``UNKNOWN(>= step k)``."""
+        return self.gap_result.unknown_since_step
+
+    @property
+    def budget_diagnostics(self) -> Optional[BudgetDiagnostics]:
+        """Machine-readable budget-trip record, when a budget ended the run."""
+        return self.gap_result.budget_diagnostics
+
     def summary(self) -> str:
         if self.verdict == CONSTANT:
             return (
@@ -54,7 +66,10 @@ class ConstantTimeVerdict:
                 f"(round-elimination fixed point at depth "
                 f"{self.gap_result.fixed_point_at})"
             )
-        return f"{self.problem.name}: inconclusive within the step budget"
+        step = self.unknown_since_step
+        label = "UNKNOWN" if step is None else f"UNKNOWN(>= step {step})"
+        reason = self.gap_result.note or "step budget exhausted"
+        return f"{self.problem.name}: {label} — {reason}"
 
 
 def _stats_delta(
@@ -76,6 +91,9 @@ def semidecide_constant_time(
     max_steps: int = 4,
     max_universe: int = 4096,
     use_cache: bool = True,
+    budget: Optional[Budget] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ConstantTimeVerdict:
     """Run the Question 1.7 semidecision loop on a node-edge-checkable LCL.
 
@@ -83,10 +101,24 @@ def semidecide_constant_time(
     (unless ``use_cache=False``); the verdict's ``cache_stats`` records
     the per-operator hit/miss/compute deltas of this run, so a warm
     re-verdict shows zero ``computes``.
+
+    With a ``budget`` (or an ambient ``with Budget(...):``), the
+    semidecision becomes an *anytime* algorithm: exhaustion yields an
+    ``INCONCLUSIVE`` verdict whose :attr:`~ConstantTimeVerdict.unknown_since_step`
+    and :attr:`~ConstantTimeVerdict.budget_diagnostics` report exactly how
+    far the walk got — never a hang, never a bare exception.
+    ``checkpoint`` / ``resume`` persist and restore the underlying
+    sequence walk (see :mod:`repro.roundelim.checkpoint`).
     """
     before = operator_cache.stats()["operators"]
     result = speedup(
-        problem, max_steps=max_steps, max_universe=max_universe, use_cache=use_cache
+        problem,
+        max_steps=max_steps,
+        max_universe=max_universe,
+        use_cache=use_cache,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     cache_stats = _stats_delta(before, operator_cache.stats()["operators"])
     if result.status == "constant":

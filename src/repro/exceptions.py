@@ -43,3 +43,28 @@ class UnsolvableError(ReproError):
 
 class DecidabilityError(ReproError):
     """A decision procedure was invoked outside its supported fragment."""
+
+
+class BudgetExceededError(ReproError):
+    """A cooperative resource budget was exhausted mid-computation.
+
+    Carries machine-readable diagnostics (see
+    :class:`repro.utils.budget.BudgetDiagnostics`): which limit tripped,
+    the observed value, the elapsed wall time, how many configurations
+    were enumerated, and — when the budget was attached to a sequence
+    walk — the round-elimination step that was in progress.  Callers such
+    as :func:`repro.roundelim.gap.speedup` convert this into a structured
+    ``UNKNOWN(>= step k)`` verdict rather than letting it escape.
+    """
+
+    def __init__(self, diagnostics):
+        super().__init__(str(diagnostics))
+        self.diagnostics = diagnostics
+
+
+class CheckpointError(ReproError):
+    """A sequence checkpoint cannot be written or safely resumed from.
+
+    Unreadable/corrupt snapshots never raise this during :meth:`resume`
+    (they degrade to recomputation); it signals *caller* errors such as a
+    missing checkpoint directory."""

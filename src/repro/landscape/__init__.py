@@ -5,7 +5,13 @@ from repro.landscape.fit import (
     FitResult,
     fit_growth,
 )
-from repro.landscape.report import LandscapePanel, SeriesRow
+from repro.landscape.report import (
+    ClassificationPanel,
+    LandscapePanel,
+    SeriesRow,
+    VerdictRow,
+    classify_constant_time,
+)
 
 __all__ = [
     "GROWTH_SHAPES",
@@ -13,4 +19,7 @@ __all__ = [
     "fit_growth",
     "LandscapePanel",
     "SeriesRow",
+    "ClassificationPanel",
+    "VerdictRow",
+    "classify_constant_time",
 ]

@@ -11,10 +11,13 @@ theorems' red region: no measured series may be ω(1) yet o(log* n).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.landscape.fit import GROWTH_SHAPES, FitResult, fit_growth
+
+logger = logging.getLogger(__name__)
 
 #: Classes lying inside the forbidden gap of Theorems 1.1/1.3/1.4.
 GAP_CLASSES = ("Theta(log log* n)",)
@@ -113,3 +116,117 @@ class LandscapePanel:
         else:
             lines.append("  gap (omega(1) .. o(log* n)): empty, as the theorem predicts")
         return "\n".join(lines)
+
+
+# --------------------------------------------------- anytime classification
+@dataclass
+class VerdictRow:
+    """One problem's (possibly partial) constant-time classification."""
+
+    problem: str
+    #: ``"O(1)"``, ``"Omega(log* n)"``, or ``"UNKNOWN(>= step k)"``.
+    verdict: str
+    #: Free-form context: rounds, fixed-point depth, or budget diagnostics.
+    detail: str = ""
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.verdict.startswith("UNKNOWN")
+
+
+@dataclass
+class ClassificationPanel:
+    """A landscape panel of Question-1.7 verdicts under a resource budget.
+
+    Unlike :class:`LandscapePanel` (measured complexity series), this
+    panel reports the *decision-procedure* side of the landscape: which
+    problems the semidecision of Theorem 3.11 settles within the given
+    budget, and — crucially — a structured ``UNKNOWN(>= step k)`` row
+    (never a hang) for the ones it does not.
+    """
+
+    title: str
+    rows: List[VerdictRow] = field(default_factory=list)
+
+    def add(self, problem: str, verdict: str, detail: str = "") -> VerdictRow:
+        row = VerdictRow(problem, verdict, detail)
+        self.rows.append(row)
+        return row
+
+    def unknown_rows(self) -> List[VerdictRow]:
+        """The rows the budgeted walk could not settle."""
+        return [row for row in self.rows if row.is_unknown]
+
+    def render(self) -> str:
+        lines = [f"== {self.title} =="]
+        if not self.rows:
+            return lines[0] + "\n  (empty)"
+        lines.append(f"  {'problem':<32} {'verdict':<24} detail")
+        for row in self.rows:
+            lines.append(f"  {row.problem:<32} {row.verdict:<24} {row.detail}")
+        unknowns = self.unknown_rows()
+        if unknowns:
+            lines.append(
+                f"  {len(unknowns)} problem(s) unresolved within budget "
+                "(anytime verdicts, re-run with a larger budget to refine)"
+            )
+        return "\n".join(lines)
+
+
+def classify_constant_time(
+    problems: Iterable,
+    max_steps: int = 3,
+    time_limit: Optional[float] = None,
+    max_configs: Optional[int] = None,
+    max_universe: int = 4096,
+    use_cache: bool = True,
+) -> ClassificationPanel:
+    """Build a :class:`ClassificationPanel` over ``problems``.
+
+    Each problem gets a *fresh* :class:`~repro.utils.budget.Budget` with
+    the given per-problem limits, so one hopeless instance cannot starve
+    the rest of the panel — the production posture for the heavy-traffic
+    landscape service the roadmap targets.
+    """
+    from repro.decidability.constant_time import (
+        CONSTANT,
+        NOT_CONSTANT,
+        semidecide_constant_time,
+    )
+    from repro.utils.budget import Budget
+
+    panel = ClassificationPanel(
+        "constant-time solvability on trees (Question 1.7, anytime)"
+    )
+    for problem in problems:
+        budget = None
+        if time_limit is not None or max_configs is not None:
+            budget = Budget(deadline=time_limit, max_configs=max_configs)
+        verdict = semidecide_constant_time(
+            problem,
+            max_steps=max_steps,
+            max_universe=max_universe,
+            use_cache=use_cache,
+            budget=budget,
+        )
+        if verdict.verdict == CONSTANT:
+            panel.add(problem.name, "O(1)", f"{verdict.rounds} rounds, algorithm synthesized")
+        elif verdict.verdict == NOT_CONSTANT:
+            panel.add(
+                problem.name,
+                "Omega(log* n)",
+                f"fixed point at depth {verdict.gap_result.fixed_point_at}",
+            )
+        else:
+            step = verdict.unknown_since_step
+            label = "UNKNOWN" if step is None else f"UNKNOWN(>= step {step})"
+            diagnostics = verdict.budget_diagnostics
+            detail = verdict.gap_result.note
+            if diagnostics is not None:
+                detail = (
+                    f"{diagnostics.reason} limit after {diagnostics.elapsed:.2f}s, "
+                    f"{diagnostics.configurations} configs"
+                )
+            logger.info("landscape: %s unresolved (%s)", problem.name, detail)
+            panel.add(problem.name, label, detail)
+    return panel

@@ -26,6 +26,7 @@ from repro.roundelim.ops import (
     simplify,
 )
 from repro.utils.cache import format_stats, reset_stats, stats
+from repro.roundelim.checkpoint import SequenceCheckpoint
 from repro.roundelim.sequence import ProblemSequence
 from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
 from repro.roundelim.lift import lift_once, lift_to_local_algorithm
@@ -55,6 +56,7 @@ __all__ = [
     "remove_dominated_labels",
     "simplify",
     "ProblemSequence",
+    "SequenceCheckpoint",
     "ZeroRoundAlgorithm",
     "find_zero_round_algorithm",
     "lift_once",

@@ -1,0 +1,256 @@
+"""Atomic, corruption-checked checkpoints for :class:`ProblemSequence`.
+
+A sequence walk ``Π, f(Π), f²(Π), …`` is exactly the kind of computation
+that dies halfway: each step can take doubly-exponentially longer than
+the previous one.  The operator cache already persists *operator*
+results, but a killed walk still loses the sequence structure (which
+step it reached, the ``R(Π_k)`` intermediates the Lemma 3.9 lifting
+needs).  This module persists the walk itself:
+
+* after every completed step, :class:`SequenceCheckpoint` writes one
+  JSON snapshot per sequence under ``REPRO_CHECKPOINT_DIR`` (or an
+  explicit directory), atomically via ``os.replace``;
+* the snapshot is versioned (:data:`SCHEMA_VERSION`), whole-file
+  checksummed, and every stored problem carries its canonical hash, so
+  truncation, bit-rot, and schema drift are all *detected* — a bad
+  snapshot degrades to recomputation, never to a wrong resume;
+* problems are stored spelling-independently with
+  :func:`repro.roundelim.canonical.encode_result` relative to the base
+  problem, so a resumed walk rebuilds **bit-identical** objects (same
+  labels, same constraints, same names) and recomputes nothing for
+  completed steps.
+
+The snapshot key includes the base problem's canonical hash *and* the
+sequence options (hygiene flags, ``max_universe``, ``universe_mode``),
+so walks with different semantics never share a file.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import CheckpointError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.roundelim.canonical import (
+    UnencodableLabelError,
+    canonical_hash,
+    decode_result,
+    encode_result,
+)
+from repro.utils import faults
+
+logger = logging.getLogger(__name__)
+
+SCHEMA_VERSION = 1
+ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
+
+
+def default_checkpoint_dir() -> Optional[Path]:
+    """``$REPRO_CHECKPOINT_DIR`` as a path, or ``None`` when unset."""
+    raw = os.environ.get(ENV_CHECKPOINT_DIR)
+    return Path(raw) if raw else None
+
+
+def _checksum(body: dict) -> str:
+    return sha256(
+        json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class SequenceCheckpoint:
+    """One sequence's snapshot file under a checkpoint directory.
+
+    Parameters
+    ----------
+    base:
+        The sequence's ``Π_0`` (identifies the snapshot, together with
+        the options).
+    options:
+        The :class:`ProblemSequence` options that shape the walk.
+    directory:
+        Where snapshots live; defaults to ``REPRO_CHECKPOINT_DIR``.
+    """
+
+    def __init__(
+        self,
+        base: NodeEdgeCheckableLCL,
+        options: Dict[str, Any],
+        directory: Optional[os.PathLike] = None,
+    ):
+        directory = Path(directory) if directory else default_checkpoint_dir()
+        if directory is None:
+            raise CheckpointError(
+                "no checkpoint directory: pass one or set "
+                f"${ENV_CHECKPOINT_DIR}"
+            )
+        self.directory = directory
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.base = base
+        self.base_hash = canonical_hash(base)
+        self.options = {key: options[key] for key in sorted(options)}
+        digest = sha256(
+            json.dumps(
+                {"base": self.base_hash, "options": self.options}, sort_keys=True
+            ).encode("utf-8")
+        ).hexdigest()
+        self.path = self.directory / f"seq-{digest[:40]}.json"
+
+    # -- writing -------------------------------------------------------------
+    def save(
+        self,
+        problems: List[NodeEdgeCheckableLCL],
+        intermediates: Dict[int, NodeEdgeCheckableLCL],
+    ) -> bool:
+        """Persist the walk state (``problems[0]`` is the base, skipped).
+
+        Atomic (tmp file + ``os.replace``), whole-file checksummed.
+        Returns ``False`` — with a warning — when some label cannot be
+        serialized; checkpointing is best-effort and never fails a walk.
+        """
+        try:
+            body = {
+                "schema": SCHEMA_VERSION,
+                "base_hash": self.base_hash,
+                "options": self.options,
+                "problems": [
+                    {
+                        "name": problem.name,
+                        "hash": canonical_hash(problem),
+                        "payload": encode_result(self.base, problem),
+                    }
+                    for problem in problems[1:]
+                ],
+                "intermediates": {
+                    str(step): {
+                        "name": problem.name,
+                        "hash": canonical_hash(problem),
+                        "payload": encode_result(self.base, problem),
+                    }
+                    for step, problem in sorted(intermediates.items())
+                },
+            }
+        except UnencodableLabelError as error:
+            logger.warning("checkpoint skipped (unencodable label): %s", error)
+            return False
+        entry = {"body": body, "checksum": _checksum(body)}
+        text = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+        text = faults.corrupt_text("checkpoint_truncate", text)
+        try:
+            tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as error:
+            logger.warning("checkpoint write failed: %s", error)
+            try:
+                tmp.unlink()
+            except (OSError, UnboundLocalError):
+                pass
+            return False
+        logger.info(
+            "checkpoint saved: %d step(s), %d intermediate(s) -> %s",
+            len(problems) - 1,
+            len(intermediates),
+            self.path,
+        )
+        return True
+
+    # -- reading -------------------------------------------------------------
+    def load(
+        self,
+    ) -> Tuple[List[NodeEdgeCheckableLCL], Dict[int, NodeEdgeCheckableLCL]]:
+        """Restore the verified prefix of the walk.
+
+        Returns ``(problems, intermediates)`` with ``problems[0]`` being
+        the base problem.  Any corruption — unreadable JSON, checksum or
+        schema mismatch, a decoded problem whose canonical hash differs
+        from the recorded one — truncates the restored prefix at the
+        first bad entry (whole-file damage restores nothing).  Never
+        raises for damage; resuming from a damaged snapshot is simply a
+        colder start.
+        """
+        problems: List[NodeEdgeCheckableLCL] = [self.base]
+        intermediates: Dict[int, NodeEdgeCheckableLCL] = {}
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return problems, intermediates
+        try:
+            entry = json.loads(raw)
+            body = entry["body"]
+            if entry.get("checksum") != _checksum(body):
+                raise ValueError("checkpoint checksum mismatch")
+            if body.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint schema {body.get('schema')!r}"
+                )
+            if body.get("base_hash") != self.base_hash:
+                raise ValueError("checkpoint is for a different base problem")
+            if body.get("options") != self.options:
+                raise ValueError("checkpoint is for different sequence options")
+        except (ValueError, KeyError, TypeError) as error:
+            logger.warning(
+                "discarding corrupt checkpoint %s (%s); starting fresh",
+                self.path.name,
+                error,
+            )
+            self._quarantine()
+            return problems, intermediates
+
+        for step, stored in enumerate(body.get("problems", []), start=1):
+            problem = self._decode_verified(stored, f"step {step}")
+            if problem is None:
+                break
+            problems.append(problem)
+        restored_steps = len(problems) - 1
+        for key, stored in body.get("intermediates", {}).items():
+            try:
+                step = int(key)
+            except ValueError:
+                continue
+            # intermediate(k) = R(Π_k) is only meaningful for restored Π_k.
+            if not 0 <= step <= restored_steps:
+                continue
+            problem = self._decode_verified(stored, f"intermediate {step}")
+            if problem is not None:
+                intermediates[step] = problem
+        logger.info(
+            "checkpoint restored: %d step(s), %d intermediate(s) from %s",
+            restored_steps,
+            len(intermediates),
+            self.path,
+        )
+        return problems, intermediates
+
+    def _decode_verified(
+        self, stored: Any, what: str
+    ) -> Optional[NodeEdgeCheckableLCL]:
+        try:
+            problem = decode_result(
+                self.base, stored["payload"], name=str(stored.get("name", "resumed"))
+            )
+            if canonical_hash(problem) != stored["hash"]:
+                raise ValueError("canonical hash mismatch")
+        except Exception as error:
+            logger.warning(
+                "checkpoint %s: %s is corrupt (%s); truncating restore here",
+                self.path.name,
+                what,
+                error,
+            )
+            return None
+        return problem
+
+    def _quarantine(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def delete(self) -> None:
+        """Remove the snapshot file (e.g. after a completed run)."""
+        self._quarantine()

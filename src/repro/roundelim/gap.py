@@ -24,10 +24,11 @@ so the loop halts with ``"constant"`` on every constant-time problem.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.exceptions import ProblemDefinitionError
+from repro.exceptions import BudgetExceededError, ProblemDefinitionError
 from repro.graphs.core import HalfEdgeLabeling
 from repro.graphs.generators import random_forest
 from repro.graphs.ids import random_ids
@@ -38,8 +39,11 @@ from repro.roundelim.canonical import canonically_equal
 from repro.roundelim.lift import ZeroRoundLocalAlgorithm, lift_to_local_algorithm
 from repro.roundelim.sequence import ProblemSequence
 from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
+from repro.utils.budget import Budget, BudgetDiagnostics
 from repro.utils.multiset import label_sort_key
 from repro.utils.rng import SplittableRNG
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -63,11 +67,26 @@ class GapResult:
     sequence: ProblemSequence
     #: Free-form diagnostics (e.g. why the walk stopped early).
     note: str = ""
+    #: For ``"unknown"``: the walk established that no ``f^j(Π)`` with
+    #: ``j < unknown_since_step`` is 0-round solvable, i.e. the verdict is
+    #: ``UNKNOWN(>= step k)`` — an *anytime* partial answer, not a bare
+    #: give-up.
+    unknown_since_step: Optional[int] = None
+    #: Machine-readable account of the budget trip, when one ended the walk.
+    budget_diagnostics: Optional[BudgetDiagnostics] = None
+
+    def verdict_label(self) -> str:
+        """``"constant"`` / ``"fixed-point"`` / ``"UNKNOWN(>= step k)"``."""
+        if self.status == "unknown" and self.unknown_since_step is not None:
+            return f"UNKNOWN(>= step {self.unknown_since_step})"
+        return self.status
 
     def summary(self) -> str:
-        lines = [f"gap pipeline for {self.problem.name!r}: {self.status}"]
+        lines = [f"gap pipeline for {self.problem.name!r}: {self.verdict_label()}"]
         if self.note:
             lines.append(f"  note: {self.note}")
+        if self.budget_diagnostics is not None:
+            lines.append(f"  budget: {self.budget_diagnostics.as_dict()}")
         if self.constant_rounds is not None:
             lines.append(f"  synthesized deterministic {self.constant_rounds}-round algorithm")
         if self.fixed_point_at is not None:
@@ -86,6 +105,9 @@ def speedup(
     max_universe: int = 4096,
     detect_fixed_points: bool = True,
     use_cache: bool = True,
+    budget: Optional[Budget] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> GapResult:
     """Run the Theorem 3.10 pipeline on a node-edge-checkable problem.
 
@@ -95,6 +117,14 @@ def speedup(
     underlying operators run through the canonical result cache unless
     ``use_cache=False``, so repeated walks over the same problem are
     pure lookups.
+
+    Anytime semantics: pass a :class:`~repro.utils.budget.Budget` (or run
+    inside ``with Budget(...):``) and exhaustion mid-walk degrades to a
+    structured ``"unknown"`` result with :attr:`GapResult.unknown_since_step`
+    and :attr:`GapResult.budget_diagnostics` populated — no hang, no bare
+    exception.  ``checkpoint`` / ``resume`` are forwarded to
+    :class:`~repro.roundelim.sequence.ProblemSequence` so an interrupted
+    walk continues from its last persisted step.
     """
     sequence = ProblemSequence(
         problem,
@@ -102,9 +132,51 @@ def speedup(
         use_domination=use_domination,
         max_universe=max_universe,
         use_cache=use_cache,
+        checkpoint=checkpoint,
     )
+    if resume:
+        restored = sequence.resume()
+        if restored:
+            logger.info("speedup(%s): resumed %d step(s)", problem.name, restored)
+    if budget is not None:
+        with budget:
+            return _walk(problem, sequence, max_steps, detect_fixed_points)
+    return _walk(problem, sequence, max_steps, detect_fixed_points)
+
+
+def _unknown(
+    problem: NodeEdgeCheckableLCL,
+    sequence: ProblemSequence,
+    alphabet_sizes: List[int],
+    examined: int,
+    note: str,
+    diagnostics: Optional[BudgetDiagnostics] = None,
+) -> GapResult:
+    return GapResult(
+        problem=problem,
+        status="unknown",
+        constant_rounds=None,
+        algorithm=None,
+        zero_round=None,
+        alphabet_sizes=alphabet_sizes,
+        fixed_point_at=None,
+        sequence=sequence,
+        note=note,
+        unknown_since_step=examined,
+        budget_diagnostics=diagnostics,
+    )
+
+
+def _walk(
+    problem: NodeEdgeCheckableLCL,
+    sequence: ProblemSequence,
+    max_steps: int,
+    detect_fixed_points: bool,
+) -> GapResult:
     alphabet_sizes: List[int] = []
-    note = ""
+    # Steps whose 0-round check completed negatively: the walk has *proved*
+    # that a constant-time verdict needs depth >= examined.
+    examined = 0
     for step in range(max_steps + 1):
         try:
             current = sequence.problem(step)
@@ -113,8 +185,23 @@ def speedup(
             # problems this is the expected way the walk ends: the sequence
             # never becomes 0-round solvable and its alphabets blow up
             # doubly exponentially (remark in §3.2).
-            note = f"stopped before step {step}: {error}"
-            break
+            return _unknown(
+                problem,
+                sequence,
+                alphabet_sizes,
+                examined,
+                f"stopped before step {step}: {error}",
+            )
+        except BudgetExceededError as error:
+            logger.warning("speedup(%s): %s", problem.name, error.diagnostics)
+            return _unknown(
+                problem,
+                sequence,
+                alphabet_sizes,
+                examined,
+                f"budget exceeded before step {step}",
+                diagnostics=error.diagnostics,
+            )
         alphabet_sizes.append(len(current.sigma_out))
         zero_round = find_zero_round_algorithm(current)
         if zero_round is not None:
@@ -129,12 +216,28 @@ def speedup(
                 fixed_point_at=None,
                 sequence=sequence,
             )
+        examined = step + 1
         if detect_fixed_points and step < max_steps:
             try:
                 is_fixed = canonically_equal(sequence.problem(step + 1), current)
             except ProblemDefinitionError as error:
-                note = f"stopped before step {step + 1}: {error}"
-                break
+                return _unknown(
+                    problem,
+                    sequence,
+                    alphabet_sizes,
+                    examined,
+                    f"stopped before step {step + 1}: {error}",
+                )
+            except BudgetExceededError as error:
+                logger.warning("speedup(%s): %s", problem.name, error.diagnostics)
+                return _unknown(
+                    problem,
+                    sequence,
+                    alphabet_sizes,
+                    examined,
+                    f"budget exceeded before step {step + 1}",
+                    diagnostics=error.diagnostics,
+                )
             if is_fixed:
                 return GapResult(
                     problem=problem,
@@ -146,16 +249,12 @@ def speedup(
                     fixed_point_at=step,
                     sequence=sequence,
                 )
-    return GapResult(
-        problem=problem,
-        status="unknown",
-        constant_rounds=None,
-        algorithm=None,
-        zero_round=None,
-        alphabet_sizes=alphabet_sizes,
-        fixed_point_at=None,
-        sequence=sequence,
-        note=note,
+    return _unknown(
+        problem,
+        sequence,
+        alphabet_sizes,
+        examined,
+        "step budget exhausted without stabilization",
     )
 
 

@@ -53,16 +53,38 @@ forces serial; unset uses the CPU count, capped), and
 configurations before a pool is spun up — below it, or when a pool
 cannot be created, the loops run serially with identical semantics
 (including the early exits inside each selection check).
+
+Robustness
+----------
+The pool execution is *hardened* (see :func:`_run_chunks`): chunks have
+a per-chunk timeout (``REPRO_CHUNK_TIMEOUT``), failed chunks are retried
+with exponential backoff (``REPRO_CHUNK_RETRIES`` rounds), dead workers
+and broken pools are detected and the pool rebuilt, and chunks that
+still fail are re-executed serially in-process — so a worker crash can
+delay a result but never change it or lose it.  Every degradation is
+loud: logged through :mod:`logging` and counted in the per-operator
+stats (``pool_fallbacks``, ``chunk_retries``, ``chunk_timeouts``,
+``chunk_failures``, ``serial_rescues``).
+
+The quantifier loops also poll the ambient cooperative
+:class:`repro.utils.budget.Budget` (alphabet, configuration-count, and
+wall-clock/RSS limits), so an active budget turns a hopeless operator
+application into a structured
+:class:`~repro.exceptions.BudgetExceededError` instead of a hang, and
+the :mod:`repro.utils.faults` harness can inject deterministic worker
+crashes/exits and slow chunks for chaos testing.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import math
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ProblemDefinitionError
@@ -73,8 +95,12 @@ from repro.roundelim.canonical import (
     decode_result,
     encode_result,
 )
+from repro.utils import budget as budget_scope
 from repro.utils import cache as operator_cache
+from repro.utils import faults
 from repro.utils.multiset import Multiset, label_sort_key
+
+logger = logging.getLogger(__name__)
 
 
 def _nonempty_subsets(labels: Iterable[Any]) -> List[FrozenSet[Any]]:
@@ -124,52 +150,116 @@ def _all_selections_in(
 # ----------------------------------------------------------- parallel kernel
 _ENV_WORKERS = "REPRO_WORKERS"
 _ENV_THRESHOLD = "REPRO_PARALLEL_THRESHOLD"
+_ENV_CHUNK_TIMEOUT = "REPRO_CHUNK_TIMEOUT"
+_ENV_CHUNK_RETRIES = "REPRO_CHUNK_RETRIES"
 _DEFAULT_THRESHOLD = 20_000
 _MAX_DEFAULT_WORKERS = 8
+_DEFAULT_CHUNK_TIMEOUT = 300.0
+_DEFAULT_CHUNK_RETRIES = 2
+#: First-retry backoff in seconds (doubles per attempt).
+_BACKOFF_BASE = 0.05
 
 #: Programmatic overrides (take precedence over the environment).
-_parallel_overrides: Dict[str, Optional[int]] = {"workers": None, "threshold": None}
+_parallel_overrides: Dict[str, Optional[float]] = {
+    "workers": None,
+    "threshold": None,
+    "chunk_timeout": None,
+    "chunk_retries": None,
+}
 
 
 def configure_parallel(
-    workers: Optional[int] = None, threshold: Optional[int] = None
+    workers: Optional[int] = None,
+    threshold: Optional[int] = None,
+    chunk_timeout: Optional[float] = None,
+    chunk_retries: Optional[int] = None,
 ) -> None:
-    """Override the worker count / parallel threshold for this process.
+    """Override the pool knobs for this process.
 
     ``None`` clears an override (falling back to ``REPRO_WORKERS`` /
-    ``REPRO_PARALLEL_THRESHOLD``, then to the defaults).
+    ``REPRO_PARALLEL_THRESHOLD`` / ``REPRO_CHUNK_TIMEOUT`` /
+    ``REPRO_CHUNK_RETRIES``, then to the defaults).  ``chunk_timeout`` is
+    the per-chunk wall-clock limit in seconds before the chunk is
+    retried (and the suspect pool recycled); ``chunk_retries`` bounds the
+    pool-level retry rounds before failed chunks are re-executed
+    serially in-process.
     """
     _parallel_overrides["workers"] = workers
     _parallel_overrides["threshold"] = threshold
+    _parallel_overrides["chunk_timeout"] = chunk_timeout
+    _parallel_overrides["chunk_retries"] = chunk_retries
+
+
+def _effective(name: str, env: str, default, cast, floor=None):
+    override = _parallel_overrides[name]
+    if override is not None:
+        value = cast(override)
+        return value if floor is None else max(floor, value)
+    raw = os.environ.get(env)
+    if raw:
+        try:
+            value = cast(raw)
+            return value if floor is None else max(floor, value)
+        except ValueError:
+            pass
+    return default
 
 
 def _effective_workers() -> int:
-    if _parallel_overrides["workers"] is not None:
-        return max(1, _parallel_overrides["workers"])
-    raw = os.environ.get(_ENV_WORKERS)
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
-    return min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS)
+    default = min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS)
+    return _effective("workers", _ENV_WORKERS, default, int, floor=1)
 
 
 def _effective_threshold() -> int:
-    if _parallel_overrides["threshold"] is not None:
-        return max(1, _parallel_overrides["threshold"])
-    raw = os.environ.get(_ENV_THRESHOLD)
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
-    return _DEFAULT_THRESHOLD
+    return _effective("threshold", _ENV_THRESHOLD, _DEFAULT_THRESHOLD, int, floor=1)
+
+
+def _effective_chunk_timeout() -> float:
+    return _effective(
+        "chunk_timeout", _ENV_CHUNK_TIMEOUT, _DEFAULT_CHUNK_TIMEOUT, float, floor=0.001
+    )
+
+
+def _effective_chunk_retries() -> int:
+    return _effective(
+        "chunk_retries", _ENV_CHUNK_RETRIES, _DEFAULT_CHUNK_RETRIES, int, floor=0
+    )
 
 
 # Worker-process state, installed once per pool via the initializer so the
 # (potentially large) constraint tables are pickled once, not per chunk.
 _worker_state: Dict[str, Any] = {}
+
+
+def _node_chunk(
+    combos: List[Tuple[FrozenSet[Any], ...]],
+    allowed: FrozenSet[Multiset],
+    node_forall: bool,
+) -> List[Tuple[FrozenSet[Any], ...]]:
+    """Pure node-constraint filter shared by workers and serial rescue."""
+    check = _all_selections_in if node_forall else _some_selection_in
+    return [combo for combo in combos if check(combo, allowed)]
+
+
+def _edge_chunk(
+    row_range: Tuple[int, int],
+    universe: List[FrozenSet[Any]],
+    summaries: Dict[FrozenSet[Any], frozenset],
+    node_forall: bool,
+) -> List[Tuple[int, int]]:
+    """Pure edge-constraint filter shared by workers and serial rescue."""
+    pairs: List[Tuple[int, int]] = []
+    for i in range(row_range[0], row_range[1]):
+        summary = summaries[universe[i]]
+        for j in range(i, len(universe)):
+            second = universe[j]
+            if node_forall:
+                allowed = bool(summary & second)
+            else:
+                allowed = second <= summary
+            if allowed:
+                pairs.append((i, j))
+    return pairs
 
 
 def _init_node_worker(allowed: FrozenSet[Multiset], node_forall: bool) -> None:
@@ -180,9 +270,10 @@ def _init_node_worker(allowed: FrozenSet[Multiset], node_forall: bool) -> None:
 def _node_chunk_worker(
     combos: List[Tuple[FrozenSet[Any], ...]]
 ) -> List[Tuple[FrozenSet[Any], ...]]:
-    allowed = _worker_state["allowed"]
-    check = _all_selections_in if _worker_state["node_forall"] else _some_selection_in
-    return [combo for combo in combos if check(combo, allowed)]
+    faults.maybe_exit()
+    faults.maybe_crash()
+    faults.maybe_sleep()
+    return _node_chunk(combos, _worker_state["allowed"], _worker_state["node_forall"])
 
 
 def _init_edge_worker(
@@ -196,22 +287,15 @@ def _init_edge_worker(
 
 
 def _edge_chunk_worker(row_range: Tuple[int, int]) -> List[Tuple[int, int]]:
-    universe = _worker_state["universe"]
-    summaries = _worker_state["summaries"]
-    node_forall = _worker_state["node_forall"]
-    pairs: List[Tuple[int, int]] = []
-    for i in range(row_range[0], row_range[1]):
-        first = universe[i]
-        summary = summaries[first]
-        for j in range(i, len(universe)):
-            second = universe[j]
-            if node_forall:
-                allowed = bool(summary & second)
-            else:
-                allowed = second <= summary
-            if allowed:
-                pairs.append((i, j))
-    return pairs
+    faults.maybe_exit()
+    faults.maybe_crash()
+    faults.maybe_sleep()
+    return _edge_chunk(
+        row_range,
+        _worker_state["universe"],
+        _worker_state["summaries"],
+        _worker_state["node_forall"],
+    )
 
 
 def _make_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
@@ -227,9 +311,149 @@ def _make_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
     )
 
 
+def _try_make_pool(
+    workers: int, initializer, initargs, stat_key: str
+) -> Optional[ProcessPoolExecutor]:
+    """Create a pool, or loudly account the fallback and return ``None``."""
+    try:
+        return _make_pool(workers, initializer, initargs)
+    except (OSError, RuntimeError) as error:
+        operator_cache.record(stat_key, pool_fallbacks=1)
+        logger.warning(
+            "%s: process pool unavailable (%s); executing serially", stat_key, error
+        )
+        return None
+
+
 def _chunked(items: List[Any], chunks: int) -> List[List[Any]]:
     size = max(1, math.ceil(len(items) / max(1, chunks)))
     return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _wait_timeout(chunk_timeout: float) -> float:
+    """Per-future wait: the chunk timeout, shortened so an ambient budget
+    deadline is noticed promptly rather than after a full chunk wait."""
+    budget = budget_scope.active_budget()
+    if budget is not None:
+        remaining = budget.remaining_time()
+        if remaining is not None:
+            return min(chunk_timeout, remaining + 0.05)
+    return chunk_timeout
+
+
+def _run_chunks(
+    chunks: List[Any],
+    worker_fn: Callable[[Any], Any],
+    serial_fn: Callable[[Any], Any],
+    initializer: Callable,
+    initargs: Tuple,
+    workers: int,
+    stat_key: str,
+) -> List[Any]:
+    """Execute ``chunks`` on a hardened process pool, preserving order.
+
+    Failure semantics (all loud — logged and counted in the operator
+    stats, never silent):
+
+    * pool cannot be created → ``pool_fallbacks`` + full serial run;
+    * a chunk raises in a worker → ``chunk_failures``, chunk is retried
+      (``chunk_retries`` rounds with exponential backoff);
+    * a chunk exceeds the per-chunk timeout → ``chunk_timeouts``; the
+      pool is presumed wedged, recycled, and the chunk retried;
+    * a dead worker breaks the pool (``BrokenProcessPool``) →
+      ``chunk_failures``; the pool is rebuilt and the chunks retried;
+    * chunks still failing after all retries → ``serial_rescues`` + exact
+      in-process re-execution of only those chunks.
+
+    The result is therefore always the same list the serial engine would
+    produce; an ambient :class:`~repro.utils.budget.Budget` deadline is
+    still honored between chunk waits.
+    """
+    results: List[Any] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    chunk_timeout = _effective_chunk_timeout()
+    max_retries = _effective_chunk_retries()
+    pool = _try_make_pool(workers, initializer, initargs, stat_key)
+    had_pool = pool is not None
+    attempt = 0
+    try:
+        while pool is not None and pending:
+            futures = {index: pool.submit(worker_fn, chunks[index]) for index in pending}
+            failed: List[int] = []
+            broken = False
+            for index, future in futures.items():
+                if broken:
+                    # The pool is suspect: harvest already-finished chunks
+                    # without waiting, re-run the rest.
+                    try:
+                        results[index] = future.result(timeout=0)
+                    except Exception:
+                        failed.append(index)
+                    continue
+                try:
+                    results[index] = future.result(timeout=_wait_timeout(chunk_timeout))
+                except FutureTimeoutError:
+                    budget_scope.check()  # distinguish budget deadline from chunk hang
+                    operator_cache.record(stat_key, chunk_timeouts=1)
+                    logger.warning(
+                        "%s: chunk %d exceeded %.3fs timeout; recycling pool",
+                        stat_key,
+                        index,
+                        chunk_timeout,
+                    )
+                    failed.append(index)
+                    broken = True
+                except BrokenExecutor as error:
+                    operator_cache.record(stat_key, chunk_failures=1)
+                    logger.warning(
+                        "%s: worker pool broke on chunk %d (%s); rebuilding",
+                        stat_key,
+                        index,
+                        error,
+                    )
+                    failed.append(index)
+                    broken = True
+                except Exception as error:
+                    operator_cache.record(stat_key, chunk_failures=1)
+                    logger.warning(
+                        "%s: chunk %d failed in worker (%s)", stat_key, index, error
+                    )
+                    failed.append(index)
+                budget_scope.check()
+            pending = failed
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            if not pending:
+                break
+            if attempt >= max_retries:
+                break
+            attempt += 1
+            operator_cache.record(stat_key, chunk_retries=len(pending))
+            logger.warning(
+                "%s: retrying %d chunk(s), attempt %d/%d",
+                stat_key,
+                len(pending),
+                attempt,
+                max_retries,
+            )
+            time.sleep(_BACKOFF_BASE * (2 ** (attempt - 1)))
+            if pool is None:
+                pool = _try_make_pool(workers, initializer, initargs, stat_key)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    if pending:
+        if had_pool:
+            operator_cache.record(stat_key, serial_rescues=len(pending))
+            logger.warning(
+                "%s: re-executing %d failed chunk(s) serially in-process",
+                stat_key,
+                len(pending),
+            )
+        for index in pending:
+            results[index] = serial_fn(chunks[index])
+    return results
 
 
 def _power_problem(
@@ -263,6 +487,8 @@ def _power_problem(
     workers = _effective_workers()
     threshold = _effective_threshold()
     configurations_tested = 0
+    budget_scope.note_alphabet(len(universe))
+    budget_scope.check()
 
     # --- edge constraint via partner-set algebra --------------------------
     partners = edge_partners(problem)
@@ -277,30 +503,30 @@ def _power_problem(
             summaries[subset] = frozenset.intersection(*partner_sets)
     pair_count = len(universe) * (len(universe) + 1) // 2
     configurations_tested += pair_count
-    edge_pairs: Optional[List[Tuple[int, int]]] = None
+    budget_scope.charge(pair_count)
     if workers > 1 and pair_count >= threshold:
         row_ranges = [
             (chunk[0], chunk[-1] + 1)
             for chunk in _chunked(list(range(len(universe))), 4 * workers)
         ]
-        try:
-            with _make_pool(
-                workers, _init_edge_worker, (universe, summaries, node_forall)
-            ) as pool:
-                edge_pairs = [
-                    pair
-                    for chunk in pool.map(_edge_chunk_worker, row_ranges)
-                    for pair in chunk
-                ]
-        except (OSError, RuntimeError):
-            edge_pairs = None  # pool unavailable: fall through to serial
-    if edge_pairs is not None:
+        chunk_results = _run_chunks(
+            row_ranges,
+            _edge_chunk_worker,
+            lambda row_range: _edge_chunk(row_range, universe, summaries, node_forall),
+            _init_edge_worker,
+            (universe, summaries, node_forall),
+            workers,
+            name_prefix,
+        )
         edge_configurations = [
-            Multiset((universe[i], universe[j])) for i, j in edge_pairs
+            Multiset((universe[i], universe[j]))
+            for chunk in chunk_results
+            for i, j in chunk
         ]
     else:
         edge_configurations = []
         for i, first in enumerate(universe):
+            budget_scope.tick(len(universe) - i)
             for second in universe[i:]:
                 if node_forall:
                     allowed = bool(summaries[first] & second)
@@ -317,30 +543,30 @@ def _power_problem(
         if allowed:
             combo_count = math.comb(len(universe) + degree - 1, degree)
             configurations_tested += combo_count
-            passing: Optional[List[Tuple[FrozenSet[Any], ...]]] = None
+            budget_scope.charge(combo_count)
             if workers > 1 and combo_count >= threshold:
                 combos = list(
                     itertools.combinations_with_replacement(universe, degree)
                 )
-                try:
-                    with _make_pool(
-                        workers, _init_node_worker, (allowed, node_forall)
-                    ) as pool:
-                        passing = [
-                            combo
-                            for chunk in pool.map(
-                                _node_chunk_worker, _chunked(combos, 4 * workers)
-                            )
-                            for combo in chunk
-                        ]
-                except (OSError, RuntimeError):
-                    passing = None
-            if passing is not None:
-                configurations = [Multiset(combo) for combo in passing]
+                chunk_results = _run_chunks(
+                    _chunked(combos, 4 * workers),
+                    _node_chunk_worker,
+                    lambda chunk, allowed=allowed: _node_chunk(
+                        chunk, allowed, node_forall
+                    ),
+                    _init_node_worker,
+                    (allowed, node_forall),
+                    workers,
+                    name_prefix,
+                )
+                configurations = [
+                    Multiset(combo) for chunk in chunk_results for combo in chunk
+                ]
             else:
                 for combo in itertools.combinations_with_replacement(
                     universe, degree
                 ):
+                    budget_scope.tick()
                     if node_check(combo, allowed):
                         configurations.append(Multiset(combo))
         node_constraints[degree] = configurations
@@ -528,6 +754,7 @@ def merge_equivalent_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableL
 
 def _dominates(problem: NodeEdgeCheckableLCL, strong: Any, weak: Any) -> bool:
     """May every occurrence of ``weak`` be replaced by ``strong``?"""
+    budget_scope.tick()
     for input_label in problem.sigma_in:
         allowed = problem.g[input_label]
         if weak in allowed and strong not in allowed:
@@ -588,6 +815,7 @@ def _simplify_impl(
 ) -> NodeEdgeCheckableLCL:
     current = problem
     while True:
+        budget_scope.check()
         reduced = restrict_to_usable(current)
         reduced = merge_equivalent_labels(reduced)
         if domination:

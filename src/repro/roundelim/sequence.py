@@ -11,15 +11,34 @@ and optionally applies the solvability-preserving hygiene passes between
 iterations to keep the doubly-exponential alphabets tractable — see
 :mod:`repro.roundelim.ops` for why this does not affect the pipeline's
 soundness or completeness.
+
+Fault tolerance
+---------------
+A sequence can **checkpoint** its progress: pass ``checkpoint=`` a
+directory (or set ``REPRO_CHECKPOINT_DIR``) and every completed ``Π_k``
+and ``R(Π_k)`` is atomically persisted through
+:mod:`repro.roundelim.checkpoint`.  A later walk over the same problem
+and options calls :meth:`ProblemSequence.resume` to restore the verified
+prefix — bit-identical to the uninterrupted run, with zero operator
+recomputation for completed steps — and continues from there.  The walk
+also cooperates with the ambient :class:`repro.utils.budget.Budget`: the
+step about to be computed is reported so a budget trip carries
+``step``-level diagnostics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import logging
+import os
+from typing import Dict, List, Optional, Union
 
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.roundelim.canonical import canonically_equal
+from repro.roundelim.checkpoint import SequenceCheckpoint, default_checkpoint_dir
 from repro.roundelim.ops import R, R_bar, simplify
+from repro.utils import budget as budget_scope
+
+logger = logging.getLogger(__name__)
 
 
 class ProblemSequence:
@@ -46,6 +65,11 @@ class ProblemSequence:
         sequence over a previously seen problem performs zero operator
         recomputations.  ``False`` forces fresh kernel runs (the
         per-instance memo in this object still applies).
+    checkpoint:
+        ``False`` (never persist), a directory / :class:`SequenceCheckpoint`
+        (persist there), or ``None`` — the default — which persists iff
+        ``REPRO_CHECKPOINT_DIR`` is set.  Snapshots are written after
+        every completed step; call :meth:`resume` to restore one.
     """
 
     def __init__(
@@ -56,6 +80,7 @@ class ProblemSequence:
         max_universe: int = 4096,
         universe_mode: str = "reduced",
         use_cache: bool = True,
+        checkpoint: Union[None, bool, str, os.PathLike, SequenceCheckpoint] = None,
     ):
         self.base = problem
         self.use_simplification = use_simplification
@@ -65,6 +90,64 @@ class ProblemSequence:
         self.use_cache = use_cache
         self._problems: List[NodeEdgeCheckableLCL] = [problem]
         self._intermediates: Dict[int, NodeEdgeCheckableLCL] = {}
+        self._checkpoint = self._resolve_checkpoint(checkpoint)
+
+    def _resolve_checkpoint(
+        self, checkpoint: Union[None, bool, str, os.PathLike, SequenceCheckpoint]
+    ) -> Optional[SequenceCheckpoint]:
+        if checkpoint is False:
+            return None
+        if isinstance(checkpoint, SequenceCheckpoint):
+            return checkpoint
+        if checkpoint is None or checkpoint is True:
+            directory = default_checkpoint_dir()
+            if directory is None:
+                return None
+        else:
+            directory = checkpoint
+        return SequenceCheckpoint(self.base, self._options(), directory=directory)
+
+    def _options(self) -> Dict[str, object]:
+        """The option fingerprint a checkpoint must match to be resumable."""
+        return {
+            "use_simplification": self.use_simplification,
+            "use_domination": self.use_domination,
+            "max_universe": self.max_universe,
+            "universe_mode": self.universe_mode,
+        }
+
+    @property
+    def checkpoint(self) -> Optional[SequenceCheckpoint]:
+        """The attached checkpoint store, if checkpointing is enabled."""
+        return self._checkpoint
+
+    def resume(self) -> int:
+        """Restore the verified prefix from the checkpoint snapshot.
+
+        Returns the number of completed steps restored (0 when there is
+        no snapshot, the snapshot is corrupt, or checkpointing is off).
+        Restored problems are bit-identical to the ones the original walk
+        computed, and :meth:`problem` will not recompute them.
+        """
+        if self._checkpoint is None:
+            return 0
+        problems, intermediates = self._checkpoint.load()
+        if len(problems) > len(self._problems):
+            self._problems = problems
+        for step, problem in intermediates.items():
+            self._intermediates.setdefault(step, problem)
+        restored = len(self._problems) - 1
+        if restored:
+            logger.info(
+                "resumed %s at step %d (zero recomputation for the prefix)",
+                self.base.name,
+                restored,
+            )
+        return restored
+
+    def _persist(self) -> None:
+        if self._checkpoint is not None:
+            self._checkpoint.save(self._problems, self._intermediates)
 
     def _clean(self, problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableLCL:
         if not self.use_simplification:
@@ -76,6 +159,7 @@ class ProblemSequence:
     def intermediate(self, k: int) -> NodeEdgeCheckableLCL:
         """``R(Π_k)`` — the half-step problem between ``Π_k`` and ``Π_{k+1}``."""
         if k not in self._intermediates:
+            budget_scope.note_step(k)
             self._intermediates[k] = self._clean(
                 R(
                     self.problem(k),
@@ -84,12 +168,14 @@ class ProblemSequence:
                     use_cache=self.use_cache,
                 )
             )
+            self._persist()
         return self._intermediates[k]
 
     def problem(self, k: int) -> NodeEdgeCheckableLCL:
         """``Π_k = f^k(Π)`` (with hygiene applied if enabled)."""
         while len(self._problems) <= k:
             index = len(self._problems) - 1
+            budget_scope.note_step(index)
             half = self.intermediate(index)
             self._problems.append(
                 self._clean(
@@ -101,7 +187,12 @@ class ProblemSequence:
                     )
                 )
             )
+            self._persist()
         return self._problems[k]
+
+    def completed_steps(self) -> int:
+        """How many steps ``Π_1 .. Π_k`` have been fully computed."""
+        return len(self._problems) - 1
 
     def alphabet_sizes(self, upto: int) -> List[int]:
         """|Σ_out| of ``Π_0 .. Π_upto`` — the growth data of §3.2's remark."""

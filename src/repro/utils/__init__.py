@@ -1,7 +1,11 @@
 """Shared utilities: canonical multisets, number theory, log*, RNG
-helpers, and the round-elimination operator cache (:mod:`repro.utils.cache`)."""
+helpers, the round-elimination operator cache (:mod:`repro.utils.cache`),
+cooperative resource budgets (:mod:`repro.utils.budget`), and the
+deterministic fault-injection harness (:mod:`repro.utils.faults`)."""
 
+from repro.utils.budget import Budget, BudgetDiagnostics, active_budget
 from repro.utils.cache import RoundElimCache, configure, format_stats, hit_rate, reset_stats, stats
+from repro.utils.faults import FaultPlan, InjectedFault, configure_faults, reset_faults
 from repro.utils.multiset import Multiset
 from repro.utils.numbers import (
     GFPolynomial,
@@ -20,6 +24,13 @@ __all__ = [
     "hit_rate",
     "reset_stats",
     "stats",
+    "Budget",
+    "BudgetDiagnostics",
+    "active_budget",
+    "FaultPlan",
+    "InjectedFault",
+    "configure_faults",
+    "reset_faults",
     "GFPolynomial",
     "iterated_log",
     "is_prime",

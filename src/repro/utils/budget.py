@@ -1,0 +1,267 @@
+"""Cooperative resource budgets for the round-elimination engine.
+
+The semidecision procedure of Question 1.7 iterates ``f = R̄∘R`` and may
+never stabilize; each step can blow up doubly exponentially in the
+alphabet.  A :class:`Budget` turns that semidecision into an *anytime*
+algorithm: the quantifier/subset loops of :mod:`repro.roundelim.ops`
+(and the sequence walk of :mod:`repro.roundelim.gap`) poll the active
+budget at cheap cooperative checkpoints, and exhaustion raises
+:class:`~repro.exceptions.BudgetExceededError` carrying machine-readable
+:class:`BudgetDiagnostics` — which ``speedup`` /
+``semidecide_constant_time`` / the landscape classification panel turn
+into a structured ``UNKNOWN(>= step k)`` verdict instead of hanging.
+
+Limits (all optional, all ``None`` = unlimited):
+
+* ``deadline`` — wall-clock seconds from :meth:`Budget.start` (the
+  constructor starts the clock; ``with budget:`` restarts it);
+* ``max_configs`` — total candidate configurations enumerated by the
+  power-set constructions;
+* ``max_alphabet`` — largest output alphabet any operator may build;
+* ``max_rss_bytes`` — peak resident set size (best-effort, via
+  ``resource.getrusage``; ignored where unavailable).
+
+A budget is *activated* either by passing it explicitly to the pipeline
+entry points (``speedup(..., budget=...)``) or ambiently as a context
+manager::
+
+    with Budget(deadline=2.0):
+        semidecide_constant_time(problem, max_steps=50)
+
+Activation is thread-local and stack-shaped, so nested budgets see the
+innermost one.  Checks are cooperative: the engine polls between chunks
+and every :data:`TICK_EVERY` serial iterations, so overshoot is bounded
+by one chunk of work, never by a whole operator application.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import BudgetExceededError
+
+logger = logging.getLogger(__name__)
+
+#: Serial loops poll the active budget every this many iterations.
+TICK_EVERY = 2048
+
+
+@dataclass(frozen=True)
+class BudgetDiagnostics:
+    """Machine-readable account of a budget trip (or a completed run)."""
+
+    #: Which limit tripped: ``"deadline"``, ``"configs"``, ``"alphabet"``,
+    #: or ``"rss"``.
+    reason: str
+    #: The configured limit that was exceeded.
+    limit: float
+    #: The observed value at the moment of the trip.
+    observed: float
+    #: Wall-clock seconds since the budget started.
+    elapsed: float
+    #: Candidate configurations enumerated so far (across all operators).
+    configurations: int
+    #: Round-elimination step in progress when the budget tripped
+    #: (``None`` outside a sequence walk).
+    step: Optional[int] = None
+    #: Output-alphabet size of the operator being built, if known.
+    alphabet_size: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "reason": self.reason,
+            "limit": self.limit,
+            "observed": self.observed,
+            "elapsed": round(self.elapsed, 6),
+            "configurations": self.configurations,
+            "step": self.step,
+            "alphabet_size": self.alphabet_size,
+        }
+
+    def __str__(self) -> str:
+        where = "" if self.step is None else f" at step {self.step}"
+        return (
+            f"budget exceeded{where}: {self.reason} limit {self.limit:g} "
+            f"(observed {self.observed:g}) after {self.elapsed:.3f}s, "
+            f"{self.configurations} configurations enumerated"
+        )
+
+
+def _current_rss_bytes() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalize heuristically (a real RSS
+    # is never below 1 MiB, so values that small must be KiB).
+    return usage * 1024 if usage < 1 << 20 else usage
+
+
+class Budget:
+    """A cooperative resource budget (see the module docstring)."""
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_configs: Optional[int] = None,
+        max_alphabet: Optional[int] = None,
+        max_rss_bytes: Optional[int] = None,
+    ):
+        self.deadline = deadline
+        self.max_configs = max_configs
+        self.max_alphabet = max_alphabet
+        self.max_rss_bytes = max_rss_bytes
+        self.configurations = 0
+        self.step: Optional[int] = None
+        self.alphabet_size: Optional[int] = None
+        self._tick = 0
+        self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Budget":
+        """(Re)start the wall clock and zero the consumption counters."""
+        self._started = time.monotonic()
+        self.configurations = 0
+        self.step = None
+        self.alphabet_size = None
+        self._tick = 0
+        return self
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left on the deadline (``None`` when unlimited)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.elapsed())
+
+    # -- cooperative checkpoints -------------------------------------------
+    def _trip(self, reason: str, limit: float, observed: float) -> None:
+        diagnostics = BudgetDiagnostics(
+            reason=reason,
+            limit=limit,
+            observed=observed,
+            elapsed=self.elapsed(),
+            configurations=self.configurations,
+            step=self.step,
+            alphabet_size=self.alphabet_size,
+        )
+        logger.warning("%s", diagnostics)
+        raise BudgetExceededError(diagnostics)
+
+    def check(self) -> None:
+        """Poll the deadline and RSS ceiling; raise on exhaustion."""
+        if self.deadline is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.deadline:
+                self._trip("deadline", self.deadline, elapsed)
+        if self.max_rss_bytes is not None:
+            rss = _current_rss_bytes()
+            if rss is not None and rss > self.max_rss_bytes:
+                self._trip("rss", self.max_rss_bytes, rss)
+
+    def charge(self, configs: int) -> None:
+        """Account ``configs`` enumerated configurations, then poll."""
+        self.configurations += configs
+        if self.max_configs is not None and self.configurations > self.max_configs:
+            self._trip("configs", self.max_configs, self.configurations)
+        self.check()
+
+    def tick(self, iterations: int = 1) -> None:
+        """Cheap per-iteration poll: only calls :meth:`check` every
+        :data:`TICK_EVERY` accumulated iterations."""
+        self._tick += iterations
+        if self._tick >= TICK_EVERY:
+            self._tick = 0
+            self.check()
+
+    def note_step(self, step: int) -> None:
+        """Record the sequence step in progress (for diagnostics)."""
+        self.step = step
+
+    def note_alphabet(self, size: int) -> None:
+        """Record (and bound) the operator's output-alphabet size."""
+        self.alphabet_size = size
+        if self.max_alphabet is not None and size > self.max_alphabet:
+            self._trip("alphabet", self.max_alphabet, size)
+
+    # -- ambient activation -------------------------------------------------
+    def __enter__(self) -> "Budget":
+        self.start()
+        _active_stack().append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = _active_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    def __repr__(self) -> str:
+        limits = ", ".join(
+            f"{name}={value!r}"
+            for name, value in (
+                ("deadline", self.deadline),
+                ("max_configs", self.max_configs),
+                ("max_alphabet", self.max_alphabet),
+                ("max_rss_bytes", self.max_rss_bytes),
+            )
+            if value is not None
+        )
+        return f"Budget({limits or 'unlimited'})"
+
+
+_local = threading.local()
+
+
+def _active_stack() -> List[Budget]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def active_budget() -> Optional[Budget]:
+    """The innermost ambient budget of this thread, if any."""
+    stack = _active_stack()
+    return stack[-1] if stack else None
+
+
+def charge(configs: int) -> None:
+    """Charge the ambient budget (no-op without one)."""
+    budget = active_budget()
+    if budget is not None:
+        budget.charge(configs)
+
+
+def tick(iterations: int = 1) -> None:
+    """Tick the ambient budget (no-op without one)."""
+    budget = active_budget()
+    if budget is not None:
+        budget.tick(iterations)
+
+
+def check() -> None:
+    """Poll the ambient budget (no-op without one)."""
+    budget = active_budget()
+    if budget is not None:
+        budget.check()
+
+
+def note_alphabet(size: int) -> None:
+    """Report an operator alphabet size to the ambient budget."""
+    budget = active_budget()
+    if budget is not None:
+        budget.note_alphabet(size)
+
+
+def note_step(step: int) -> None:
+    """Report the current sequence step to the ambient budget."""
+    budget = active_budget()
+    if budget is not None:
+        budget.note_step(step)

@@ -26,8 +26,11 @@ Layers
 
 Environment knobs
 -----------------
-``REPRO_CACHE=0``      disable caching entirely (compute everything).
-``REPRO_CACHE_DIR=…``  enable the on-disk layer at the given directory.
+``REPRO_CACHE=0``            disable caching entirely (compute everything).
+``REPRO_CACHE_DIR=…``        enable the on-disk layer at the given directory.
+``REPRO_CACHE_MAX_BYTES=…``  bound the on-disk layer; least-recently-used
+entries (by file mtime) are evicted once the total size exceeds the
+bound, and evictions are counted in ``stats()["cache"]["disk_evictions"]``.
 
 Instrumentation
 ---------------
@@ -40,6 +43,7 @@ with :func:`format_stats`, reset with :func:`reset_stats`.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from collections import OrderedDict
@@ -47,9 +51,14 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.utils import faults
+
+logger = logging.getLogger(__name__)
+
 DEFAULT_MEMORY_ENTRIES = 1024
 
-#: Counter fields tracked per operator.
+#: Counter fields tracked per operator.  The last block is maintained by
+#: the hardened worker pools of :mod:`repro.roundelim.ops`.
 STAT_FIELDS = (
     "hits",
     "misses",
@@ -60,10 +69,16 @@ STAT_FIELDS = (
     "decode_errors",
     "configurations_tested",
     "wall_time",
+    "pool_fallbacks",
+    "chunk_retries",
+    "chunk_timeouts",
+    "chunk_failures",
+    "serial_rescues",
 )
 
 _ENV_DISABLE = "REPRO_CACHE"
 _ENV_DISK_DIR = "REPRO_CACHE_DIR"
+_ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 _lock = threading.Lock()
 _stats: Dict[str, Dict[str, float]] = {}
@@ -103,6 +118,8 @@ def stats() -> Dict[str, Any]:
             "memory_entries": len(cache),
             "memory_capacity": cache.memory_entries,
             "disk_dir": str(cache.disk_dir) if cache.disk_dir else None,
+            "max_disk_bytes": cache.max_disk_bytes,
+            "disk_evictions": cache.disk_evictions,
         },
     }
 
@@ -130,6 +147,11 @@ def format_stats() -> str:
         f"cache: {state}  entries={cache_info['memory_entries']}"
         f"/{cache_info['memory_capacity']}  disk={disk}"
     )
+    if cache_info["max_disk_bytes"] is not None:
+        lines.append(
+            f"  disk budget: {cache_info['max_disk_bytes']} bytes, "
+            f"{cache_info['disk_evictions']} evictions"
+        )
     header = (
         f"  {'operator':<10} {'hits':>6} {'misses':>7} {'computes':>9} "
         f"{'configs':>9} {'wall[s]':>8}"
@@ -142,6 +164,20 @@ def format_stats() -> str:
             f"{int(c['computes']):>9} {int(c['configurations_tested']):>9} "
             f"{c['wall_time']:>8.3f}"
         )
+        robustness = {
+            field: int(c[field])
+            for field in (
+                "pool_fallbacks",
+                "chunk_retries",
+                "chunk_timeouts",
+                "chunk_failures",
+                "serial_rescues",
+            )
+            if c.get(field)
+        }
+        if robustness:
+            detail = " ".join(f"{k}={v}" for k, v in robustness.items())
+            lines.append(f"  {'':<10} !! {detail}")
     rate = hit_rate()
     lines.append(
         "  overall hit rate: "
@@ -164,10 +200,16 @@ class RoundElimCache:
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
         disk_dir: Optional[os.PathLike] = None,
         enabled: bool = True,
+        max_disk_bytes: Optional[int] = None,
     ):
         self.memory_entries = max(1, int(memory_entries))
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.enabled = enabled
+        self.max_disk_bytes = (
+            max(0, int(max_disk_bytes)) if max_disk_bytes is not None else None
+        )
+        #: Disk entries removed to honor ``max_disk_bytes`` (process-lifetime).
+        self.disk_evictions = 0
         self._memory: "OrderedDict[Tuple[str, str, str], dict]" = OrderedDict()
         self._lock = threading.Lock()
         if self.disk_dir is not None:
@@ -208,6 +250,7 @@ class RoundElimCache:
             raw = path.read_text(encoding="utf-8")
         except OSError:
             return None
+        raw = faults.corrupt_text("cache_corrupt", raw)
         try:
             entry = json.loads(raw)
             if entry.get("key") != list(key):
@@ -216,6 +259,9 @@ class RoundElimCache:
             if not isinstance(payload, dict):
                 raise ValueError("cache payload is not an object")
         except (ValueError, KeyError, TypeError):
+            logger.warning(
+                "corrupt cache entry %s: deleting and recomputing", path.name
+            )
             if stat_key:
                 record(stat_key, disk_errors=1)
             try:
@@ -251,6 +297,39 @@ class RoundElimCache:
                 tmp.unlink()
             except (OSError, UnboundLocalError):
                 pass
+        else:
+            self._enforce_disk_budget(keep=path.name)
+
+    def _enforce_disk_budget(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used disk entries (by mtime) until the
+        layer fits in ``max_disk_bytes``.  The just-written entry
+        (``keep``) is evicted only if it alone exceeds the whole budget."""
+        if self.max_disk_bytes is None or self.disk_dir is None:
+            return
+        try:
+            entries = []
+            total = 0
+            for path in self.disk_dir.glob("*.json"):
+                stat = path.stat()
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        except OSError:
+            return
+        if total <= self.max_disk_bytes:
+            return
+        entries.sort()
+        for _, size, path in entries:
+            if total <= self.max_disk_bytes:
+                break
+            if keep is not None and path.name == keep and len(entries) > 1:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.disk_evictions += 1
+            logger.info("evicted cache entry %s (%d bytes) for disk budget", path.name, size)
 
     def invalidate(self, key: Tuple[str, str, str]) -> None:
         with self._lock:
@@ -291,7 +370,16 @@ def _build_from_env() -> RoundElimCache:
         "no",
     )
     disk_dir = os.environ.get(_ENV_DISK_DIR) or None
-    return RoundElimCache(disk_dir=disk_dir, enabled=enabled)
+    max_disk_bytes: Optional[int] = None
+    raw_max = os.environ.get(_ENV_MAX_BYTES)
+    if raw_max:
+        try:
+            max_disk_bytes = int(raw_max)
+        except ValueError:
+            logger.warning("ignoring non-integer %s=%r", _ENV_MAX_BYTES, raw_max)
+    return RoundElimCache(
+        disk_dir=disk_dir, enabled=enabled, max_disk_bytes=max_disk_bytes
+    )
 
 
 def get_cache() -> RoundElimCache:
@@ -306,10 +394,12 @@ def configure(
     enabled: Optional[bool] = None,
     memory_entries: Optional[int] = None,
     disk_dir: Any = _UNSET,
+    max_disk_bytes: Any = _UNSET,
 ) -> RoundElimCache:
     """Reconfigure the global cache in place; omitted arguments keep
     their current values.  ``disk_dir=None`` turns the disk layer off;
-    ``disk_dir=True`` selects ``~/.cache/repro``."""
+    ``disk_dir=True`` selects ``~/.cache/repro``; ``max_disk_bytes=None``
+    removes the disk-size bound."""
     global _cache
     current = get_cache()
     if disk_dir is _UNSET:
@@ -324,6 +414,9 @@ def configure(
         ),
         disk_dir=new_disk,
         enabled=current.enabled if enabled is None else enabled,
+        max_disk_bytes=(
+            current.max_disk_bytes if max_disk_bytes is _UNSET else max_disk_bytes
+        ),
     )
     return _cache
 

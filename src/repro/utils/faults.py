@@ -1,0 +1,209 @@
+"""Deterministic, seedable fault injection for the round-elimination engine.
+
+The robustness layer (pool hardening, cache corruption recovery, sequence
+checkpointing) is only trustworthy if it is *exercised*: this module lets
+tests — and the CI chaos job — inject controlled failures at every
+recovery boundary and then assert that results are bit-identical to a
+clean serial run.
+
+Faults are configured by the ``REPRO_FAULTS`` environment variable (or
+programmatically via :func:`configure_faults`) as a comma-separated list
+of ``kind:rate`` pairs::
+
+    REPRO_FAULTS=worker_crash:0.1,slow_chunk:0.05,cache_corrupt:0.02
+    REPRO_FAULTS_SEED=7
+
+Supported kinds
+---------------
+``worker_crash``
+    A pool worker raises :class:`InjectedFault` at the start of a chunk
+    (exercises per-chunk retry and serial rescue in
+    :mod:`repro.roundelim.ops`).
+``worker_exit``
+    A pool worker hard-exits (``os._exit``), breaking the whole process
+    pool (exercises ``BrokenProcessPool`` detection and pool rebuild).
+``slow_chunk``
+    A pool worker sleeps :data:`SLOW_CHUNK_SECONDS` before working
+    (exercises per-chunk timeouts when they are configured tightly).
+``cache_corrupt``
+    A disk read in :mod:`repro.utils.cache` returns truncated bytes
+    (exercises the poisoned-entry path: delete, count, recompute).
+``checkpoint_truncate``
+    A checkpoint write in :mod:`repro.roundelim.checkpoint` persists a
+    torn (truncated) file, as if the process had been killed mid-write
+    (exercises checksum verification and fresh-start recovery).
+
+Determinism
+-----------
+Every decision is a pure function of ``(seed, kind, per-kind counter)``
+via SHA-256, so a given configuration fires the same faults at the same
+injection points on every run — no global RNG state is consumed.  Worker
+processes forked by the pool inherit the parent's plan (and re-read the
+environment under spawn), so chaos runs are reproducible there too.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from hashlib import sha256
+from typing import Dict, Optional, Union
+
+logger = logging.getLogger(__name__)
+
+_ENV_FAULTS = "REPRO_FAULTS"
+_ENV_SEED = "REPRO_FAULTS_SEED"
+
+#: Recognized fault kinds (unknown kinds in a spec are rejected loudly).
+KINDS = (
+    "worker_crash",
+    "worker_exit",
+    "slow_chunk",
+    "cache_corrupt",
+    "checkpoint_truncate",
+)
+
+#: How long a ``slow_chunk`` fault stalls a worker.
+SLOW_CHUNK_SECONDS = 0.05
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness."""
+
+    def __init__(self, kind: str, occurrence: int):
+        super().__init__(f"injected fault {kind!r} (occurrence {occurrence})")
+        self.kind = kind
+        self.occurrence = occurrence
+
+
+def parse_spec(text: str) -> Dict[str, float]:
+    """Parse ``kind:rate,kind:rate`` into a rate table (strict)."""
+    rates: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, raw_rate = part.partition(":")
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {', '.join(KINDS)}"
+            )
+        try:
+            rate = float(raw_rate)
+        except ValueError:
+            raise ValueError(f"bad fault rate for {kind!r}: {raw_rate!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        rates[kind] = rate
+    return rates
+
+
+class FaultPlan:
+    """A seeded rate table plus per-kind occurrence counters."""
+
+    def __init__(self, rates: Dict[str, float], seed: int = 0):
+        self.rates = dict(rates)
+        self.seed = int(seed)
+        self._counts: Dict[str, int] = {kind: 0 for kind in self.rates}
+
+    @property
+    def active(self) -> bool:
+        return any(rate > 0 for rate in self.rates.values())
+
+    def fire(self, kind: str) -> bool:
+        """Deterministically decide whether occurrence ``n`` of ``kind``
+        fires; advances the per-kind counter either way."""
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        n = self._counts.get(kind, 0)
+        self._counts[kind] = n + 1
+        digest = sha256(f"{self.seed}\x00{kind}\x00{n}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < rate
+
+
+# ------------------------------------------------------------------ global API
+_plan: Optional[FaultPlan] = None
+
+
+def _build_from_env() -> FaultPlan:
+    spec = os.environ.get(_ENV_FAULTS, "")
+    try:
+        rates = parse_spec(spec) if spec else {}
+    except ValueError as error:
+        raise ValueError(f"invalid {_ENV_FAULTS}: {error}") from error
+    try:
+        seed = int(os.environ.get(_ENV_SEED, "0"))
+    except ValueError:
+        seed = 0
+    return FaultPlan(rates, seed=seed)
+
+
+def get_plan() -> FaultPlan:
+    """The process-wide fault plan (built lazily from the environment)."""
+    global _plan
+    if _plan is None:
+        _plan = _build_from_env()
+        if _plan.active:
+            logger.warning("fault injection active: %s", _plan.rates)
+    return _plan
+
+
+def configure_faults(
+    spec: Union[None, str, Dict[str, float]] = None, seed: int = 0
+) -> FaultPlan:
+    """Install a fault plan programmatically (``None`` disables faults)."""
+    global _plan
+    if spec is None:
+        rates: Dict[str, float] = {}
+    elif isinstance(spec, str):
+        rates = parse_spec(spec)
+    else:
+        for kind in spec:
+            if kind not in KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rates = dict(spec)
+    _plan = FaultPlan(rates, seed=seed)
+    if _plan.active:
+        logger.warning("fault injection configured: %s", _plan.rates)
+    return _plan
+
+
+def reset_faults() -> None:
+    """Forget the plan so the next use rebuilds from the environment."""
+    global _plan
+    _plan = None
+
+
+# ------------------------------------------------------------ injection points
+def maybe_crash(kind: str = "worker_crash") -> None:
+    """Raise :class:`InjectedFault` when the next occurrence fires."""
+    plan = get_plan()
+    if plan.fire(kind):
+        raise InjectedFault(kind, plan._counts[kind] - 1)
+
+
+def maybe_exit() -> None:
+    """Hard-exit the current (worker) process when the fault fires."""
+    plan = get_plan()
+    if plan.fire("worker_exit"):
+        os._exit(3)
+
+
+def maybe_sleep(kind: str = "slow_chunk", duration: float = SLOW_CHUNK_SECONDS) -> None:
+    """Stall when the next occurrence fires (simulated slow chunk)."""
+    if get_plan().fire(kind):
+        time.sleep(duration)
+
+
+def corrupt_text(kind: str, text: str) -> str:
+    """Return ``text`` truncated when the next occurrence of ``kind``
+    fires — used to simulate torn writes and bit-rot on reads."""
+    plan = get_plan()
+    if plan.fire(kind):
+        logger.warning("injecting %s: truncating %d-byte payload", kind, len(text))
+        return text[: len(text) // 2]
+    return text

@@ -19,11 +19,20 @@ from repro.utils.cache import RoundElimCache
 
 @pytest.fixture(autouse=True)
 def fresh_engine(monkeypatch):
+    from repro.utils import faults
+
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    # This suite asserts exact hit/error counts; ambient chaos (the CI
+    # fault-injection job) must not skew them — test_faults.py covers
+    # cache corruption under injected faults deterministically.
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset_faults()
     cache_module.reset()
     cache_module.reset_stats()
     yield
+    faults.reset_faults()
     cache_module.reset()
     cache_module.reset_stats()
 
@@ -175,3 +184,71 @@ class TestStats:
         text = cache_module.format_stats()
         assert "operator" in text and "R" in text
         assert "overall hit rate: 50.0%" in text
+
+
+class TestDiskBudget:
+    def fill(self, store, count):
+        for n in range(count):
+            store.put(key(n), {"v": n, "pad": "x" * 200})
+
+    def test_untouched_without_bound(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path)
+        self.fill(store, 6)
+        assert len(list(tmp_path.glob("*.json"))) == 6
+        assert store.disk_evictions == 0
+
+    def test_lru_eviction_by_mtime(self, tmp_path):
+        import os
+        import time
+
+        unbounded = RoundElimCache(disk_dir=tmp_path)
+        self.fill(unbounded, 4)
+        entry_size = max(p.stat().st_size for p in tmp_path.glob("*.json"))
+        # Age the files oldest-first so mtime order is unambiguous.
+        now = time.time()
+        for age, path in enumerate(sorted(tmp_path.glob("*.json"))):
+            os.utime(path, (now - 100 + age, now - 100 + age))
+        oldest = min(tmp_path.glob("*.json"), key=lambda p: p.stat().st_mtime)
+
+        bounded = RoundElimCache(
+            disk_dir=tmp_path, max_disk_bytes=entry_size * 4
+        )
+        bounded.put(key(99), {"v": 99, "pad": "x" * 200})
+        remaining = list(tmp_path.glob("*.json"))
+        assert bounded.disk_evictions >= 1
+        assert oldest not in remaining, "LRU (oldest mtime) entry must go first"
+        assert sum(p.stat().st_size for p in remaining) <= entry_size * 4
+        assert bounded.get(key(99)) == {"v": 99, "pad": "x" * 200}
+
+    def test_just_written_entry_survives_unless_alone(self, tmp_path):
+        store = RoundElimCache(disk_dir=tmp_path, max_disk_bytes=1)
+        store.put(key(1), {"v": 1})
+        # The sole entry exceeds the whole budget: it is allowed to go.
+        store.put(key(2), {"v": 2})
+        assert len(list(tmp_path.glob("*.json"))) <= 1
+
+    def test_env_knob_and_stats_surface(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "600")
+        cache_module.reset()
+        store = cache_module.get_cache()
+        assert store.max_disk_bytes == 600
+        for n in range(10):
+            store.put(key(n), {"v": n, "pad": "y" * 200})
+        info = cache_module.stats()["cache"]
+        assert info["max_disk_bytes"] == 600
+        assert info["disk_evictions"] == store.disk_evictions > 0
+        assert "disk budget: 600 bytes" in cache_module.format_stats()
+        total = sum(p.stat().st_size for p in tmp_path.glob("*.json"))
+        assert total <= 600
+
+    def test_bad_env_value_is_ignored_with_warning(self, tmp_path, monkeypatch, caplog):
+        import logging
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        cache_module.reset()
+        with caplog.at_level(logging.WARNING, logger="repro.utils.cache"):
+            store = cache_module.get_cache()
+        assert store.max_disk_bytes is None
+        assert any("REPRO_CACHE_MAX_BYTES" in r.message for r in caplog.records)

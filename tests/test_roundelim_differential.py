@@ -160,3 +160,87 @@ class TestFixedPointUpToRelabeling:
     def test_sinkless_orientation_is_a_fixed_point(self):
         problem = dict(CATALOG_PROBLEMS)["sinkless-orientation(delta=3)"]
         assert ProblemSequence(problem).find_fixed_point(2) == 1
+
+
+class TestInterruptedThenResumed:
+    """Checkpoint/resume differential: killing a walk after any step and
+    resuming it must yield bit-identical problems with zero operator
+    recomputation for the completed prefix."""
+
+    STEPS = 3
+
+    def _uninterrupted(self, problem):
+        sequence = ProblemSequence(problem, use_cache=False, checkpoint=False)
+        return [sequence.problem(k) for k in range(self.STEPS + 1)]
+
+    def test_resume_after_every_step_is_bit_identical(self, tmp_path):
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        expected = self._uninterrupted(problem)
+        for kill_after in range(self.STEPS + 1):
+            directory = tmp_path / f"kill-{kill_after}"
+            # Walk to step `kill_after`, then "die" (drop the object).
+            first = ProblemSequence(problem, use_cache=False, checkpoint=directory)
+            first.problem(kill_after)
+            del first
+
+            # A fresh process-equivalent: new sequence, same checkpoint dir,
+            # cache disabled so only the checkpoint can supply the prefix.
+            operator_cache.reset()
+            operator_cache.reset_stats()
+            resumed = ProblemSequence(problem, use_cache=False, checkpoint=directory)
+            assert resumed.resume() == kill_after
+
+            computes_after_resume = sum(
+                c["computes"] for c in operator_cache.stats()["operators"].values()
+            )
+            assert computes_after_resume == 0, "resume itself must not compute"
+
+            # Restored prefix: bit-identical and free (zero recomputation).
+            for k in range(kill_after + 1):
+                assert resumed.problem(k) == expected[k]
+            assert (
+                sum(c["computes"] for c in operator_cache.stats()["operators"].values())
+                == 0
+            ), f"resumed walk recomputed the completed prefix (kill_after={kill_after})"
+
+            # Continuing past the kill point matches the uninterrupted walk.
+            for k in range(self.STEPS + 1):
+                assert resumed.problem(k) == expected[k]
+
+    def test_resume_restores_intermediates_for_lifting(self, tmp_path):
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        first = ProblemSequence(problem, use_cache=False, checkpoint=tmp_path)
+        first.problem(2)
+        expected_half = first.intermediate(1)
+
+        operator_cache.reset()
+        operator_cache.reset_stats()
+        resumed = ProblemSequence(problem, use_cache=False, checkpoint=tmp_path)
+        resumed.resume()
+        assert resumed.intermediate(1) == expected_half
+        assert (
+            sum(c["computes"] for c in operator_cache.stats()["operators"].values()) == 0
+        ), "R(Pi_1) must come from the checkpoint, not a fresh kernel run"
+
+    def test_checkpoint_ignores_mismatched_options(self, tmp_path):
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        first = ProblemSequence(problem, use_cache=False, checkpoint=tmp_path)
+        first.problem(2)
+
+        other = ProblemSequence(
+            problem, use_cache=False, use_domination=False, checkpoint=tmp_path
+        )
+        assert other.resume() == 0, "different hygiene options must not share state"
+
+    def test_env_var_enables_checkpointing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        sequence = ProblemSequence(problem, use_cache=False)
+        sequence.problem(1)
+        assert list(tmp_path.glob("seq-*.json")), "REPRO_CHECKPOINT_DIR must persist"
+
+        resumed = ProblemSequence(problem, use_cache=False)
+        assert resumed.resume() == 1
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
+        off = ProblemSequence(problem, use_cache=False)
+        assert off.checkpoint is None
