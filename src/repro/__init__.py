@@ -26,8 +26,18 @@ The most-used entry points are re-exported here:
 
 from repro.exceptions import ReproError
 from repro.lcl import catalog
-from repro.roundelim.gap import speedup
 
 __version__ = "1.0.0"
 
 __all__ = ["ReproError", "catalog", "speedup", "__version__"]
+
+
+def __getattr__(name: str):
+    # ``speedup`` loads lazily so that engine-free consumers — notably the
+    # certificate checker in :mod:`repro.verify` — can import ``repro``
+    # without dragging the round-elimination engine into the process.
+    if name == "speedup":
+        from repro.roundelim.gap import speedup
+
+        return speedup
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

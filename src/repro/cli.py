@@ -10,6 +10,10 @@ Subcommands:
   algorithm on random forests;
 * ``roundelim <problem>``   — iterate ``f = R̄∘R`` directly, printing the
   alphabet growth (and ``--stats``: cache/parallel engine counters);
+* ``certify <problem>``     — run the pipeline and emit a checkable
+  certificate for the verdict (``--catalog`` for all built-ins,
+  ``--check PATH`` for offline engine-free re-checking,
+  ``--replay`` to demand a bit-identical algorithm re-run);
 * ``catalog``               — list the built-in problems.
 
 Problems are named like ``mis``, ``coloring:3``, ``sinkless:3``,
@@ -320,6 +324,58 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.verify import check_certificate
+
+    if args.check is not None:
+        # Offline re-check: engine-free, works on any machine with the
+        # package installed — no pipeline run involved.
+        outcome = check_certificate(args.check)
+        print(outcome)
+        return 0 if outcome.ok else 1
+
+    from repro.roundelim.gap import speedup
+
+    specs = (
+        sorted(CATALOG) if args.catalog else ([args.problem] if args.problem else [])
+    )
+    if not specs:
+        print("error: name a problem, or pass --catalog / --check", file=sys.stderr)
+        return 2
+    failures = 0
+    for spec in specs:
+        problem = resolve_problem(spec)
+        result = speedup(
+            problem,
+            max_steps=args.max_steps,
+            budget=build_budget(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+        certificate = result.certify(trials=args.trials, seed=args.seed)
+        outcome = check_certificate(certificate)
+        status = "OK" if outcome.ok else "REJECTED"
+        print(f"{spec:<14} {result.verdict_label():<22} certificate {status}")
+        if not outcome.ok:
+            failures += 1
+            for error in outcome.errors:
+                print(f"    {error}")
+        if args.replay and certificate.kind == "constant":
+            from repro.verify import replay_certificate
+
+            errors = replay_certificate(certificate)
+            print(f"    replay: {'bit-identical' if not errors else 'DIVERGED'}")
+            failures += 1 if errors else 0
+        if args.out is not None:
+            if len(specs) == 1:
+                path = certificate.save(args.out)
+            else:
+                safe = spec.replace(":", "_")
+                path = certificate.save(f"{args.out.rstrip('/')}/{safe}.json")
+            print(f"    wrote {path}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lcl-landscape",
@@ -425,6 +481,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget_flags(speedup)
     add_checkpoint_flags(speedup)
     speedup.set_defaults(handler=cmd_speedup)
+
+    certify = commands.add_parser(
+        "certify",
+        help="run the gap pipeline and emit/check verdict certificates",
+        description=(
+            "Certify a verdict (constant / fixed-point / unknown) with "
+            "machine-checkable evidence, or re-check a saved certificate "
+            "offline with the engine-free checker (--check)."
+        ),
+    )
+    certify.add_argument("problem", nargs="?", default=None)
+    certify.add_argument(
+        "--catalog", action="store_true", help="certify every built-in problem"
+    )
+    certify.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="re-check a saved certificate instead of producing one",
+    )
+    certify.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the certificate JSON (a directory when used with --catalog)",
+    )
+    certify.add_argument(
+        "--replay",
+        action="store_true",
+        help="rebuild the algorithm from the certificate and demand a bit-identical re-run",
+    )
+    certify.add_argument("--max-steps", type=int, default=4)
+    certify.add_argument("--trials", type=int, default=3)
+    certify.add_argument("--seed", type=int, default=0)
+    add_budget_flags(certify)
+    add_checkpoint_flags(certify)
+    certify.set_defaults(handler=cmd_certify)
 
     landscape = commands.add_parser(
         "landscape", help="measure a Figure-1 landscape panel"

@@ -62,6 +62,28 @@ class BudgetExceededError(ReproError):
         self.diagnostics = diagnostics
 
 
+class BruteForceLimitError(ReproError):
+    """A brute-force search was asked to explore an instance beyond its
+    declared size guard.
+
+    :func:`repro.lcl.checker.brute_force_solution` is exponential in the
+    number of half-edges; this error replaces the former behavior of
+    silently running hot on oversized graphs.  Pass ``max_nodes=None``
+    to opt back into unguarded search.
+    """
+
+
+class CertificateError(ReproError):
+    """A verdict certificate cannot be produced, serialized, or decoded.
+
+    Note the asymmetry with checking: :func:`repro.verify.check_certificate`
+    reports tampering/corruption as a failed :class:`~repro.verify.CheckOutcome`
+    rather than raising, so a hostile certificate can never crash the
+    checker; this error signals *producer-side* failures (unserializable
+    labels, a result that carries nothing to certify, malformed files).
+    """
+
+
 class CheckpointError(ReproError):
     """A sequence checkpoint cannot be written or safely resumed from.
 

@@ -12,10 +12,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from repro.exceptions import LabelingError
+from repro.exceptions import BruteForceLimitError, LabelingError
 from repro.graphs.core import Graph, HalfEdgeLabeling
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.utils.multiset import Multiset
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One concrete constraint violation, localized and explained.
+
+    ``kind`` is ``"node"`` / ``"edge"`` / ``"unlabeled"``; ``where`` is the
+    failing node, ``(u, v)`` edge, or ``(v, port)`` half-edge; ``message``
+    names the configuration that was rejected, so a failing check can be
+    debugged without re-deriving the violation by hand.
+    """
+
+    kind: str
+    where: Tuple
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.where}: {self.message}"
 
 
 @dataclass(frozen=True)
@@ -27,6 +45,8 @@ class CheckReport:
     failed_edges: Tuple[Tuple[int, int], ...]
     #: Half-edges that are missing an output label entirely.
     unlabeled: Tuple[Tuple[int, int], ...]
+    #: One localized, human-readable record per violation above.
+    failures: Tuple[CheckFailure, ...] = field(default=())
 
     @property
     def is_valid(self) -> bool:
@@ -35,11 +55,16 @@ class CheckReport:
     def __str__(self) -> str:
         if self.is_valid:
             return "valid"
-        return (
+        lines = [
             f"invalid: {len(self.failed_nodes)} failed nodes, "
             f"{len(self.failed_edges)} failed edges, "
             f"{len(self.unlabeled)} unlabeled half-edges"
-        )
+        ]
+        shown = 5
+        lines.extend(f"  {failure}" for failure in self.failures[:shown])
+        if len(self.failures) > shown:
+            lines.append(f"  ... and {len(self.failures) - shown} more")
+        return "\n".join(lines)
 
 
 def check_solution(
@@ -60,24 +85,44 @@ def check_solution(
     if not inputs.is_total():
         raise LabelingError("input labeling must be total")
 
-    unlabeled = tuple(h for h in graph.half_edges() if h not in outputs)
+    failures: List[CheckFailure] = []
 
-    def g_ok(half_edge: Tuple[int, int]) -> bool:
+    unlabeled = tuple(h for h in graph.half_edges() if h not in outputs)
+    for half_edge in unlabeled:
+        failures.append(
+            CheckFailure(
+                "unlabeled", half_edge, "half-edge carries no output label"
+            )
+        )
+
+    def g_violation(half_edge: Tuple[int, int]) -> Optional[str]:
+        """Why ``g`` rejects this half-edge, or ``None`` if it is fine."""
         if half_edge not in outputs:
-            return False
-        return outputs[half_edge] in problem.allowed_outputs(inputs[half_edge])
+            return "missing output label"
+        label, input_label = outputs[half_edge], inputs[half_edge]
+        if label not in problem.allowed_outputs(input_label):
+            return f"g({input_label!r}) does not permit output {label!r}"
+        return None
 
     failed_edges: List[Tuple[int, int]] = []
     for u, pu, v, pv in graph.edges():
-        ok = (
-            (u, pu) in outputs
-            and (v, pv) in outputs
-            and problem.allows_edge(outputs[(u, pu)], outputs[(v, pv)])
-            and g_ok((u, pu))
-            and g_ok((v, pv))
-        )
-        if not ok:
+        reasons: List[str] = []
+        if (u, pu) in outputs and (v, pv) in outputs:
+            pair = (outputs[(u, pu)], outputs[(v, pv)])
+            if not problem.allows_edge(*pair):
+                reasons.append(
+                    f"edge configuration {{{pair[0]!r}, {pair[1]!r}}} is not "
+                    f"in the edge constraint of {problem.name!r}"
+                )
+        else:
+            reasons.append("an endpoint half-edge is unlabeled")
+        for half_edge in ((u, pu), (v, pv)):
+            why = g_violation(half_edge)
+            if why is not None:
+                reasons.append(f"half-edge {half_edge}: {why}")
+        if reasons:
             failed_edges.append((u, v))
+            failures.append(CheckFailure("edge", (u, v), "; ".join(reasons)))
 
     failed_nodes: List[int] = []
     for v in range(graph.num_nodes):
@@ -86,18 +131,29 @@ def check_solution(
             # only degrees >= 1, so they are vacuously correct.
             continue
         half_edges = [(v, p) for p in range(graph.degree(v))]
-        ok = all(h in outputs for h in half_edges)
-        if ok:
-            ok = problem.allows_node(Multiset(outputs[h] for h in half_edges))
-        if ok:
-            ok = all(g_ok(h) for h in half_edges)
-        if not ok:
+        reasons = []
+        if all(h in outputs for h in half_edges):
+            configuration = Multiset(outputs[h] for h in half_edges)
+            if not problem.allows_node(configuration):
+                reasons.append(
+                    f"node configuration {tuple(configuration.items)!r} is not "
+                    f"in N^{graph.degree(v)} of {problem.name!r}"
+                )
+            for half_edge in half_edges:
+                why = g_violation(half_edge)
+                if why is not None:
+                    reasons.append(f"half-edge {half_edge}: {why}")
+        else:
+            reasons.append("an incident half-edge is unlabeled")
+        if reasons:
             failed_nodes.append(v)
+            failures.append(CheckFailure("node", (v,), "; ".join(reasons)))
 
     return CheckReport(
         failed_nodes=tuple(failed_nodes),
         failed_edges=tuple(failed_edges),
         unlabeled=unlabeled,
+        failures=tuple(failures),
     )
 
 
@@ -111,19 +167,35 @@ def is_valid_solution(
     return check_solution(problem, graph, inputs, outputs).is_valid
 
 
+#: Default size guard for :func:`brute_force_solution`: large enough for
+#: every reference-oracle use in the test and decidability suites, small
+#: enough that the exponential search cannot be reached by accident.
+BRUTE_FORCE_MAX_NODES = 32
+
+
 def brute_force_solution(
     problem: NodeEdgeCheckableLCL,
     graph: Graph,
     inputs: HalfEdgeLabeling,
     limit: Optional[int] = None,
+    max_nodes: Optional[int] = BRUTE_FORCE_MAX_NODES,
 ) -> Optional[HalfEdgeLabeling]:
     """Find *some* valid output labeling by backtracking, or ``None``.
 
     A reference oracle for tests and for the decidability modules: it
     decides solvability of a concrete instance exactly (exponential time;
     only use on small graphs).  ``limit`` bounds the number of explored
-    assignments as a safety valve.
+    assignments as a safety valve; ``max_nodes`` guards the instance size
+    up front — oversized graphs raise
+    :class:`~repro.exceptions.BruteForceLimitError` instead of silently
+    running hot (pass ``None`` to disable the guard).
     """
+    if max_nodes is not None and graph.num_nodes > max_nodes:
+        raise BruteForceLimitError(
+            f"brute_force_solution refuses {graph.num_nodes}-node instance "
+            f"(guard: max_nodes={max_nodes}); the search is exponential — "
+            "pass max_nodes=None to override"
+        )
     half_edges = sorted(graph.half_edges())
     outputs = HalfEdgeLabeling(graph)
     explored = 0

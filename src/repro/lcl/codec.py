@@ -1,0 +1,156 @@
+"""Standalone JSON codec for node-edge-checkable LCL problems.
+
+The certification subsystem (:mod:`repro.verify`) needs to embed whole
+problems inside certificates such that an *independent* checker — one
+that deliberately does not import the round-elimination engine — can
+rebuild them bit-identically.  The operator-cache codec in
+:mod:`repro.roundelim.canonical` is unsuitable for that: it encodes
+results *relative to a base problem's canonical order*, so decoding
+requires the canonicalization machinery.  This codec is self-contained:
+labels are serialized by structure (strings, ints, bools, ``None``,
+tuples, and the nested frozensets produced by round elimination), and a
+decoded problem compares ``==`` to the original, label for label.
+
+The digest (:func:`problem_digest`) is a SHA-256 over the canonical JSON
+rendering of the encoding — a *spelling-sensitive* integrity hash (two
+differently-labeled isomorphic problems digest differently), which is
+exactly what a tamper-evident certificate wants.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import sha256
+from typing import Any, Dict, List
+
+from repro.exceptions import CertificateError
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.utils.multiset import Multiset, label_sort_key
+
+
+def encode_label(label: Any) -> list:
+    """A JSON-able tagged encoding of one label.
+
+    Supports the label types that actually occur in the pipeline: plain
+    strings/ints/bools/``None``, tuples (Lemma 2.6 transcripts), and
+    arbitrarily nested frozensets (round-elimination output).  Raises
+    :class:`~repro.exceptions.CertificateError` for anything else.
+    """
+    if isinstance(label, bool):  # before int: bool is an int subclass
+        return ["B", label]
+    if isinstance(label, str):
+        return ["s", label]
+    if isinstance(label, int):
+        return ["i", label]
+    if label is None:
+        return ["n"]
+    if isinstance(label, frozenset):
+        return ["f", [encode_label(x) for x in sorted(label, key=label_sort_key)]]
+    if isinstance(label, tuple):
+        return ["t", [encode_label(x) for x in label]]
+    raise CertificateError(
+        f"label {label!r} of type {type(label).__qualname__} cannot be "
+        "serialized into a certificate"
+    )
+
+
+def decode_label(encoded: Any) -> Any:
+    """Inverse of :func:`encode_label` (bit-identical labels)."""
+    try:
+        tag = encoded[0]
+        if tag == "B":
+            return bool(encoded[1])
+        if tag == "s":
+            return str(encoded[1])
+        if tag == "i":
+            return int(encoded[1])
+        if tag == "n":
+            return None
+        if tag == "f":
+            return frozenset(decode_label(x) for x in encoded[1])
+        if tag == "t":
+            return tuple(decode_label(x) for x in encoded[1])
+    except (TypeError, IndexError, KeyError) as error:
+        raise CertificateError(f"malformed label encoding {encoded!r}") from error
+    raise CertificateError(f"unknown label tag {encoded!r}")
+
+
+def encode_problem(problem: NodeEdgeCheckableLCL) -> Dict[str, Any]:
+    """Serialize a problem into a deterministic, JSON-able dictionary.
+
+    Alphabets and configurations are emitted in ``label_sort_key`` order,
+    so equal problems always produce identical encodings (and therefore
+    identical digests) regardless of construction order.
+    """
+    sigma_out = sorted(problem.sigma_out, key=label_sort_key)
+    sigma_in = sorted(problem.sigma_in, key=label_sort_key)
+    out_index = {label: i for i, label in enumerate(sigma_out)}
+    return {
+        "v": 1,
+        "name": problem.name,
+        "sigma_in": [encode_label(label) for label in sigma_in],
+        "sigma_out": [encode_label(label) for label in sigma_out],
+        "node": [
+            [
+                degree,
+                sorted(sorted(out_index[x] for x in c.items) for c in configurations),
+            ]
+            for degree, configurations in sorted(problem.node_constraints.items())
+        ],
+        "edge": sorted(
+            sorted(out_index[x] for x in c.items) for c in problem.edge_constraint
+        ),
+        "g": [
+            sorted(out_index[x] for x in problem.g[input_label])
+            for input_label in sigma_in
+        ],
+    }
+
+
+def decode_problem(payload: Dict[str, Any]) -> NodeEdgeCheckableLCL:
+    """Rebuild a problem from :func:`encode_problem` output.
+
+    The result is ``==`` to the original (same labels, same constraints,
+    same name).  Raises :class:`~repro.exceptions.CertificateError` on
+    structurally corrupt payloads.
+    """
+    try:
+        if payload.get("v") != 1:
+            raise CertificateError(
+                f"unsupported problem encoding version {payload.get('v')!r}"
+            )
+        sigma_in = [decode_label(x) for x in payload["sigma_in"]]
+        sigma_out: List[Any] = [decode_label(x) for x in payload["sigma_out"]]
+        node_constraints = {
+            int(degree): [Multiset(sigma_out[i] for i in c) for c in configurations]
+            for degree, configurations in payload["node"]
+        }
+        edge_constraint = [Multiset(sigma_out[i] for i in c) for c in payload["edge"]]
+        if len(payload["g"]) != len(sigma_in):
+            raise CertificateError("problem encoding g-table has wrong arity")
+        g = {
+            input_label: frozenset(sigma_out[i] for i in indices)
+            for input_label, indices in zip(sigma_in, payload["g"])
+        }
+        name = str(payload.get("name", "decoded"))
+    except CertificateError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise CertificateError(f"corrupt problem encoding: {error}") from error
+    return NodeEdgeCheckableLCL(
+        sigma_in=sigma_in,
+        sigma_out=sigma_out,
+        node_constraints=node_constraints,
+        edge_constraint=edge_constraint,
+        g=g,
+        name=name,
+    )
+
+
+def problem_digest(problem: NodeEdgeCheckableLCL) -> str:
+    """SHA-256 integrity digest of the problem's exact encoding."""
+    return sha256(
+        json.dumps(encode_problem(problem), separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+    ).hexdigest()

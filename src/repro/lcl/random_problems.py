@@ -71,6 +71,74 @@ def random_lcl(
     )
 
 
+def solvable_random_lcl(
+    seed: int,
+    num_labels: int = 3,
+    max_degree: int = 2,
+    density: float = 0.3,
+    num_inputs: int = 1,
+    name: Optional[str] = None,
+) -> NodeEdgeCheckableLCL:
+    """A random LCL with a *planted* deterministic 0-round solution.
+
+    On top of independently sampled random configurations (as in
+    :func:`random_lcl`), the generator plants a clique of 1–2 output
+    labels that is guaranteed to support a 0-round algorithm: every
+    planted label pair (including self-pairs) is in the edge constraint,
+    every multiset over the planted labels is in each ``N^d``, and ``g``
+    permits a planted label for every input.  By the clique-cover
+    characterization (see :mod:`repro.roundelim.zero_round`) the problem
+    is therefore 0-round solvable, so the gap pipeline **must** return a
+    ``"constant"`` verdict with 0 rounds — a positive-control oracle that
+    lets conformance runs assert both directions of the classification
+    instead of only "no crash".
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    labels = [f"x{i}" for i in range(num_labels)]
+    inputs = (
+        [NO_INPUT]
+        if num_inputs <= 1
+        else [f"i{i}" for i in range(num_inputs)]
+    )
+    planted = labels[: rng.choice((1, 2)) if num_labels >= 2 else 1]
+
+    def sample(universe: List[Multiset], forced: List[Multiset]) -> List[Multiset]:
+        kept = [m for m in universe if rng.random() < density]
+        return sorted(set(kept) | set(forced), key=lambda m: m.items)
+
+    node_constraints = {}
+    for degree in range(1, max_degree + 1):
+        universe = [
+            Multiset(combo)
+            for combo in itertools.combinations_with_replacement(labels, degree)
+        ]
+        forced = [
+            Multiset(combo)
+            for combo in itertools.combinations_with_replacement(planted, degree)
+        ]
+        node_constraints[degree] = sample(universe, forced)
+    edge_universe = [
+        Multiset(pair)
+        for pair in itertools.combinations_with_replacement(labels, 2)
+    ]
+    forced_edges = [
+        Multiset(pair)
+        for pair in itertools.combinations_with_replacement(planted, 2)
+    ]
+    g = {}
+    for input_label in inputs:
+        allowed = [label for label in labels if rng.random() < 0.5]
+        g[input_label] = sorted(set(allowed) | set(planted))
+    return NodeEdgeCheckableLCL(
+        sigma_in=inputs,
+        sigma_out=labels,
+        node_constraints=node_constraints,
+        edge_constraint=sample(edge_universe, forced_edges),
+        g=g,
+        name=name or f"solvable-random-lcl({seed})",
+    )
+
+
 def random_lcl_batch(
     count: int,
     base_seed: int = 0,

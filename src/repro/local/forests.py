@@ -88,7 +88,9 @@ def _canonical_component_solution(
                     )
                 value = default_input
             inputs[(rank, port)] = value
-    solution = brute_force_solution(problem, component, inputs)
+    # The Lemma 3.3 wrapper decides for itself which components are small
+    # enough to solve exhaustively, so the generic size guard is waived.
+    solution = brute_force_solution(problem, component, inputs, max_nodes=None)
     if solution is None:
         raise UnsolvableError(
             f"{problem.name} has no solution on a {len(members)}-node component"

@@ -181,6 +181,7 @@ def run_local_algorithm(
     declared_n: Optional[int] = None,
     enforce_radius: bool = True,
     nodes: Optional[Sequence[int]] = None,
+    bits: Optional[Sequence[str]] = None,
 ) -> SimulationResult:
     """Run ``algorithm`` at every node of ``graph``.
 
@@ -188,23 +189,35 @@ def run_local_algorithm(
     algorithm (the "fooling" used by Theorem 2.11 / Proposition 5.5);
     by default it is the true number of nodes.  ``seed`` activates random
     bit strings (``algorithm.bits_per_node`` bits per node, derived
-    independently per node as Definition 2.1 requires).  ``nodes``
-    restricts execution to a sample of nodes (outputs are then partial);
-    the locality benchmarks use this to measure large instances without
-    simulating every node.
+    independently per node as Definition 2.1 requires).  ``bits`` instead
+    *replays* an explicit per-node bit-string assignment — recorded from
+    an earlier run — making a randomized execution exactly reproducible;
+    it is mutually exclusive with ``seed``.  ``nodes`` restricts execution
+    to a sample of nodes (outputs are then partial); the locality
+    benchmarks use this to measure large instances without simulating
+    every node.
     """
     n = graph.num_nodes if declared_n is None else declared_n
     id_list = list(ids) if ids is not None else None
     if id_list is not None and len(set(id_list)) != graph.num_nodes:
         raise SimulationError("identifiers must be distinct, one per node")
-    bits: Optional[List[str]] = None
-    if algorithm.bits_per_node > 0:
+    if bits is not None and seed is not None:
+        raise SimulationError("pass either seed or bits, not both")
+    bit_list: Optional[List[str]] = list(bits) if bits is not None else None
+    if bit_list is not None:
+        if len(bit_list) != graph.num_nodes:
+            raise SimulationError("bits must provide one string per node")
+        if any(len(b) < algorithm.bits_per_node for b in bit_list):
+            raise SimulationError(
+                f"{algorithm.name} needs {algorithm.bits_per_node} bit(s) per node"
+            )
+    elif algorithm.bits_per_node > 0:
         if seed is None:
             raise SimulationError(
                 f"{algorithm.name} is randomized; a seed is required"
             )
         root = SplittableRNG(seed)
-        bits = [
+        bit_list = [
             root.child("node-bits", v).bits(algorithm.bits_per_node)
             for v in range(graph.num_nodes)
         ]
@@ -214,7 +227,7 @@ def run_local_algorithm(
     radius_per_node: List[int] = []
     targets = range(graph.num_nodes) if nodes is None else nodes
     for v in targets:
-        ctx = NodeContext(graph, v, n, inputs, id_list, bits)
+        ctx = NodeContext(graph, v, n, inputs, id_list, bit_list)
         port_outputs = algorithm.run(ctx)
         radius_per_node.append(ctx.charged_radius)
         if enforce_radius and ctx.charged_radius > declared_radius:

@@ -29,19 +29,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.exceptions import BudgetExceededError, ProblemDefinitionError
-from repro.graphs.core import HalfEdgeLabeling
-from repro.graphs.generators import random_forest
-from repro.graphs.ids import random_ids
-from repro.lcl.checker import check_solution
 from repro.lcl.nec import NodeEdgeCheckableLCL
-from repro.local.model import LocalAlgorithm, run_local_algorithm
+from repro.local.model import LocalAlgorithm
 from repro.roundelim.canonical import canonically_equal
 from repro.roundelim.lift import ZeroRoundLocalAlgorithm, lift_to_local_algorithm
 from repro.roundelim.sequence import ProblemSequence
 from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
 from repro.utils.budget import Budget, BudgetDiagnostics
-from repro.utils.multiset import label_sort_key
-from repro.utils.rng import SplittableRNG
 
 logger = logging.getLogger(__name__)
 
@@ -80,6 +74,19 @@ class GapResult:
         if self.status == "unknown" and self.unknown_since_step is not None:
             return f"UNKNOWN(>= step {self.unknown_since_step})"
         return self.status
+
+    def certify(self, **kwargs):
+        """Package this verdict as a checkable, serializable certificate.
+
+        Delegates to :func:`repro.verify.certify_result`; see
+        :mod:`repro.verify` for the certificate format and the
+        engine-free checker.  Keyword arguments (``trials``,
+        ``component_sizes``, ``seed``) tune the recorded transcript for
+        ``"constant"`` verdicts.
+        """
+        from repro.verify.certify import certify_result
+
+        return certify_result(self, **kwargs)
 
     def summary(self) -> str:
         lines = [f"gap pipeline for {self.problem.name!r}: {self.verdict_label()}"]
@@ -270,27 +277,20 @@ def verify_on_random_forests(
     a polynomial range.  Returns ``True`` iff every trial yields a valid
     solution (and raises via the simulator if the algorithm overdraws its
     declared radius).
+
+    The seeded trial family lives in :mod:`repro.verify.transcript` so
+    that certificates record and re-derive exactly the instances this
+    function checks; this wrapper keeps the historical engine-side entry
+    point.
     """
+    from repro.verify.transcript import verify_algorithm_on_random_forests
+
     if result.algorithm is None:
         raise ValueError("result carries no synthesized algorithm to verify")
-    problem = result.problem
-    root = SplittableRNG(seed)
-    inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
-    for trial in range(trials):
-        rng = root.child("trial", trial)
-        graph = random_forest(
-            component_sizes, max_degree=problem.max_degree, seed=rng.integer(0, 10**6)
-        )
-        inputs = HalfEdgeLabeling(
-            graph,
-            {
-                h: inputs_sorted[rng.integer(0, len(inputs_sorted) - 1)]
-                for h in graph.half_edges()
-            },
-        )
-        ids = random_ids(graph, seed=rng.integer(0, 10**6))
-        simulation = run_local_algorithm(graph, result.algorithm, inputs=inputs, ids=ids)
-        report = check_solution(problem, graph, inputs, simulation.outputs)
-        if not report.is_valid:
-            return False
-    return True
+    return verify_algorithm_on_random_forests(
+        result.problem,
+        result.algorithm,
+        component_sizes=component_sizes,
+        trials=trials,
+        seed=seed,
+    )

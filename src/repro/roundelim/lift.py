@@ -173,6 +173,40 @@ def lift_once(
     return LiftedAlgorithm(inner, base_problem, intermediate)
 
 
+def compose_lifts(
+    zero_round: ZeroRoundAlgorithm,
+    problems: List[NodeEdgeCheckableLCL],
+    intermediates: List[NodeEdgeCheckableLCL],
+) -> LocalAlgorithm:
+    """Compose the lift over explicit problem/intermediate chains.
+
+    ``problems`` is ``[Π_0, …, Π_k]`` (``Π_0`` the original problem,
+    ``Π_k`` the 0-round-solvable bottom) and ``intermediates`` is
+    ``[R(Π_0), …, R(Π_{k-1})]`` — the exact instances the lifting picks
+    edge pairs from.  ``zero_round`` must solve ``Π_k``.  Taking the
+    chains as plain lists (rather than a live :class:`ProblemSequence`)
+    is what lets a serialized algorithm description be rebuilt from a
+    certificate without re-running the operators.
+    """
+    if len(intermediates) != len(problems) - 1:
+        raise AlgorithmError(
+            f"chain shape mismatch: {len(problems)} problem(s) need "
+            f"{len(problems) - 1} intermediate(s), got {len(intermediates)}"
+        )
+    if zero_round.problem != problems[-1]:
+        raise AlgorithmError(
+            "zero-round algorithm does not match the problem at the given depth"
+        )
+    algorithm: LocalAlgorithm = ZeroRoundLocalAlgorithm(zero_round)
+    for index in range(len(problems) - 2, -1, -1):
+        algorithm = lift_once(
+            algorithm,
+            base_problem=problems[index],
+            intermediate=intermediates[index],
+        )
+    return algorithm
+
+
 def lift_to_local_algorithm(
     zero_round: ZeroRoundAlgorithm,
     sequence: ProblemSequence,
@@ -183,15 +217,8 @@ def lift_to_local_algorithm(
     ``zero_round`` must solve ``sequence.problem(steps)``; the result is a
     deterministic ``steps``-round LOCAL algorithm for ``sequence.base``.
     """
-    if zero_round.problem != sequence.problem(steps):
-        raise AlgorithmError(
-            "zero-round algorithm does not match the problem at the given depth"
-        )
-    algorithm: LocalAlgorithm = ZeroRoundLocalAlgorithm(zero_round)
-    for index in range(steps - 1, -1, -1):
-        algorithm = lift_once(
-            algorithm,
-            base_problem=sequence.problem(index),
-            intermediate=sequence.intermediate(index),
-        )
-    return algorithm
+    return compose_lifts(
+        zero_round,
+        [sequence.problem(index) for index in range(steps + 1)],
+        [sequence.intermediate(index) for index in range(steps)],
+    )

@@ -49,6 +49,11 @@ class ZeroRoundAlgorithm:
         self.clique = clique
         self._table = dict(table)
 
+    @property
+    def table(self) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
+        """The full rule table, keyed by sorted input tuple (a copy)."""
+        return dict(self._table)
+
     def outputs_for(self, input_tuple: Sequence[Any]) -> Tuple[Any, ...]:
         """Output labels per port for the given ordered input tuple."""
         ordered = tuple(input_tuple)

@@ -1,0 +1,50 @@
+"""Certificate-carrying verdicts: produce, serialize, and independently check.
+
+Two halves with a deliberate import boundary:
+
+* the **checker** half (:class:`Certificate`, :func:`check_certificate`,
+  :class:`CheckOutcome`, and the :mod:`~repro.verify.refute` /
+  :mod:`~repro.verify.transcript` evidence modules) imports only the LCL
+  formalism, the graph layer, and the LOCAL simulator — never the
+  round-elimination engine.  ``import repro.verify`` therefore stays
+  engine-free;
+* the **producer** half (:func:`certify_result`, :func:`certify_verdict`,
+  :func:`rebuild_algorithm`, :func:`replay_certificate`) needs the engine
+  and is loaded lazily on first attribute access (PEP 562), so checking a
+  certificate never drags the machinery that made it into the process.
+
+See ``docs/TESTING.md`` for the certificate format and the conformance
+harness built on top of this package.
+"""
+
+from __future__ import annotations
+
+from repro.verify.certificate import KINDS, SCHEMA_VERSION, Certificate
+from repro.verify.check import CheckOutcome, check_certificate
+
+__all__ = [
+    "KINDS",
+    "SCHEMA_VERSION",
+    "Certificate",
+    "CheckOutcome",
+    "check_certificate",
+    "certify_result",
+    "certify_verdict",
+    "rebuild_algorithm",
+    "replay_certificate",
+]
+
+_PRODUCER_EXPORTS = (
+    "certify_result",
+    "certify_verdict",
+    "rebuild_algorithm",
+    "replay_certificate",
+)
+
+
+def __getattr__(name: str):
+    if name in _PRODUCER_EXPORTS:
+        from repro.verify import certify
+
+        return getattr(certify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

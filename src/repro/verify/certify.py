@@ -1,0 +1,224 @@
+"""Certificate production: package a pipeline verdict with its evidence.
+
+This is the *producer* half of the certification subsystem, and the only
+module under :mod:`repro.verify` allowed to import the round-elimination
+engine (it needs :class:`GapResult`, the problem sequence, and the
+Lemma 3.9 lifting to describe and rebuild synthesized algorithms).  The
+*checker* half — :mod:`repro.verify.check` — stays engine-free; keep it
+that way when extending either side.
+
+The certificate bodies:
+
+``constant``
+    ``rounds``, the ``chain`` (encoded problems ``Π_0 .. Π_k``, encoded
+    intermediates ``R(Π_0) .. R(Π_{k-1})``, and the 0-round table with
+    its clique), and a recorded :mod:`~repro.verify.transcript`.
+    :func:`rebuild_algorithm` reconstructs the exact
+    :class:`~repro.roundelim.lift.LiftedAlgorithm` composition from the
+    chain, and :func:`replay_certificate` demands it reproduce the
+    recorded outputs bit-for-bit.
+
+``fixed-point``
+    The fixed problem ``Π_k`` and its successor ``f(Π_k)`` (the checker
+    re-establishes their isomorphism), plus a 0-round refutation witness
+    for every step ``0 .. k``.
+
+``unknown``
+    The verified prefix: one refutation witness per completed step, the
+    machine-checkable content of ``UNKNOWN(>= step k)``, along with the
+    walk's note and budget diagnostics.
+
+In every case the producer runs the corresponding *check* before
+emitting — a certificate that its own independent checker rejects is a
+bug in the engine, and :class:`CertificateError` says so loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import CertificateError
+from repro.lcl.codec import decode_label, decode_problem, encode_label, encode_problem
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm
+from repro.roundelim.gap import GapResult
+from repro.roundelim.lift import compose_lifts
+from repro.roundelim.zero_round import ZeroRoundAlgorithm
+from repro.utils.multiset import label_sort_key
+from repro.verify.certificate import SCHEMA_VERSION, Certificate
+from repro.verify.refute import build_refutation
+from repro.verify.transcript import (
+    DEFAULT_COMPONENT_SIZES,
+    record_transcript,
+    replay_transcript,
+)
+
+
+def _encode_zero_round(zero_round: ZeroRoundAlgorithm) -> Dict[str, Any]:
+    return {
+        "clique": [
+            encode_label(x) for x in sorted(zero_round.clique, key=label_sort_key)
+        ],
+        "table": [
+            [[encode_label(x) for x in inputs], [encode_label(x) for x in outputs]]
+            for inputs, outputs in sorted(
+                zero_round.table.items(),
+                key=lambda kv: [label_sort_key(x) for x in kv[0]],
+            )
+        ],
+    }
+
+
+def _decode_zero_round(
+    problem: NodeEdgeCheckableLCL, payload: Dict[str, Any]
+) -> ZeroRoundAlgorithm:
+    clique = frozenset(decode_label(x) for x in payload["clique"])
+    table = {
+        tuple(decode_label(x) for x in inputs): tuple(decode_label(x) for x in outputs)
+        for inputs, outputs in payload["table"]
+    }
+    return ZeroRoundAlgorithm(problem, clique, table)
+
+
+def _refutation_prefix(result: GapResult, steps: int) -> List[Dict[str, Any]]:
+    """Refutation witnesses for ``f^j(Π)``, ``j = 0 .. steps - 1``.
+
+    The walk already computed these problems, so ``sequence.problem(j)``
+    is a cache hit; ``build_refutation`` must succeed on each of them —
+    the walk's negative 0-round decision and the witness builder are two
+    complete procedures for the same question, so a disagreement is an
+    engine bug worth crashing on.
+    """
+    prefix: List[Dict[str, Any]] = []
+    for step in range(steps):
+        problem = result.sequence.problem(step)
+        refutation = build_refutation(problem)
+        if refutation is None:
+            raise CertificateError(
+                f"engine/witness disagreement: step {step} of "
+                f"{result.problem.name!r} was walked past as not 0-round "
+                "solvable, but a covering clique exists"
+            )
+        prefix.append(
+            {
+                "step": step,
+                "problem": encode_problem(problem),
+                "refutation": refutation,
+            }
+        )
+    return prefix
+
+
+def certify_result(
+    result: GapResult,
+    trials: int = 3,
+    component_sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Certificate:
+    """Package a :class:`GapResult` as a self-validating certificate.
+
+    ``trials`` / ``component_sizes`` / ``seed`` shape the recorded
+    transcript for ``"constant"`` verdicts (ignored otherwise).  The
+    emitted certificate is pre-checked with the engine-free checker; a
+    rejection raises :class:`CertificateError`.
+    """
+    body: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": result.status,
+        "verdict": result.verdict_label(),
+        "problem": encode_problem(result.problem),
+    }
+    if result.status == "constant":
+        if result.algorithm is None or result.zero_round is None:
+            raise CertificateError("constant verdict carries no algorithm")
+        steps = result.constant_rounds or 0
+        if component_sizes is None:
+            # Multi-node random trees need max_degree >= 2; degenerate
+            # problems fall back to isolated-node instances.
+            component_sizes = (
+                DEFAULT_COMPONENT_SIZES if result.problem.max_degree >= 2 else (1, 1)
+            )
+        body["rounds"] = steps
+        body["chain"] = {
+            "problems": [
+                encode_problem(result.sequence.problem(j)) for j in range(steps + 1)
+            ],
+            "intermediates": [
+                encode_problem(result.sequence.intermediate(j)) for j in range(steps)
+            ],
+            "zero_round": _encode_zero_round(result.zero_round),
+        }
+        body["transcript"] = record_transcript(
+            result.problem,
+            result.algorithm,
+            component_sizes=component_sizes,
+            trials=trials,
+            seed=seed,
+        )
+    elif result.status == "fixed-point":
+        if result.fixed_point_at is None:
+            raise CertificateError("fixed-point verdict carries no step index")
+        at = result.fixed_point_at
+        body["fixed_point_at"] = at
+        body["fixed_problem"] = encode_problem(result.sequence.problem(at))
+        body["next_problem"] = encode_problem(result.sequence.problem(at + 1))
+        body["refutations"] = _refutation_prefix(result, at + 1)
+    elif result.status == "unknown":
+        examined = result.unknown_since_step or 0
+        body["unknown_since_step"] = examined
+        body["note"] = result.note
+        body["budget"] = (
+            result.budget_diagnostics.as_dict()
+            if result.budget_diagnostics is not None
+            else None
+        )
+        body["prefix"] = _refutation_prefix(result, examined)
+    else:
+        raise CertificateError(f"cannot certify status {result.status!r}")
+
+    certificate = Certificate(body)
+    from repro.verify.check import check_certificate
+
+    outcome = check_certificate(certificate)
+    if not outcome.ok:
+        raise CertificateError(
+            "freshly produced certificate fails its own check "
+            f"(engine bug): {'; '.join(outcome.errors)}"
+        )
+    return certificate
+
+
+def certify_verdict(verdict, **kwargs) -> Certificate:
+    """Certify a :class:`~repro.decidability.constant_time.ConstantTimeVerdict`
+    via its underlying gap result."""
+    result = getattr(verdict, "gap_result", None)
+    if result is None:
+        raise CertificateError("verdict carries no gap result to certify")
+    return certify_result(result, **kwargs)
+
+
+# ------------------------------------------------------------------- rebuild
+def rebuild_algorithm(certificate: Certificate) -> LocalAlgorithm:
+    """Reconstruct the synthesized algorithm from a ``"constant"``
+    certificate's chain — no round-elimination operators are re-run; the
+    chain *is* the algorithm description."""
+    if certificate.kind != "constant":
+        raise CertificateError(
+            f"{certificate.kind!r} certificates carry no algorithm"
+        )
+    chain = certificate.body["chain"]
+    problems = [decode_problem(p) for p in chain["problems"]]
+    intermediates = [decode_problem(p) for p in chain["intermediates"]]
+    zero_round = _decode_zero_round(problems[-1], chain["zero_round"])
+    return compose_lifts(zero_round, problems, intermediates)
+
+
+def replay_certificate(certificate: Certificate) -> List[str]:
+    """Rebuild the algorithm and re-execute the recorded transcript,
+    demanding bit-identical outputs.  Returns discrepancies (empty =
+    exact reproduction) — the round-trip guarantee for serialized
+    algorithm descriptions."""
+    algorithm = rebuild_algorithm(certificate)
+    return replay_transcript(
+        certificate.problem(), algorithm, certificate.body["transcript"]
+    )

@@ -1,0 +1,204 @@
+"""The independent certificate checker — engine-free by construction.
+
+``check_certificate`` re-establishes a certificate's claims using only
+the LCL formalism (:mod:`repro.lcl`), the graph layer
+(:mod:`repro.graphs`), and the LOCAL simulator's checker
+(:func:`repro.lcl.checker.check_solution`).  It must **never** import
+``repro.roundelim`` or ``repro.decidability`` — the point of a
+certificate is that accepting it does not require trusting the engine
+that produced it, and the test suite asserts this import boundary by
+inspecting ``sys.modules`` from a fresh interpreter.
+
+What acceptance means, per kind:
+
+``constant``
+    The recorded 0-round table genuinely solves the bottom problem of
+    the chain (clique + cover conditions re-verified by brute force),
+    and the recorded transcript is exactly the instance family its seed
+    generates with outputs that :func:`check_solution` accepts on the
+    *original* problem.  The chain links ``Π_j → Π_{j+1}`` themselves are
+    the engine's construction; what the checker certifies end-to-end is
+    that the claimed algorithm *behavior* solves the claimed problem.
+
+``fixed-point``
+    The recorded successor problem is isomorphic to the fixed problem
+    (pure label-renaming search), and every step ``0 .. k`` carries a
+    valid 0-round refutation — recomputed maximal cliques, re-exhausted
+    witnesses.
+
+``unknown``
+    Every step of the verified prefix carries a valid refutation, so the
+    anytime claim ``UNKNOWN(>= step k)`` is backed by ``k`` proofs.
+
+Hostile or damaged input never raises: every defect becomes an entry in
+:attr:`CheckOutcome.errors`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.lcl.codec import decode_problem
+from repro.verify.certificate import KINDS, SCHEMA_VERSION, Certificate
+from repro.verify.refute import check_refutation, check_zero_round_table
+from repro.verify.transcript import check_transcript
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of independently checking one certificate."""
+
+    ok: bool
+    kind: str
+    errors: Tuple[str, ...]
+    #: Evidence volume actually re-verified (trials replayed, refutation
+    #: steps re-exhausted, ...) — lets callers assert a check was not
+    #: vacuous.
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.ok:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+            return f"certificate OK ({self.kind}; {extras})"
+        lines = [f"certificate REJECTED ({self.kind}): {len(self.errors)} error(s)"]
+        lines.extend(f"  {error}" for error in self.errors)
+        return "\n".join(lines)
+
+
+def _reject(kind: str, errors: List[str]) -> CheckOutcome:
+    return CheckOutcome(ok=False, kind=kind, errors=tuple(errors))
+
+
+def check_certificate(
+    certificate: Union[Certificate, str, os.PathLike]
+) -> CheckOutcome:
+    """Re-establish a certificate's claims from its recorded evidence.
+
+    Accepts a :class:`Certificate` or a filesystem path to one.  Never
+    raises on malformed, damaged, or dishonest input — every defect is
+    reported through :attr:`CheckOutcome.errors`.
+    """
+    if not isinstance(certificate, Certificate):
+        try:
+            certificate = Certificate.load(certificate)
+        except ReproError as error:
+            return _reject("?", [str(error)])
+
+    body = certificate.body
+    if body.get("schema") != SCHEMA_VERSION:
+        return _reject("?", [f"unsupported schema {body.get('schema')!r}"])
+    kind = body.get("kind")
+    if kind not in KINDS:
+        return _reject("?", [f"unknown certificate kind {kind!r}"])
+    try:
+        problem = decode_problem(body["problem"])
+    except Exception as error:
+        return _reject(kind, [f"certified problem cannot be decoded: {error}"])
+
+    errors: List[str] = []
+    counts: Dict[str, int] = {}
+    try:
+        if kind == "constant":
+            _check_constant(problem, body, errors, counts)
+        elif kind == "fixed-point":
+            _check_fixed_point(problem, body, errors, counts)
+        else:
+            _check_unknown(problem, body, errors, counts)
+    except Exception as error:  # hostile payload shapes must not raise
+        errors.append(f"certificate body is malformed: {error!r}")
+    return CheckOutcome(ok=not errors, kind=kind, errors=tuple(errors), counts=counts)
+
+
+def _check_constant(problem, body: Dict[str, Any], errors: List[str], counts) -> None:
+    chain = body["chain"]
+    problems = [decode_problem(p) for p in chain["problems"]]
+    if body.get("rounds") != len(problems) - 1:
+        errors.append(
+            f"declared rounds {body.get('rounds')!r} do not match the "
+            f"{len(problems)}-problem chain"
+        )
+    if len(chain["intermediates"]) != len(problems) - 1:
+        errors.append("chain problem/intermediate shape mismatch")
+    if problems[0] != problem:
+        errors.append("chain base differs from the certified problem")
+
+    zero_round = chain["zero_round"]
+    from repro.lcl.codec import decode_label
+
+    clique = [decode_label(x) for x in zero_round["clique"]]
+    table = {
+        tuple(decode_label(x) for x in inputs): tuple(decode_label(x) for x in outputs)
+        for inputs, outputs in zero_round["table"]
+    }
+    table_errors = check_zero_round_table(problems[-1], clique, table)
+    errors.extend(f"zero-round table: {error}" for error in table_errors)
+    counts["table_rules"] = len(table)
+
+    transcript = body["transcript"]
+    errors.extend(check_transcript(problem, transcript))
+    counts["trials"] = len(transcript.get("trials", []))
+
+
+def _check_refutation_steps(
+    problem,
+    steps: List[Dict[str, Any]],
+    expected_count: int,
+    errors: List[str],
+    counts,
+    label: str,
+) -> Dict[int, Any]:
+    """Shared refutation-list validation; returns decoded problems by step."""
+    decoded: Dict[int, Any] = {}
+    if [entry.get("step") for entry in steps] != list(range(expected_count)):
+        errors.append(
+            f"{label} must cover steps 0..{expected_count - 1} contiguously"
+        )
+        return decoded
+    for entry in steps:
+        step = entry["step"]
+        try:
+            step_problem = decode_problem(entry["problem"])
+        except Exception as error:
+            errors.append(f"{label} step {step}: problem cannot be decoded: {error}")
+            continue
+        decoded[step] = step_problem
+        if step == 0 and step_problem != problem:
+            errors.append(f"{label} step 0 is not the certified problem")
+        step_errors = check_refutation(step_problem, entry["refutation"])
+        errors.extend(f"{label} step {step}: {error}" for error in step_errors)
+    counts["refutation_steps"] = len(steps)
+    return decoded
+
+
+def _check_fixed_point(problem, body: Dict[str, Any], errors: List[str], counts) -> None:
+    at = body["fixed_point_at"]
+    fixed_problem = decode_problem(body["fixed_problem"])
+    next_problem = decode_problem(body["next_problem"])
+    if not fixed_problem.is_isomorphic(next_problem):
+        errors.append(
+            "recorded successor problem is not isomorphic to the fixed "
+            "problem — no fixed point is exhibited"
+        )
+    decoded = _check_refutation_steps(
+        problem, list(body["refutations"]), at + 1, errors, counts, "refutations"
+    )
+    recorded_fixed = decoded.get(at)
+    if recorded_fixed is not None and recorded_fixed != fixed_problem:
+        errors.append(
+            f"refutation step {at} does not match the declared fixed problem"
+        )
+
+
+def _check_unknown(problem, body: Dict[str, Any], errors: List[str], counts) -> None:
+    examined = body["unknown_since_step"]
+    prefix = list(body["prefix"])
+    if len(prefix) != examined:
+        errors.append(
+            f"verified prefix has {len(prefix)} step(s) but claims "
+            f"UNKNOWN(>= step {examined})"
+        )
+        return
+    _check_refutation_steps(problem, prefix, examined, errors, counts, "prefix")

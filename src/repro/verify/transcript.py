@@ -1,0 +1,258 @@
+"""Replayable execution transcripts for synthesized algorithms.
+
+A transcript pins down a seeded family of random forest instances —
+topology, identifier assignment, and input labeling — together with the
+per-half-edge outputs a synthesized algorithm produced on them.  Three
+consumers share this module:
+
+* the certificate **producer** records a transcript while verifying a
+  fresh ``"constant"`` verdict (:func:`record_transcript`);
+* the engine-free **checker** re-derives the instance family from the
+  recorded seed, confirms the transcript matches it (so a certificate
+  cannot substitute hand-picked easy instances), and re-runs
+  :func:`repro.lcl.checker.check_solution` on the recorded outputs
+  (:func:`check_transcript`);
+* the **replayer** re-executes a rebuilt algorithm on the recorded
+  instances and demands bit-identical outputs
+  (:func:`replay_transcript`) — the round-trip guarantee for serialized
+  algorithm descriptions.
+
+Imports are restricted to graphs, the LCL checker, and the LOCAL
+simulator; the round-elimination engine never appears here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.graphs.core import Graph, HalfEdgeLabeling
+from repro.graphs.generators import random_forest
+from repro.graphs.ids import random_ids
+from repro.lcl.checker import check_solution
+from repro.lcl.codec import decode_label, encode_label
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.local.model import LocalAlgorithm, run_local_algorithm
+from repro.utils.multiset import label_sort_key
+from repro.utils.rng import SplittableRNG
+
+#: Forest shape used when the caller does not choose one: a few non-trivial
+#: components plus an isolated node, matching the historical default of
+#: ``verify_on_random_forests``.
+DEFAULT_COMPONENT_SIZES = (7, 5, 3, 1)
+
+
+def generate_trials(
+    problem: NodeEdgeCheckableLCL,
+    component_sizes: Sequence[int] = DEFAULT_COMPONENT_SIZES,
+    trials: int = 5,
+    seed: int = 0,
+) -> Iterator[Tuple[int, Graph, HalfEdgeLabeling, List[int]]]:
+    """The seeded instance family, one ``(trial, graph, inputs, ids)`` at a
+    time.
+
+    The derivation is part of the certificate format: a root
+    :class:`SplittableRNG` split per trial, one integer draw for the
+    forest seed, one uniform draw from sorted ``Σ_in`` per half-edge, one
+    integer draw for the identifier seed.  Producer and checker both call
+    this function, which is what makes recorded instances re-derivable.
+    """
+    root = SplittableRNG(seed)
+    inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
+    for trial in range(trials):
+        rng = root.child("trial", trial)
+        graph = random_forest(
+            component_sizes, max_degree=problem.max_degree, seed=rng.integer(0, 10**6)
+        )
+        inputs = HalfEdgeLabeling(
+            graph,
+            {
+                h: inputs_sorted[rng.integer(0, len(inputs_sorted) - 1)]
+                for h in graph.half_edges()
+            },
+        )
+        ids = random_ids(graph, seed=rng.integer(0, 10**6))
+        yield trial, graph, inputs, ids
+
+
+def verify_algorithm_on_random_forests(
+    problem: NodeEdgeCheckableLCL,
+    algorithm: LocalAlgorithm,
+    component_sizes: Sequence[int] = DEFAULT_COMPONENT_SIZES,
+    trials: int = 5,
+    seed: int = 0,
+) -> bool:
+    """Run ``algorithm`` over the seeded family and check every output.
+
+    The behavior behind ``repro.roundelim.gap.verify_on_random_forests``;
+    returns ``True`` iff every trial yields a valid solution.
+    """
+    for _, graph, inputs, ids in generate_trials(problem, component_sizes, trials, seed):
+        simulation = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids)
+        report = check_solution(problem, graph, inputs, simulation.outputs)
+        if not report.is_valid:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------- recording
+def _encode_labeling(labeling: HalfEdgeLabeling) -> List[List[Any]]:
+    return [
+        [v, port, encode_label(label)]
+        for (v, port), label in sorted(labeling.items())
+    ]
+
+
+def _decode_labeling(graph: Graph, payload: Sequence[Sequence[Any]]) -> HalfEdgeLabeling:
+    return HalfEdgeLabeling(
+        graph, {(v, port): decode_label(enc) for v, port, enc in payload}
+    )
+
+
+def _encode_graph(graph: Graph) -> Dict[str, Any]:
+    return {
+        "num_nodes": graph.num_nodes,
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+
+
+def _decode_graph(payload: Dict[str, Any]) -> Graph:
+    """Rebuild the exact port structure from recorded ``(u, pu, v, pv)``
+    edges — independent of how the generator originally assigned ports."""
+    num_nodes = int(payload["num_nodes"])
+    ports: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
+    for u, pu, v, pv in payload["edges"]:
+        for side, port, other in ((u, pu, (v, pv)), (v, pv, (u, pu))):
+            while len(ports[side]) <= port:
+                ports[side].append((-1, -1))
+            ports[side][port] = other
+    return Graph.from_port_map(ports)
+
+
+def record_transcript(
+    problem: NodeEdgeCheckableLCL,
+    algorithm: LocalAlgorithm,
+    component_sizes: Sequence[int] = DEFAULT_COMPONENT_SIZES,
+    trials: int = 5,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run ``algorithm`` over the seeded family and record everything.
+
+    Raises through the simulator / checker machinery if any trial is
+    invalid — an algorithm that fails its own verification must not be
+    certified.
+    """
+    payload: Dict[str, Any] = {
+        "seed": seed,
+        "component_sizes": list(component_sizes),
+        "trials": [],
+    }
+    for trial, graph, inputs, ids in generate_trials(
+        problem, component_sizes, trials, seed
+    ):
+        simulation = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids)
+        report = check_solution(problem, graph, inputs, simulation.outputs)
+        if not report.is_valid:
+            raise AssertionError(
+                f"refusing to certify {problem.name!r}: trial {trial} failed "
+                f"verification — {report}"
+            )
+        payload["trials"].append(
+            {
+                "trial": trial,
+                "graph": _encode_graph(graph),
+                "ids": list(ids),
+                "inputs": _encode_labeling(inputs),
+                "outputs": _encode_labeling(simulation.outputs),
+            }
+        )
+    return payload
+
+
+# ----------------------------------------------------------------- checking
+def check_transcript(
+    problem: NodeEdgeCheckableLCL, transcript: Dict[str, Any]
+) -> List[str]:
+    """Engine-free transcript validation; returns discrepancies.
+
+    Confirms (a) the recorded instances are exactly the ones the recorded
+    seed generates — topology, identifiers, and inputs alike — and
+    (b) every recorded output labeling passes the Definition 2.4 checker.
+    """
+    errors: List[str] = []
+    try:
+        seed = int(transcript["seed"])
+        component_sizes = [int(x) for x in transcript["component_sizes"]]
+        recorded_trials = list(transcript["trials"])
+    except (KeyError, TypeError, ValueError) as error:
+        return [f"transcript payload is malformed: {error}"]
+    if not recorded_trials:
+        return ["transcript records no trials"]
+
+    expected = {
+        trial: (graph, inputs, ids)
+        for trial, graph, inputs, ids in generate_trials(
+            problem, component_sizes, len(recorded_trials), seed
+        )
+    }
+    for index, recorded in enumerate(recorded_trials):
+        where = f"trial #{index}"
+        try:
+            trial = int(recorded["trial"])
+            graph = _decode_graph(recorded["graph"])
+            ids = [int(x) for x in recorded["ids"]]
+            inputs = _decode_labeling(graph, recorded["inputs"])
+            outputs = _decode_labeling(graph, recorded["outputs"])
+        except Exception as error:
+            errors.append(f"{where} is malformed: {error}")
+            continue
+        generated = expected.get(trial)
+        if generated is None:
+            errors.append(f"{where} names unknown trial index {trial}")
+            continue
+        expected_graph, expected_inputs, expected_ids = generated
+        # The (u, pu, v, pv) tuples pin down the whole port structure, so
+        # order-insensitive equality is exact topology equality.
+        if sorted(graph.edges()) != sorted(expected_graph.edges()) or (
+            graph.num_nodes != expected_graph.num_nodes
+        ):
+            errors.append(f"{where}: recorded topology differs from the seeded family")
+            continue
+        if ids != list(expected_ids):
+            errors.append(f"{where}: recorded identifiers differ from the seeded family")
+        if dict(inputs.items()) != dict(expected_inputs.items()):
+            errors.append(f"{where}: recorded inputs differ from the seeded family")
+        report = check_solution(problem, graph, inputs, outputs)
+        if not report.is_valid:
+            errors.append(f"{where}: recorded outputs are not a valid solution — {report}")
+    return errors
+
+
+def replay_transcript(
+    problem: NodeEdgeCheckableLCL,
+    algorithm: LocalAlgorithm,
+    transcript: Dict[str, Any],
+) -> List[str]:
+    """Re-execute ``algorithm`` on the recorded instances; demand
+    bit-identical outputs.
+
+    This is the strong form of the round-trip guarantee: a rebuilt
+    algorithm description must reproduce the recorded run exactly, not
+    merely produce *some* valid solution.
+    """
+    errors: List[str] = []
+    for index, recorded in enumerate(transcript.get("trials", [])):
+        where = f"trial #{index}"
+        try:
+            graph = _decode_graph(recorded["graph"])
+            ids = [int(x) for x in recorded["ids"]]
+            inputs = _decode_labeling(graph, recorded["inputs"])
+            outputs = _decode_labeling(graph, recorded["outputs"])
+        except Exception as error:
+            errors.append(f"{where} is malformed: {error}")
+            continue
+        simulation = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids)
+        if dict(simulation.outputs.items()) != dict(outputs.items()):
+            errors.append(
+                f"{where}: replayed outputs differ from the recorded outputs"
+            )
+    return errors

@@ -1,0 +1,290 @@
+"""The certification subsystem: codec, envelope, evidence, import boundary.
+
+Covers the problem codec round trip, bit-identical certificate
+serialization, tamper detection, one certificate of each kind checked by
+the engine-free checker, dishonest-evidence rejection, and — from a
+fresh interpreter — the guarantee that checking never imports the
+round-elimination engine.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import BruteForceLimitError, CertificateError
+from repro.graphs.generators import path
+from repro.graphs.core import HalfEdgeLabeling
+from repro.lcl import catalog
+from repro.lcl.checker import brute_force_solution, check_solution
+from repro.lcl.codec import (
+    decode_label,
+    decode_problem,
+    encode_label,
+    encode_problem,
+    problem_digest,
+)
+from repro.lcl.random_problems import random_lcl, solvable_random_lcl
+from repro.roundelim.gap import speedup
+from repro.verify import Certificate, check_certificate
+from repro.verify.refute import build_refutation, check_refutation
+
+
+# ------------------------------------------------------------------- codec
+@pytest.mark.parametrize(
+    "label",
+    [
+        "A",
+        7,
+        True,
+        False,
+        None,
+        ("pair", 1),
+        frozenset({"x", "y"}),
+        frozenset({frozenset({"a"}), frozenset({"b", "c"})}),  # R̄∘R-style nesting
+        ("mixed", frozenset({1, 2}), None),
+    ],
+)
+def test_label_codec_round_trip(label):
+    assert decode_label(encode_label(label)) == label
+
+
+def test_label_codec_distinguishes_bool_from_int():
+    assert decode_label(encode_label(True)) is True
+    assert decode_label(encode_label(1)) == 1
+    assert encode_label(True) != encode_label(1)
+
+
+def test_label_codec_rejects_unsupported_types():
+    with pytest.raises(CertificateError):
+        encode_label(object())
+
+
+@pytest.mark.parametrize(
+    "problem",
+    [
+        catalog.echo(3),
+        catalog.sinkless_orientation(3),
+        catalog.mis(3),
+        random_lcl(11, num_inputs=2),
+        solvable_random_lcl(5, num_inputs=2),
+    ],
+)
+def test_problem_codec_round_trip(problem):
+    rebuilt = decode_problem(encode_problem(problem))
+    assert rebuilt == problem
+    assert rebuilt.name == problem.name
+    assert problem_digest(rebuilt) == problem_digest(problem)
+
+
+def test_problem_digest_is_sensitive():
+    a, b = catalog.echo(3), catalog.echo(4)
+    assert problem_digest(a) != problem_digest(b)
+
+
+# ---------------------------------------------------------------- envelope
+def test_certificate_json_round_trip_is_bit_identical():
+    result = speedup(catalog.echo(3), max_steps=2)
+    certificate = result.certify(trials=2)
+    text = certificate.to_json()
+    again = Certificate.from_json(text)
+    assert again.to_json() == text
+    assert Certificate.from_json(again.to_json()).to_json() == text
+
+
+def test_certificate_save_load(tmp_path):
+    certificate = speedup(catalog.trivial(3), max_steps=1).certify(trials=1)
+    target = tmp_path / "cert.json"
+    certificate.save(target)
+    loaded = Certificate.load(target)
+    assert loaded.to_json() == certificate.to_json()
+    assert check_certificate(target).ok
+
+
+def test_certificate_detects_tampering(tmp_path):
+    certificate = speedup(catalog.echo(3), max_steps=2).certify(trials=1)
+    target = tmp_path / "cert.json"
+    certificate.save(target)
+    envelope = json.loads(target.read_text())
+    envelope["body"]["rounds"] = 0
+    target.write_text(json.dumps(envelope))
+    outcome = check_certificate(target)
+    assert not outcome.ok
+    assert any("checksum" in error for error in outcome.errors)
+    with pytest.raises(CertificateError):
+        Certificate.load(target)
+
+
+def test_checker_never_raises_on_garbage(tmp_path):
+    target = tmp_path / "junk.json"
+    target.write_text("{definitely not json")
+    assert not check_certificate(target).ok
+    assert not check_certificate(tmp_path / "missing.json").ok
+    body = {"schema": 99, "kind": "constant", "problem": {}}
+    from repro.verify.certificate import body_checksum
+
+    target.write_text(json.dumps({"body": body, "checksum": body_checksum(body)}))
+    outcome = check_certificate(target)
+    assert not outcome.ok
+
+
+# ------------------------------------------------------------- three kinds
+def test_constant_certificate_accepted():
+    result = speedup(catalog.echo(3), max_steps=2)
+    assert result.status == "constant"
+    certificate = result.certify(trials=2)
+    outcome = check_certificate(certificate)
+    assert outcome.ok, outcome.errors
+    assert certificate.kind == "constant"
+    assert certificate.body["rounds"] == result.constant_rounds
+    assert outcome.counts["trials"] == 2
+    assert outcome.counts["table_rules"] > 0
+
+
+def test_fixed_point_certificate_accepted():
+    result = speedup(catalog.sinkless_orientation(3), max_steps=3)
+    assert result.status == "fixed-point"
+    certificate = result.certify()
+    outcome = check_certificate(certificate)
+    assert outcome.ok, outcome.errors
+    assert outcome.counts["refutation_steps"] == result.fixed_point_at + 1
+
+
+def test_unknown_certificate_accepted():
+    result = speedup(catalog.two_coloring(2), max_steps=2)
+    assert result.status == "unknown"
+    certificate = result.certify()
+    outcome = check_certificate(certificate)
+    assert outcome.ok, outcome.errors
+    assert outcome.counts["refutation_steps"] == result.unknown_since_step
+
+
+def test_verdict_certify_delegates_to_gap_result():
+    from repro.decidability.constant_time import semidecide_constant_time
+    from repro.verify import certify_verdict
+
+    verdict = semidecide_constant_time(catalog.echo(3), max_steps=2)
+    certificate = certify_verdict(verdict, trials=1)
+    assert check_certificate(certificate).ok
+
+
+# -------------------------------------------------------- dishonest bodies
+def _mutated(certificate: Certificate, mutate) -> Certificate:
+    body = json.loads(json.dumps(certificate.body))
+    mutate(body)
+    return Certificate(body)
+
+
+def test_checker_rejects_wrong_transcript_outputs():
+    certificate = speedup(catalog.echo(3), max_steps=2).certify(trials=1)
+
+    def corrupt(body):
+        trial = body["transcript"]["trials"][0]
+        v, port, _ = trial["outputs"][0]
+        other = trial["outputs"][1][2]
+        trial["outputs"][0] = [v, port, other]
+
+    outcome = check_certificate(_mutated(certificate, corrupt))
+    # Either the outputs stop being a valid solution or (if the swap were
+    # a no-op label-wise) the transcript still matches; force the former
+    # by asserting the corrupted label differs.
+    assert not outcome.ok
+
+
+def test_checker_rejects_substituted_instances():
+    certificate = speedup(catalog.echo(3), max_steps=2).certify(trials=2)
+
+    def corrupt(body):
+        body["transcript"]["trials"][0]["ids"][0] += 1
+
+    outcome = check_certificate(_mutated(certificate, corrupt))
+    assert not outcome.ok
+    assert any("identifiers" in error for error in outcome.errors)
+
+
+def test_checker_rejects_missing_refutation_step():
+    certificate = speedup(catalog.two_coloring(2), max_steps=2).certify()
+
+    def corrupt(body):
+        body["prefix"].pop()
+
+    outcome = check_certificate(_mutated(certificate, corrupt))
+    assert not outcome.ok
+
+
+def test_checker_rejects_false_exhaustion_claim():
+    # A solvable problem can never carry a valid refutation: every clique
+    # witness must survive re-exhaustion, and the covering clique cannot.
+    solvable = catalog.trivial(3)
+    unsolvable_witness = build_refutation(catalog.two_coloring(2))
+    assert unsolvable_witness is not None
+    errors = check_refutation(solvable, unsolvable_witness)
+    assert errors
+
+
+def test_refutation_none_for_solvable_problems():
+    assert build_refutation(catalog.trivial(3)) is None
+    assert build_refutation(catalog.echo(3)) is not None  # needs 1 round
+
+
+# ----------------------------------------------------------- brute guard
+def test_brute_force_guard_raises_typed_error():
+    problem = catalog.trivial(2)
+    graph = path(40)
+    inputs = HalfEdgeLabeling.constant(graph, next(iter(problem.sigma_in)))
+    with pytest.raises(BruteForceLimitError):
+        brute_force_solution(problem, graph, inputs)
+    # None disables the guard; the trivial problem solves instantly.
+    assert brute_force_solution(problem, graph, inputs, max_nodes=None) is not None
+
+
+def test_checker_failures_name_offender():
+    problem = catalog.two_coloring(2)
+    graph = path(3)
+    inputs = HalfEdgeLabeling.constant(graph, next(iter(problem.sigma_in)))
+    outputs = HalfEdgeLabeling.constant(graph, next(iter(problem.sigma_out)))
+    report = check_solution(problem, graph, inputs, outputs)
+    assert not report.is_valid
+    assert report.failures
+    rendered = str(report)
+    # Localized diagnostics: the offending edge/node and the rejected
+    # configuration both appear in the rendering.
+    assert "edge" in rendered or "node" in rendered
+    assert "configuration" in rendered
+
+
+# ----------------------------------------------------------- import purity
+def test_check_certificate_is_engine_free(tmp_path):
+    """From a fresh interpreter: load + check a certificate, then assert
+    the round-elimination engine and the decidability stack were never
+    imported."""
+    certificate = speedup(catalog.echo(3), max_steps=2).certify(trials=1)
+    target = tmp_path / "cert.json"
+    certificate.save(target)
+    script = (
+        "import sys\n"
+        "from repro.verify import check_certificate\n"
+        f"outcome = check_certificate({str(target)!r})\n"
+        "assert outcome.ok, outcome.errors\n"
+        "bad = [m for m in sys.modules"
+        " if m.startswith(('repro.roundelim', 'repro.decidability'))]\n"
+        "assert not bad, f'engine modules leaked into the checker: {bad}'\n"
+        "print('ENGINE-FREE-OK')\n"
+    )
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "ENGINE-FREE-OK" in completed.stdout

@@ -1,0 +1,81 @@
+"""Smoke test for the ``lcl-landscape certify`` verb.
+
+Drives the CLI entry point (``repro.cli.main``) end to end: a full
+catalog sweep writing one certificate per problem, single-problem
+certification with ``--out`` + ``--replay``, a fixed-point verdict, and
+the offline engine-free ``--check`` path — including that a tampered
+certificate file makes ``--check`` exit non-zero.
+
+The sweep runs at ``--max-steps 1``: the verdicts differ from the
+deeper conformance run (echo2/sinkless stay ``unknown``) but every
+certificate must still check, and the f^2 alphabet blow-ups that make a
+2-step sweep minutes-long never happen.  ``--max-configs`` guards the
+rare remaining explosion.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import CATALOG, main
+
+FAST = ["--max-configs", "5000", "--trials", "1"]
+
+
+def test_certify_catalog_sweep_writes_checkable_certificates(tmp_path, capsys):
+    out_dir = tmp_path / "certs"
+    code = main(
+        ["certify", "--catalog", "--max-steps", "1", "--out", str(out_dir), *FAST]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    for name in CATALOG:
+        assert name in out
+    assert "certificate OK" in out
+    assert "REJECTED" not in out
+
+    written = {p.stem for p in out_dir.glob("*.json")}
+    assert written == {name.replace(":", "_") for name in CATALOG}
+    for path in sorted(out_dir.glob("*.json")):
+        assert main(["certify", "--check", str(path)]) == 0
+
+
+def test_certify_single_problem_out_replay_and_check(tmp_path, capsys):
+    target = tmp_path / "echo.json"
+    code = main(
+        ["certify", "echo:3", "--max-steps", "2", "--out", str(target), "--replay", *FAST]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "constant" in out and "certificate OK" in out
+    assert "replay: bit-identical" in out
+    assert target.exists()
+
+    assert main(["certify", "--check", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "certificate OK" in out
+
+
+def test_certify_fixed_point_verdict(capsys):
+    assert main(["certify", "sinkless:3", "--max-steps", "2", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "fixed-point" in out and "certificate OK" in out
+
+
+def test_certify_check_rejects_tampered_file(tmp_path, capsys):
+    target = tmp_path / "cert.json"
+    args = ["certify", "trivial:3", "--max-steps", "1", "--out", str(target), *FAST]
+    assert main(args) == 0
+    capsys.readouterr()
+
+    envelope = json.loads(target.read_text())
+    envelope["body"]["kind"] = "fixed-point"
+    target.write_text(json.dumps(envelope))
+    assert main(["certify", "--check", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "checksum" in out
+
+
+def test_certify_usage_error_without_target(capsys):
+    assert main(["certify"]) == 2
+    assert "catalog" in capsys.readouterr().err

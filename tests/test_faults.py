@@ -18,6 +18,8 @@ from repro.utils import cache as operator_cache
 from repro.utils import faults
 from repro.utils.faults import FaultPlan, InjectedFault, configure_faults, parse_spec
 
+pytestmark = pytest.mark.chaos
+
 
 @pytest.fixture(autouse=True)
 def clean_engine(monkeypatch):
