@@ -1,0 +1,49 @@
+"""Static analysis for the gap pipeline: ``repro-lint``.
+
+The pipeline's headline guarantees — relabeling-invariant canonical
+hashes, bit-identical checkpoint resume, engine-free and seed-replayable
+certificates — rest on invariants that used to be enforced only
+dynamically, after the fact, by fresh-interpreter and replay test
+suites.  This package proves them at lint time, on every file:
+
+========  ==============================================================
+REP001    no unseeded / global randomness in library code
+REP002    no unordered (set / dict-view) iteration in ordered-output
+          modules without ``sorted()``
+REP003    the certificate checker stays statically engine-free
+REP004    pool-bound callables are module-level and picklable
+REP005    no wall-clock reads in replay-sensitive paths
+REP006    every ``REPRO_*`` knob is declared in ``repro.utils.env`` and
+          read through its typed accessors
+REP007    no bare ``except:``
+REP008    no mutable default arguments
+REP009    only ``ReproError`` subclasses cross the public API
+========  ==============================================================
+
+Entry points: the ``repro-lint`` console script, ``python -m
+repro.analysis``, and the ``lcl-landscape lint`` verb.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalog, suppression syntax
+(``# repro-lint: disable=REPXXX``), and the baseline workflow.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    Project,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "register",
+    "run_lint",
+]

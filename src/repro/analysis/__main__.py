@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — the ``repro-lint`` entry point for
+environments running from a source checkout (PYTHONPATH=src) where the
+console script is not installed."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

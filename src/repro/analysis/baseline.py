@@ -1,0 +1,57 @@
+"""Grandfathering baseline: adopt the linter without fixing the world first.
+
+A baseline file is a JSON map from finding *fingerprints* (rule + path +
+stripped source line, see :class:`repro.analysis.core.Finding`) to
+occurrence counts.  ``repro-lint --write-baseline FILE`` records the
+current findings; later runs with ``--baseline FILE`` report only *new*
+findings, so the tree ratchets toward clean instead of failing wholesale.
+
+This repository's own CI runs with an **empty** baseline — the tree is
+lint-clean and stays that way — but downstream forks adopting the rules
+mid-flight need the ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable
+
+from repro.analysis.core import Finding
+
+FORMAT_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> Dict[str, int]:
+    """Persist the findings' fingerprints (sorted, stable) and return them."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    body = {
+        "version": FORMAT_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return counts
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Load fingerprint counts; raises ``ValueError`` on malformed files
+    (a silently ignored baseline would un-grandfather everything)."""
+    try:
+        body = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(body, dict) or body.get("version") != FORMAT_VERSION:
+        raise ValueError(f"baseline {path} has an unsupported format")
+    findings = body.get("findings")
+    if not isinstance(findings, dict):
+        raise ValueError(f"baseline {path} carries no findings map")
+    counts: Dict[str, int] = {}
+    for key, value in findings.items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 0:
+            raise ValueError(f"baseline {path} has a malformed entry: {key!r}")
+        counts[key] = value
+    return counts

@@ -1,0 +1,144 @@
+"""The ``repro-lint`` command line (also ``python -m repro.analysis`` and
+the ``lcl-landscape lint`` verb).
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.core import run_lint
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flag set (used by both ``repro-lint`` and ``lcl-landscape
+    lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="grandfathering baseline: matching findings are not reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="anchor for relative paths in reports/fingerprints (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--env",
+        action="store_true",
+        help="print the registered REPRO_* environment-knob table and exit",
+    )
+
+
+def _split_codes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint invocation from parsed arguments (shared backend)."""
+    if args.env:
+        from repro.utils.env import render_table
+
+        print(render_table())
+        return 0
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    paths = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        result = run_lint(
+            paths,
+            root=Path(args.root) if args.root else None,
+            select=_split_codes(args.select) or None,
+            disable=_split_codes(args.disable),
+            baseline=baseline,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        counts = write_baseline(result.findings, Path(args.write_baseline))
+        print(
+            f"wrote baseline {args.write_baseline} "
+            f"({sum(counts.values())} finding(s) grandfathered)"
+        )
+        return 0
+    print(render_text(result) if args.format == "text" else render_json(result))
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism- and purity-aware static analysis for the repro "
+            "pipeline (rule catalog: docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_from_args(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,402 @@
+"""Single-pass AST lint engine: findings, the rule registry, the driver.
+
+Design
+------
+Every rule is a class decorated with :func:`register`, declaring
+
+* ``code`` / ``name`` / ``rationale`` — identity and the determinism or
+  purity guarantee the rule protects (surfaced by ``--list-rules`` and
+  ``docs/STATIC_ANALYSIS.md``);
+* ``node_types`` — the AST node classes it wants to see.  The driver
+  parses each file **once**, annotates parent links, and walks the tree
+  **once**, dispatching each node to every interested rule — adding a
+  rule never adds a traversal;
+* optional per-file hooks (``start_file`` / ``end_file``) and a
+  project-wide ``finalize`` hook for whole-program rules such as the
+  import-graph purity check (REP003).
+
+Findings carry a *fingerprint* — a hash of ``(rule, path, stripped
+source line)`` that survives unrelated edits moving the line — which is
+what the grandfathering baseline (:mod:`repro.analysis.baseline`)
+matches on.  Suppression comments (``# repro-lint: disable=REP001``) are
+honored on the finding's line or on a comment line directly above it;
+``# repro-lint: disable-file=REP001`` silences a rule for a whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.suppressions import Suppressions
+
+#: Pseudo-rule code attached to files that fail to parse.
+PARSE_ERROR_CODE = "REP000"
+
+#: Modules whose first segment marks test/bench/example scaffolding —
+#: library-contract rules (REP001, REP009) do not apply there.
+_SCAFFOLD_SEGMENTS = frozenset({"tests", "benchmarks", "examples"})
+_SCAFFOLD_PREFIXES = ("test_", "bench_", "conftest")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.path}\x00{self.source_line.strip()}".encode("utf-8")
+        ).hexdigest()
+        return f"{self.rule}:{digest[:16]}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class FileContext:
+    """Everything the rules may need about one parsed file."""
+
+    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module = _module_name(path)
+        self.segments: Tuple[str, ...] = tuple(self.module.split("."))
+        self.suppressions = Suppressions.scan(source)
+        #: local name -> fully qualified imported module/object name.
+        self.aliases = _collect_aliases(tree)
+        self._nested_functions: Optional[frozenset] = None
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_scaffolding(self) -> bool:
+        """Test / benchmark / example code (vs. library code)."""
+        stem = self.path.stem
+        first_dir = self.rel_path.split("/", 1)[0]
+        return (
+            self.segments[0] in _SCAFFOLD_SEGMENTS
+            or first_dir in _SCAFFOLD_SEGMENTS
+            or any(stem.startswith(prefix) for prefix in _SCAFFOLD_PREFIXES)
+        )
+
+    @property
+    def nested_function_names(self) -> frozenset:
+        """Names of functions defined inside other functions (computed on
+        first use; needed by the multiprocessing-safety rule)."""
+        if self._nested_functions is None:
+            names = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for child in ast.walk(node):
+                        if child is node:
+                            continue
+                        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            names.add(child.name)
+            self._nested_functions = frozenset(names)
+        return self._nested_functions
+
+    # -- helpers ------------------------------------------------------------
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=line,
+            col=col + 1,
+            message=message,
+            source_line=self.source_line(line),
+        )
+
+    def resolve_qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an attribute/name chain with import aliases
+        resolved, e.g. ``np.random.rand`` -> ``numpy.random.rand``;
+        ``None`` for non-name expressions (calls, subscripts, ...)."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Project:
+    """The full set of parsed files, for whole-program (finalize) rules."""
+
+    def __init__(self, files: Sequence[FileContext]):
+        self.files = list(files)
+        self.by_module: Dict[str, FileContext] = {ctx.module: ctx for ctx in self.files}
+
+    def __iter__(self) -> Iterator[FileContext]:
+        return iter(self.files)
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    #: AST node classes routed to :meth:`visit` by the single-pass driver.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def start_file(self, ctx: FileContext) -> None:
+        """Reset any per-file state."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def end_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+#: code -> rule class.  Instantiated fresh for every run so per-file /
+#: per-project rule state can never leak between runs.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (plugin style)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} declares no code")
+    existing = RULE_REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    _load_builtin_rules()
+    return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+# ------------------------------------------------------------------- helpers
+def _module_name(path: Path) -> str:
+    """Dotted module path, found by walking up through package dirs
+    (directories containing ``__init__.py``); a file outside any package
+    is just its stem."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        next_parent = parent.parent
+        if next_parent == parent:
+            break
+        parent = next_parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def annotate_parents(tree: ast.Module) -> None:
+    """Attach ``.parent`` to every node (root's parent is ``None``)."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def parent_chain(node: ast.AST) -> Iterator[ast.AST]:
+    current = getattr(node, "parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "parent", None)
+
+
+# -------------------------------------------------------------------- driver
+@dataclass
+class LintResult:
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    disable: Sequence[str] = (),
+    baseline: Optional[Dict[str, int]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and return the findings.
+
+    ``select`` restricts to the given rule codes; ``disable`` removes
+    codes; ``baseline`` (fingerprint -> count) grandfathers old findings.
+    ``root`` anchors the relative paths used in reports, fingerprints,
+    and suppression bookkeeping (default: the current directory).
+    """
+    root = (root or Path.cwd()).resolve()
+    rule_classes = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(RULE_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rule_classes = [cls for cls in rule_classes if cls.code in wanted]
+    rule_classes = [cls for cls in rule_classes if cls.code not in set(disable)]
+    rules = [cls() for cls in rule_classes]
+
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    result = LintResult()
+    raw_findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        resolved = file_path.resolve()
+        try:
+            rel = str(resolved.relative_to(root).as_posix())
+        except ValueError:
+            rel = str(resolved.as_posix())
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            raw_findings.append(
+                Finding(
+                    rule=PARSE_ERROR_CODE,
+                    path=rel,
+                    line=line,
+                    col=1,
+                    message=f"file cannot be parsed: {error}",
+                )
+            )
+            result.files_scanned += 1
+            continue
+        annotate_parents(tree)
+        ctx = FileContext(resolved, rel, source, tree)
+        contexts.append(ctx)
+        result.files_scanned += 1
+
+        active = [rule for rule in rules if rule.applies_to(ctx)]
+        if active:
+            for rule in active:
+                rule.start_file(ctx)
+            active_types = tuple(
+                {t for rule in active for t in rule.node_types}
+            )
+            for node in ast.walk(tree):
+                if not isinstance(node, active_types or (ast.Module,)):
+                    continue
+                for rule in dispatch.get(type(node), ()):  # exact-type dispatch
+                    if rule in active:
+                        raw_findings.extend(rule.visit(node, ctx))
+            for rule in active:
+                raw_findings.extend(rule.end_file(ctx))
+
+    project = Project(contexts)
+    for rule in rules:
+        raw_findings.extend(rule.finalize(project))
+
+    # Suppression comments, then the baseline.
+    suppression_index = {ctx.rel_path: ctx.suppressions for ctx in contexts}
+    kept: List[Finding] = []
+    for finding in raw_findings:
+        suppressions = suppression_index.get(finding.path)
+        if suppressions is not None and suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            result.suppressed += 1
+            continue
+        kept.append(finding)
+    if baseline:
+        remaining = dict(baseline)
+        unbaselined = []
+        for finding in kept:
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+                result.baselined += 1
+            else:
+                unbaselined.append(finding)
+        kept = unbaselined
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.findings = kept
+    return result

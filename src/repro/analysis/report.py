@@ -1,0 +1,42 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import LintResult, all_rules
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts_by_rule()
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_scanned} file(s)"
+        f" [{result.suppressed} suppressed, {result.baselined} baselined]"
+    )
+    if counts:
+        summary += "  " + " ".join(f"{code}:{n}" for code, n in counts.items())
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    body = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "files_scanned": result.files_scanned,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "by_rule": result.counts_by_rule(),
+        },
+    }
+    return json.dumps(body, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.code}  {cls.name}")
+        lines.append(f"       {cls.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Built-in lint rules.  Importing this package registers every rule
+with :data:`repro.analysis.core.RULE_REGISTRY` (the decorator pattern —
+a new rule module only needs to be imported here to ship)."""
+
+from repro.analysis.rules import (  # noqa: F401
+    envknobs,
+    hygiene,
+    multiprocessing_safety,
+    ordering,
+    purity,
+    randomness,
+    wallclock,
+)

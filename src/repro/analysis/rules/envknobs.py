@@ -1,0 +1,110 @@
+"""REP006 — every ``REPRO_*`` environment knob is declared and routed.
+
+Two obligations, both anchored on :mod:`repro.utils.env`:
+
+1. **Declaration** — any string literal matching ``REPRO_[A-Z0-9_]+``
+   anywhere in the tree must name a knob registered in
+   ``repro.utils.env.REGISTRY`` (with type, default, and docstring).  A
+   knob only one module knows about is invisible to reproducibility
+   audits and to ``lcl-landscape lint --env``.
+2. **Routing** — reading a ``REPRO_*`` variable through raw
+   ``os.environ`` / ``os.getenv`` outside the registry module bypasses
+   the typed accessors (and their malformed-value handling); call sites
+   must use :func:`repro.utils.env.get_bool` & friends, or
+   :func:`~repro.utils.env.get_raw` for bespoke parsing.
+
+Writes (``monkeypatch.setenv``, subprocess ``env=`` dicts) are fine —
+the contract governs *reads* and *names*.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+_KNOB_RE = re.compile(r"\AREPRO_[A-Z0-9_]+\Z")
+
+#: Final module segments allowed to touch os.environ for REPRO_* knobs.
+_REGISTRY_STEMS = frozenset({"env"})
+
+
+def _registered_knobs() -> frozenset:
+    from repro.utils import env
+
+    return frozenset(env.REGISTRY)
+
+
+def _environ_read_knob(node: ast.Call, ctx: FileContext) -> str:
+    """The REPRO_* literal read via os.environ/os.getenv, or ``''``."""
+    qualname = ctx.resolve_qualname(node.func)
+    if qualname in ("os.getenv",):
+        candidates = node.args[:1]
+    elif qualname in ("os.environ.get", "os.environ.setdefault", "os.environ.pop"):
+        candidates = node.args[:1]
+    else:
+        return ""
+    for arg in candidates:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if _KNOB_RE.match(arg.value):
+                return arg.value
+    return ""
+
+
+@register
+class EnvKnobRule(Rule):
+    code = "REP006"
+    name = "undeclared or unrouted REPRO_* environment knob"
+    rationale = (
+        "repro.utils.env is the single source of truth for environment "
+        "knobs; an undeclared knob or a raw os.environ read escapes the "
+        "typed accessors and every reproducibility audit."
+    )
+    node_types = (ast.Call, ast.Subscript, ast.Constant)
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._knobs = _registered_knobs()
+
+    def _in_registry_module(self, ctx: FileContext) -> bool:
+        return ctx.path.stem in _REGISTRY_STEMS
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Constant):
+            if (
+                isinstance(node.value, str)
+                and _KNOB_RE.match(node.value)
+                and node.value not in self._knobs
+            ):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"environment knob {node.value!r} is not declared in "
+                    "repro.utils.env; add a declare(...) entry with type, "
+                    "default, and docstring",
+                )
+            return
+        if self._in_registry_module(ctx):
+            return
+        if isinstance(node, ast.Subscript):
+            qualname = ctx.resolve_qualname(node.value)
+            if qualname == "os.environ" and isinstance(node.slice, ast.Constant):
+                value = node.slice.value
+                if isinstance(value, str) and _KNOB_RE.match(value):
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"raw os.environ[{value!r}] read; route through the "
+                        "typed accessors in repro.utils.env",
+                    )
+            return
+        assert isinstance(node, ast.Call)
+        knob = _environ_read_knob(node, ctx)
+        if knob:
+            yield ctx.finding(
+                self.code,
+                node,
+                f"raw os.environ read of {knob!r}; route through the typed "
+                "accessors in repro.utils.env",
+            )

@@ -1,0 +1,126 @@
+"""Hygiene rules: REP007 bare except, REP008 mutable defaults, REP009
+exception taxonomy at the public API.
+
+These are classics, but each maps onto a specific contract of this
+codebase:
+
+* **REP007** — a bare ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``, which breaks the cooperative budget/checkpoint story:
+  an operator interrupting a long walk must get a clean checkpoint, not
+  a loop that eats the signal.
+* **REP008** — a mutable default argument is cross-call shared state;
+  in a codebase whose operators are cached by *value* and replayed from
+  transcripts, hidden accumulation between calls is a determinism bug
+  waiting for a cache hit.
+* **REP009** — ``repro.exceptions`` documents that every deliberate
+  library error derives from :class:`~repro.exceptions.ReproError` so
+  callers can catch one type; raising bare ``Exception`` /
+  ``RuntimeError`` / ``AssertionError`` across the public API breaks
+  that contract (``assert`` statements and private helpers are exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import FileContext, Finding, Rule, parent_chain, register
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+_GENERIC_EXCEPTIONS = frozenset({"Exception", "BaseException", "RuntimeError", "AssertionError"})
+
+
+@register
+class BareExceptRule(Rule):
+    code = "REP007"
+    name = "bare except clause"
+    rationale = (
+        "except: swallows KeyboardInterrupt/SystemExit, breaking clean "
+        "budget exhaustion and checkpoint-on-interrupt; catch Exception or "
+        "something narrower."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield ctx.finding(
+                self.code,
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                "name the exceptions (at most 'except Exception:')",
+            )
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "REP008"
+    name = "mutable default argument"
+    rationale = (
+        "Default values are evaluated once and shared across calls; mutable "
+        "ones are hidden cross-call state, a determinism hazard next to "
+        "value-keyed caches and replayable transcripts."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                yield ctx.finding(
+                    self.code,
+                    default,
+                    f"mutable default ({kind} literal) is shared across calls; "
+                    "default to None and build inside the function",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+                and not default.args
+                and not default.keywords
+            ):
+                yield ctx.finding(
+                    self.code,
+                    default,
+                    f"mutable default ({default.func.id}()) is shared across "
+                    "calls; default to None and build inside the function",
+                )
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    code = "REP009"
+    name = "non-taxonomy exception crossing the public API"
+    rationale = (
+        "repro.exceptions promises every deliberate library error derives "
+        "from ReproError; raising generic builtins from public functions "
+        "breaks the single-catch contract documented there."
+    )
+    node_types = (ast.Raise,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_scaffolding
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Raise)
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name) or exc.id not in _GENERIC_EXCEPTIONS:
+            return
+        # Private helpers (any enclosing _name) may raise what they like;
+        # the contract binds the public surface.
+        for ancestor in parent_chain(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and ancestor.name.startswith("_"):
+                return
+        yield ctx.finding(
+            self.code,
+            node,
+            f"raising {exc.id} across the public API; use a ReproError "
+            "subclass from repro.exceptions so callers can catch the "
+            "documented taxonomy",
+        )

@@ -1,0 +1,84 @@
+"""REP004 — pool-bound callables must be module-level and picklable.
+
+The hardened worker pools in :mod:`repro.roundelim.ops` ship callables
+to child processes by pickle.  A lambda or a function defined inside
+another function pickles by *qualified name*, which fails at runtime —
+but only on the parallel path, above ``REPRO_PARALLEL_THRESHOLD``, which
+is exactly the path unit tests exercise least.  Worse, under the
+``fork`` start method a closure can *appear* to work while silently
+capturing parent state that diverges on retry.
+
+Flags lambda arguments and nested-function-name arguments in calls to
+pool submission APIs: ``<pool>.submit``, ``apply_async``, ``map_async``,
+``imap`` / ``imap_unordered``, the ``initializer=`` keyword, and this
+repo's own chunk runner ``_run_chunks``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+_SUBMIT_ATTRS = frozenset(
+    {"submit", "apply_async", "map_async", "imap", "imap_unordered"}
+)
+#: name -> 0-based positional indexes that are shipped to workers.  For
+#: ``_run_chunks`` that is ``worker_fn`` and ``initializer`` — its
+#: ``serial_fn`` (index 2) is the *in-process* rescue fallback and is
+#: explicitly allowed to close over local state.
+_SUBMIT_NAMES = {"_run_chunks": (1, 3)}
+_CALLABLE_KEYWORDS = frozenset({"initializer", "func", "worker_fn"})
+
+
+def _callable_args(node: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+    """The (description, expression) pairs of pool-bound callables in a
+    submission call, or nothing when the call is not a submission."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_ATTRS:
+        indexes: Tuple[int, ...] = (0,)
+    elif isinstance(func, ast.Name) and func.id in _SUBMIT_NAMES:
+        indexes = _SUBMIT_NAMES[func.id]
+    else:
+        return
+    for index in indexes:
+        if index < len(node.args):
+            yield f"argument {index + 1}", node.args[index]
+    for keyword in node.keywords:
+        if keyword.arg in _CALLABLE_KEYWORDS:
+            yield f"keyword {keyword.arg!r}", keyword.value
+
+
+@register
+class PoolCallableRule(Rule):
+    code = "REP004"
+    name = "unpicklable callable handed to a worker pool"
+    rationale = (
+        "Pool workers receive callables by pickle; lambdas and nested "
+        "functions fail (or silently capture divergent closure state under "
+        "fork) only on the parallel path, where tests look least."
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        for where, value in _callable_args(node):
+            if isinstance(value, ast.Lambda):
+                yield ctx.finding(
+                    self.code,
+                    value,
+                    f"lambda passed as {where} of a pool submission cannot be "
+                    "pickled into a worker; use a module-level function",
+                )
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in ctx.nested_function_names
+            ):
+                yield ctx.finding(
+                    self.code,
+                    value,
+                    f"nested function {value.id!r} passed as {where} of a pool "
+                    "submission; closures do not pickle — hoist it to module "
+                    "level",
+                )

@@ -1,0 +1,95 @@
+"""REP003 — the certificate checker must be statically engine-free.
+
+``import repro.verify`` must never execute the round-elimination engine
+(:mod:`repro.roundelim`) or the decidability stack
+(:mod:`repro.decidability`): a certificate is only trustworthy evidence
+if the machinery that produced the verdict plays no part in checking it.
+The producer half (``repro.verify.certify``) is the single declared
+exception, reachable only through lazy PEP 562 attribute access.
+
+This rule builds the static, module-level import graph
+(:mod:`repro.analysis.imports`) and asserts that no checker-half module
+under a ``verify`` package can reach a forbidden module.  Function-level
+imports do not count — they *are* the sanctioned lazy-loading idiom.
+
+The dynamic complement is the fresh-interpreter test
+(``tests/test_certificates.py::test_check_certificate_is_engine_free``),
+which catches what static analysis cannot (``importlib`` tricks,
+``__getattr__`` that eagerly imports); this rule catches what the
+dynamic test cannot — a violating import on a code path the test run
+never touches.  ``tests/test_lint_selfcheck.py`` asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Project, Rule, register
+from repro.analysis.imports import ImportGraph
+
+#: Package segments marking the import-pure roots.
+CHECKER_PACKAGES = frozenset({"verify"})
+#: Final segments of modules declared producer-side (lazily loaded, may
+#: use the engine).
+PRODUCER_STEMS = frozenset({"certify"})
+#: Package segments the checker half must never reach.
+FORBIDDEN_SEGMENTS = frozenset({"roundelim", "decidability"})
+
+
+@register
+class EngineFreeImportRule(Rule):
+    code = "REP003"
+    name = "engine import reachable from the certificate checker"
+    rationale = (
+        "Certificates are independent evidence only while 'import "
+        "repro.verify' cannot execute the engine that produced them; the "
+        "checker half must stay statically unreachable from repro.roundelim "
+        "and repro.decidability."
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        graph = ImportGraph(project)
+        roots: List[str] = [
+            module
+            for module, ctx in sorted(project.by_module.items())
+            if CHECKER_PACKAGES & set(module.split("."))
+            and module.split(".")[-1] not in PRODUCER_STEMS
+            and not ctx.is_scaffolding
+        ]
+        reported = set()
+        for root in roots:
+            chains = graph.reachable_from(root)
+            for reached in sorted(chains):
+                if not FORBIDDEN_SEGMENTS & set(reached.split(".")):
+                    continue
+                chain = chains[reached]
+                if not chain:  # the root itself is misplaced; skip
+                    continue
+                # Report at the first edge that crosses into forbidden
+                # territory, once per (site, target) pair.
+                offending = next(
+                    edge
+                    for edge in chain
+                    if FORBIDDEN_SEGMENTS & set(edge.imported.split("."))
+                )
+                key = (offending.path, offending.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                pretty_chain = " -> ".join([root] + [e.imported for e in chain])
+                ctx = project.by_module.get(offending.importer)
+                finding = Finding(
+                    rule=self.code,
+                    path=offending.path,
+                    line=offending.line,
+                    col=1,
+                    message=(
+                        f"checker module {root!r} reaches engine module "
+                        f"{reached!r} via module-level imports ({pretty_chain}); "
+                        "move the import into the function that needs it"
+                    ),
+                    source_line=(
+                        ctx.source_line(offending.line) if ctx is not None else ""
+                    ),
+                )
+                yield finding

@@ -1,0 +1,62 @@
+"""REP005 — no wall-clock reads in replay/transcript/certificate paths.
+
+A certificate's transcript must replay bit-identically on any machine in
+any year.  ``time.time()`` or ``datetime.now()`` anywhere in the
+:mod:`repro.verify` package means some recorded or checked byte can
+depend on *when* the code ran — timestamps smuggled into envelopes,
+time-based tie-breaking, "helpful" expiry logic.  Durations for
+budgeting belong to ``time.monotonic`` / ``time.perf_counter`` in the
+engine half, never here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Module segments marking replay-sensitive packages.
+REPLAY_PACKAGES = frozenset({"verify"})
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    code = "REP005"
+    name = "wall-clock read in a replay-sensitive path"
+    rationale = (
+        "Certificate transcripts and checks must be pure functions of "
+        "(problem, seed); a wall-clock read lets bytes depend on when the "
+        "code ran, breaking bit-identical replay."
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(REPLAY_PACKAGES & set(ctx.segments[:-1]))
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        qualname = ctx.resolve_qualname(node.func)
+        if qualname in _WALL_CLOCK_CALLS:
+            yield ctx.finding(
+                self.code,
+                node,
+                f"{qualname}() in a replay-sensitive module makes output "
+                "depend on when the code ran; derive values from the recorded "
+                "seed instead",
+            )

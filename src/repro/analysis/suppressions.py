@@ -1,0 +1,63 @@
+"""Per-line and per-file lint suppression comments.
+
+Two forms, mirroring the usual linter idiom:
+
+* ``# repro-lint: disable=REP001`` (or ``disable=REP001,REP005``) on the
+  offending line, or alone on the line directly above it, silences those
+  codes for that statement;
+* ``# repro-lint: disable-file=REP002`` anywhere in a file silences the
+  code for the whole file.
+
+Suppressions are the *reviewed* escape hatch: unlike the baseline they
+live next to the code, show up in diffs, and should carry a short
+justification in the same comment, e.g.::
+
+    for outputs in table.values():  # repro-lint: disable=REP002 -- membership only
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+def _codes(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]], whole_file: FrozenSet[str]):
+        self.by_line = by_line
+        self.whole_file = whole_file
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: Dict[int, FrozenSet[str]] = {}
+        whole_file: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _FILE_RE.search(text)
+            if match:
+                whole_file |= _codes(match.group(1))
+                continue
+            match = _LINE_RE.search(text)
+            if match:
+                by_line[lineno] = frozenset(_codes(match.group(1)))
+        return cls(by_line, frozenset(whole_file))
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.whole_file:
+            return True
+        if code in self.by_line.get(line, ()):  # on the flagged line
+            return True
+        # A directive alone on the immediately preceding line also counts
+        # (for statements too long to carry a trailing comment).
+        return code in self.by_line.get(line - 1, ())
+
+    @property
+    def total_directives(self) -> int:
+        return len(self.by_line) + (1 if self.whole_file else 0)

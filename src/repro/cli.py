@@ -14,6 +14,9 @@ Subcommands:
   certificate for the verdict (``--catalog`` for all built-ins,
   ``--check PATH`` for offline engine-free re-checking,
   ``--replay`` to demand a bit-identical algorithm re-run);
+* ``lint [paths]``          — run the determinism/purity static analysis
+  (also the standalone ``repro-lint`` script; ``--env`` prints the
+  ``REPRO_*`` environment-knob registry, ``--list-rules`` the catalog);
 * ``catalog``               — list the built-in problems.
 
 Problems are named like ``mis``, ``coloring:3``, ``sinkless:3``,
@@ -376,6 +379,12 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lcl-landscape",
@@ -518,6 +527,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget_flags(certify)
     add_checkpoint_flags(certify)
     certify.set_defaults(handler=cmd_certify)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism/purity static analysis (repro-lint)",
+        description=(
+            "Static analysis encoding the pipeline's correctness contract: "
+            "seeded randomness, sorted canonical iteration, engine-free "
+            "certificate checking, declared REPRO_* knobs, and more — see "
+            "docs/STATIC_ANALYSIS.md."
+        ),
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=cmd_lint)
 
     landscape = commands.add_parser(
         "landscape", help="measure a Figure-1 landscape panel"

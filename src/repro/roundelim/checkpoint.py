@@ -42,7 +42,7 @@ from repro.roundelim.canonical import (
     decode_result,
     encode_result,
 )
-from repro.utils import faults
+from repro.utils import env, faults
 
 logger = logging.getLogger(__name__)
 
@@ -52,7 +52,7 @@ ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
 
 def default_checkpoint_dir() -> Optional[Path]:
     """``$REPRO_CHECKPOINT_DIR`` as a path, or ``None`` when unset."""
-    raw = os.environ.get(ENV_CHECKPOINT_DIR)
+    raw = env.get_str(ENV_CHECKPOINT_DIR)
     return Path(raw) if raw else None
 
 
@@ -207,7 +207,7 @@ class SequenceCheckpoint:
                 break
             problems.append(problem)
         restored_steps = len(problems) - 1
-        for key, stored in body.get("intermediates", {}).items():
+        for key, stored in sorted(body.get("intermediates", {}).items()):
             try:
                 step = int(key)
             except ValueError:

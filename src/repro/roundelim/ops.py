@@ -97,7 +97,7 @@ from repro.roundelim.canonical import (
 )
 from repro.utils import budget as budget_scope
 from repro.utils import cache as operator_cache
-from repro.utils import faults
+from repro.utils import env, faults
 from repro.utils.multiset import Multiset, label_sort_key
 
 logger = logging.getLogger(__name__)
@@ -190,12 +190,12 @@ def configure_parallel(
     _parallel_overrides["chunk_retries"] = chunk_retries
 
 
-def _effective(name: str, env: str, default, cast, floor=None):
+def _effective(name: str, knob: str, default, cast, floor=None):
     override = _parallel_overrides[name]
     if override is not None:
         value = cast(override)
         return value if floor is None else max(floor, value)
-    raw = os.environ.get(env)
+    raw = env.get_raw(knob)
     if raw:
         try:
             value = cast(raw)

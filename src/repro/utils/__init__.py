@@ -3,6 +3,7 @@ helpers, the round-elimination operator cache (:mod:`repro.utils.cache`),
 cooperative resource budgets (:mod:`repro.utils.budget`), and the
 deterministic fault-injection harness (:mod:`repro.utils.faults`)."""
 
+from repro.utils import env
 from repro.utils.budget import Budget, BudgetDiagnostics, active_budget
 from repro.utils.cache import RoundElimCache, configure, format_stats, hit_rate, reset_stats, stats
 from repro.utils.faults import FaultPlan, InjectedFault, configure_faults, reset_faults
@@ -17,6 +18,7 @@ from repro.utils.numbers import (
 from repro.utils.rng import SplittableRNG, derive_seed
 
 __all__ = [
+    "env",
     "Multiset",
     "RoundElimCache",
     "configure",

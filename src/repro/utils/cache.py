@@ -51,7 +51,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from repro.utils import faults
+from repro.utils import env, faults
 
 logger = logging.getLogger(__name__)
 
@@ -363,20 +363,9 @@ _UNSET = object()
 
 
 def _build_from_env() -> RoundElimCache:
-    enabled = os.environ.get(_ENV_DISABLE, "1").strip().lower() not in (
-        "0",
-        "false",
-        "off",
-        "no",
-    )
-    disk_dir = os.environ.get(_ENV_DISK_DIR) or None
-    max_disk_bytes: Optional[int] = None
-    raw_max = os.environ.get(_ENV_MAX_BYTES)
-    if raw_max:
-        try:
-            max_disk_bytes = int(raw_max)
-        except ValueError:
-            logger.warning("ignoring non-integer %s=%r", _ENV_MAX_BYTES, raw_max)
+    enabled = env.get_bool(_ENV_DISABLE)
+    disk_dir = env.get_str(_ENV_DISK_DIR)
+    max_disk_bytes = env.get_int(_ENV_MAX_BYTES)
     return RoundElimCache(
         disk_dir=disk_dir, enabled=enabled, max_disk_bytes=max_disk_bytes
     )

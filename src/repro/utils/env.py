@@ -1,0 +1,236 @@
+"""Central registry for every ``REPRO_*`` environment knob.
+
+The pipeline's determinism story depends on knowing *exactly* which
+environment variables can change behavior: a knob that only one module
+knows about is a knob that no reproducibility audit will ever vary.  This
+module is therefore the single source of truth — every ``REPRO_*``
+variable read anywhere in the codebase must be declared here with its
+type, default, and a docstring, and every read must go through the typed
+accessors below (:func:`get_bool` / :func:`get_int` / :func:`get_float` /
+:func:`get_str`) or, for call sites with bespoke parsing, :func:`get_raw`.
+
+The contract is enforced statically by lint rule ``REP006``
+(:mod:`repro.analysis.rules.envknobs`): a ``REPRO_*`` string literal that
+does not name a registered knob, or a direct ``os.environ`` /
+``os.getenv`` read of one outside this module, fails ``repro-lint``.
+
+``lcl-landscape lint --env`` prints the registered table
+(:func:`render_table`).
+
+This module deliberately imports nothing from :mod:`repro` so that any
+package — including the import-pure :mod:`repro.verify` checker half —
+can depend on it without dragging machinery along.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Strings (lower-cased) that parse as ``False`` for boolean knobs.
+FALSE_STRINGS = ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """Declaration of one ``REPRO_*`` environment variable."""
+
+    name: str
+    type: str  # one of "bool", "int", "float", "str"
+    default: Any
+    doc: str
+
+    def describe_default(self) -> str:
+        return "unset" if self.default is None else repr(self.default)
+
+
+#: name -> declaration; populated by :func:`declare` at import time.
+REGISTRY: Dict[str, EnvKnob] = {}
+
+_VALID_TYPES = ("bool", "int", "float", "str")
+
+
+def declare(name: str, type: str, default: Any, doc: str) -> EnvKnob:
+    """Register a knob (idempotent for identical re-declarations)."""
+    if not name.startswith("REPRO_"):
+        raise ValueError(f"environment knobs must be REPRO_-prefixed, got {name!r}")
+    if type not in _VALID_TYPES:
+        raise ValueError(f"knob type must be one of {_VALID_TYPES}, got {type!r}")
+    knob = EnvKnob(name=name, type=type, default=default, doc=" ".join(doc.split()))
+    existing = REGISTRY.get(name)
+    if existing is not None and existing != knob:
+        raise ValueError(f"conflicting re-declaration of knob {name}")
+    REGISTRY[name] = knob
+    return knob
+
+
+def _require(name: str) -> EnvKnob:
+    knob = REGISTRY.get(name)
+    if knob is None:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"undeclared environment knob {name!r}; declared: {known}")
+    return knob
+
+
+def get_raw(name: str) -> Optional[str]:
+    """The raw string value of a *declared* knob, or ``None`` when unset.
+
+    Call sites with parsing semantics the typed accessors cannot express
+    (dynamic defaults, floors) read through here so the declaration
+    requirement still holds.
+    """
+    _require(name)
+    return os.environ.get(name)
+
+
+def get_str(name: str) -> Optional[str]:
+    """String knob: unset or empty reads as the declared default."""
+    knob = _require(name)
+    raw = os.environ.get(name)
+    if not raw:
+        return knob.default
+    return raw
+
+
+def get_bool(name: str) -> bool:
+    """Boolean knob: ``0 / false / off / no`` (any case) is ``False``,
+    any other non-empty value is ``True``, unset is the default."""
+    knob = _require(name)
+    raw = os.environ.get(name)
+    if raw is None:
+        return bool(knob.default)
+    return raw.strip().lower() not in FALSE_STRINGS
+
+
+def get_int(name: str) -> Optional[int]:
+    """Integer knob; a malformed value logs a warning and reads as the
+    default rather than crashing the process at import time."""
+    knob = _require(name)
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return knob.default
+    try:
+        return int(raw)
+    except ValueError:
+        logger.warning("ignoring non-integer %s=%r", name, raw)
+        return knob.default
+
+
+def get_float(name: str) -> Optional[float]:
+    """Float knob; malformed values warn and fall back like :func:`get_int`."""
+    knob = _require(name)
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return knob.default
+    try:
+        return float(raw)
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, raw)
+        return knob.default
+
+
+def render_table() -> str:
+    """The knob table printed by ``lcl-landscape lint --env``."""
+    rows = [("knob", "type", "default", "description")]
+    for name in sorted(REGISTRY):
+        knob = REGISTRY[name]
+        rows.append((knob.name, knob.type, knob.describe_default(), knob.doc))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for index, (name, type_, default, doc) in enumerate(rows):
+        lines.append(
+            f"{name:<{widths[0]}}  {type_:<{widths[1]}}  {default:<{widths[2]}}  {doc}"
+        )
+        if index == 0:
+            lines.append(
+                f"{'-' * widths[0]}  {'-' * widths[1]}  {'-' * widths[2]}  {'-' * 11}"
+            )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- declarations
+# The complete catalog of environment knobs recognized by the pipeline.
+# Lint rule REP006 cross-checks every REPRO_* literal in the tree against
+# this registry, so adding a knob anywhere else fails `repro-lint`.
+
+declare(
+    "REPRO_CACHE",
+    "bool",
+    True,
+    "Master switch for the canonical operator cache; 0/false/off/no computes "
+    "everything from scratch.",
+)
+declare(
+    "REPRO_CACHE_DIR",
+    "str",
+    None,
+    "Directory for the on-disk cache layer (one JSON file per entry, written "
+    "atomically); unset keeps the cache memory-only.",
+)
+declare(
+    "REPRO_CACHE_MAX_BYTES",
+    "int",
+    None,
+    "Size bound for the on-disk cache layer; least-recently-used entries are "
+    "evicted once the total exceeds it.",
+)
+declare(
+    "REPRO_WORKERS",
+    "int",
+    None,
+    "Worker processes for the quantifier-loop pools; defaults to "
+    "min(cpu_count, 8).",
+)
+declare(
+    "REPRO_PARALLEL_THRESHOLD",
+    "int",
+    20_000,
+    "Minimum candidate-set size before the quantifier loops fan out to the "
+    "process pool; smaller inputs run serially.",
+)
+declare(
+    "REPRO_CHUNK_TIMEOUT",
+    "float",
+    300.0,
+    "Per-chunk wall-clock limit in seconds before a pool chunk is presumed "
+    "wedged, the pool recycled, and the chunk retried.",
+)
+declare(
+    "REPRO_CHUNK_RETRIES",
+    "int",
+    2,
+    "Pool-level retry rounds for failed/timed-out chunks before they are "
+    "re-executed serially in-process.",
+)
+declare(
+    "REPRO_FAULTS",
+    "str",
+    "",
+    "Deterministic fault-injection spec, e.g. 'worker_crash:0.1,"
+    "cache_corrupt:0.02'; empty disables the harness.",
+)
+declare(
+    "REPRO_FAULTS_SEED",
+    "int",
+    0,
+    "Seed for the fault-injection plan; the same spec+seed fires the same "
+    "faults at the same injection points on every run.",
+)
+declare(
+    "REPRO_CHECKPOINT_DIR",
+    "str",
+    None,
+    "Default directory for atomic, checksummed ProblemSequence checkpoints "
+    "(the --checkpoint flag overrides it).",
+)
+declare(
+    "REPRO_CONFORMANCE_COUNT",
+    "int",
+    200,
+    "Population size for the conformance fuzz sweep (tests marked 'fuzz'); "
+    "CI's nightly job runs 5x the default.",
+)

@@ -50,6 +50,8 @@ import time
 from hashlib import sha256
 from typing import Dict, Optional, Union
 
+from repro.utils import env
+
 logger = logging.getLogger(__name__)
 
 _ENV_FAULTS = "REPRO_FAULTS"
@@ -130,15 +132,12 @@ _plan: Optional[FaultPlan] = None
 
 
 def _build_from_env() -> FaultPlan:
-    spec = os.environ.get(_ENV_FAULTS, "")
+    spec = env.get_str(_ENV_FAULTS) or ""
     try:
         rates = parse_spec(spec) if spec else {}
     except ValueError as error:
         raise ValueError(f"invalid {_ENV_FAULTS}: {error}") from error
-    try:
-        seed = int(os.environ.get(_ENV_SEED, "0"))
-    except ValueError:
-        seed = 0
+    seed = env.get_int(_ENV_SEED) or 0
     return FaultPlan(rates, seed=seed)
 
 

@@ -227,7 +227,9 @@ def check_zero_round_table(
     """
     errors: List[str] = []
     used = set()
-    for outputs in table.values():
+    # Populating a membership set: no order reaches any serialized byte
+    # (consumers below iterate `used` via sorted(..., key=label_sort_key)).
+    for outputs in table.values():  # repro-lint: disable=REP002
         used.update(outputs)
     clique_set = frozenset(clique)
     if not used <= clique_set:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
+from repro.exceptions import CertificateError
 from repro.graphs.core import Graph, HalfEdgeLabeling
 from repro.graphs.generators import random_forest
 from repro.graphs.ids import random_ids
@@ -137,7 +138,7 @@ def record_transcript(
 ) -> Dict[str, Any]:
     """Run ``algorithm`` over the seeded family and record everything.
 
-    Raises through the simulator / checker machinery if any trial is
+    Raises :class:`~repro.exceptions.CertificateError` if any trial is
     invalid — an algorithm that fails its own verification must not be
     certified.
     """
@@ -152,7 +153,7 @@ def record_transcript(
         simulation = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids)
         report = check_solution(problem, graph, inputs, simulation.outputs)
         if not report.is_valid:
-            raise AssertionError(
+            raise CertificateError(
                 f"refusing to certify {problem.name!r}: trial {trial} failed "
                 f"verification — {report}"
             )

@@ -22,7 +22,6 @@ a narrow seed range and chunks parallelize under ``pytest -n``.
 
 from __future__ import annotations
 
-import os
 import random
 
 import pytest
@@ -34,13 +33,14 @@ from repro.graphs.generators import random_tree
 from repro.lcl.checker import brute_force_solution
 from repro.lcl.random_problems import random_lcl, solvable_random_lcl
 from repro.roundelim.gap import speedup
+from repro.utils import env
 from repro.utils.multiset import label_sort_key
 from repro.verify import Certificate, check_certificate
 
 pytestmark = pytest.mark.fuzz
 
 #: Total number of plain random problems driven through the pipeline.
-CONFORMANCE_COUNT = int(os.environ.get("REPRO_CONFORMANCE_COUNT", "200"))
+CONFORMANCE_COUNT = int(env.get_int("REPRO_CONFORMANCE_COUNT") or 200)
 #: Planted positive controls (scales with the main population).
 PLANTED_COUNT = max(20, CONFORMANCE_COUNT // 5)
 #: Seeds per parametrized chunk: small enough that a failing chunk names

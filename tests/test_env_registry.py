@@ -1,0 +1,147 @@
+"""Tests for the central REPRO_* environment-knob registry
+(:mod:`repro.utils.env`)."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.roundelim import ops
+from repro.utils import env
+
+EXPECTED_KNOBS = {
+    "REPRO_CACHE": "bool",
+    "REPRO_CACHE_DIR": "str",
+    "REPRO_CACHE_MAX_BYTES": "int",
+    "REPRO_WORKERS": "int",
+    "REPRO_PARALLEL_THRESHOLD": "int",
+    "REPRO_CHUNK_TIMEOUT": "float",
+    "REPRO_CHUNK_RETRIES": "int",
+    "REPRO_FAULTS": "str",
+    "REPRO_FAULTS_SEED": "int",
+    "REPRO_CHECKPOINT_DIR": "str",
+    "REPRO_CONFORMANCE_COUNT": "int",
+}
+
+
+class TestRegistry:
+    def test_every_knob_is_declared_with_its_type(self):
+        assert {name: knob.type for name, knob in env.REGISTRY.items()} == (
+            EXPECTED_KNOBS
+        )
+
+    def test_every_knob_has_a_docstring(self):
+        for knob in env.REGISTRY.values():
+            assert knob.doc, f"{knob.name} has no doc"
+
+    def test_declare_rejects_unprefixed_names(self):
+        with pytest.raises(ValueError, match="REPRO_-prefixed"):
+            env.declare("OTHER_KNOB", "bool", False, "nope")
+
+    def test_declare_rejects_unknown_types(self):
+        with pytest.raises(ValueError, match="knob type"):
+            # Intentionally bogus name: never reaches the registry.
+            env.declare("REPRO_X_TEST_ONLY", "complex", None, "nope")  # repro-lint: disable=REP006
+
+    def test_declare_is_idempotent_but_rejects_conflicts(self):
+        knob = env.REGISTRY["REPRO_CACHE"]
+        assert env.declare(knob.name, knob.type, knob.default, knob.doc) == knob
+        with pytest.raises(ValueError, match="conflicting"):
+            env.declare(knob.name, "str", None, "different")
+
+    def test_render_table_lists_every_knob(self):
+        table = env.render_table()
+        for name in EXPECTED_KNOBS:
+            assert name in table
+
+
+@pytest.fixture
+def propagating_repro_logger(monkeypatch):
+    """CLI tests set ``propagate=False`` on the ``repro`` logger (see
+    ``repro.cli.configure_logging``); undo that here so ``caplog`` sees
+    the registry's warnings regardless of test order."""
+    repro_logger = logging.getLogger("repro")
+    monkeypatch.setattr(repro_logger, "propagate", True)
+    monkeypatch.setattr(repro_logger, "handlers", [])
+
+
+class TestAccessors:
+    def test_undeclared_knob_is_a_keyerror(self):
+        with pytest.raises(KeyError, match="undeclared"):
+            env.get_raw("REPRO_NO_SUCH_KNOB")  # repro-lint: disable=REP006
+        with pytest.raises(KeyError, match="undeclared"):
+            env.get_bool("REPRO_NO_SUCH_KNOB")  # repro-lint: disable=REP006
+
+    @pytest.mark.parametrize("raw", ["0", "false", "FALSE", "off", "No"])
+    def test_get_bool_false_strings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CACHE", raw)
+        assert env.get_bool("REPRO_CACHE") is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "anything"])
+    def test_get_bool_truthy_strings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CACHE", raw)
+        assert env.get_bool("REPRO_CACHE") is True
+
+    def test_get_bool_unset_reads_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert env.get_bool("REPRO_CACHE") is True
+
+    def test_get_int_parses_and_falls_back(
+        self, monkeypatch, caplog, propagating_repro_logger
+    ):
+        monkeypatch.setenv("REPRO_CHUNK_RETRIES", "5")
+        assert env.get_int("REPRO_CHUNK_RETRIES") == 5
+        monkeypatch.setenv("REPRO_CHUNK_RETRIES", "banana")
+        with caplog.at_level(logging.WARNING, logger="repro.utils.env"):
+            assert env.get_int("REPRO_CHUNK_RETRIES") == 2
+        assert "REPRO_CHUNK_RETRIES" in caplog.text
+
+    def test_get_float_parses_and_falls_back(
+        self, monkeypatch, caplog, propagating_repro_logger
+    ):
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "1.5")
+        assert env.get_float("REPRO_CHUNK_TIMEOUT") == 1.5
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "soon")
+        with caplog.at_level(logging.WARNING, logger="repro.utils.env"):
+            assert env.get_float("REPRO_CHUNK_TIMEOUT") == 300.0
+        assert "REPRO_CHUNK_TIMEOUT" in caplog.text
+
+    def test_get_str_empty_reads_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert env.get_str("REPRO_CACHE_DIR") is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/cache")
+        assert env.get_str("REPRO_CACHE_DIR") == "/tmp/cache"
+
+    def test_get_raw_passes_through_verbatim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "  12  ")
+        assert env.get_raw("REPRO_PARALLEL_THRESHOLD") == "  12  "
+        monkeypatch.delenv("REPRO_PARALLEL_THRESHOLD", raising=False)
+        assert env.get_raw("REPRO_PARALLEL_THRESHOLD") is None
+
+
+class TestMigratedCallSites:
+    """The declared defaults must match what the consuming modules use."""
+
+    def test_parallel_threshold_default_matches_ops(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_THRESHOLD", raising=False)
+        assert ops._effective(
+            "threshold", "REPRO_PARALLEL_THRESHOLD",
+            env.REGISTRY["REPRO_PARALLEL_THRESHOLD"].default, int, floor=1,
+        ) == env.REGISTRY["REPRO_PARALLEL_THRESHOLD"].default
+
+    def test_cache_respects_registry_accessors(self, monkeypatch, tmp_path):
+        from repro.utils import cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        built = cache_mod._build_from_env()
+        assert built.enabled is False
+
+    def test_faults_spec_reads_through_registry(self, monkeypatch):
+        from repro.utils import faults as faults_mod
+
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+        plan = faults_mod._build_from_env()
+        assert not plan.active

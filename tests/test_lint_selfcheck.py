@@ -1,0 +1,77 @@
+"""The linter must hold on the repository that ships it.
+
+``repro-lint src/repro`` (and the test/benchmark/example trees) must
+exit clean with no baseline, and the static REP003 verdict must agree
+with the dynamic fresh-interpreter probe that
+``tests/test_certificates.py`` runs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def test_library_tree_is_lint_clean():
+    result = run_lint([SRC / "repro"], root=REPO_ROOT)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    assert result.ok
+    assert result.files_scanned > 50
+
+
+def test_whole_repo_is_lint_clean():
+    paths = [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+    result = run_lint([p for p in paths if p.exists()], root=REPO_ROOT)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+
+
+def test_repro_lint_cli_exits_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC / "repro"),
+         "--root", str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_static_and_dynamic_engine_free_checks_agree():
+    """REP003 (static import graph) and the fresh-interpreter import probe
+    (dynamic) guard the same contract; a tree that passes one must pass
+    the other."""
+    static = run_lint([SRC / "repro"], root=REPO_ROOT, select=["REP003"])
+    static_clean = static.findings == []
+
+    probe = (
+        "import sys\n"
+        "import repro.verify\n"
+        "import repro.verify.check\n"
+        "import repro.verify.transcript\n"
+        "bad = [m for m in sys.modules\n"
+        "       if m.startswith('repro.roundelim') or m.startswith('repro.decidability')]\n"
+        "sys.exit(1 if bad else 0)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    dynamic_clean = proc.returncode == 0
+
+    assert static_clean == dynamic_clean, (
+        "static REP003 and the fresh-interpreter probe disagree: "
+        f"static_clean={static_clean} dynamic_clean={dynamic_clean}\n"
+        + "\n".join(f.render() for f in static.findings)
+        + proc.stdout
+        + proc.stderr
+    )
+    assert static_clean, "\n".join(f.render() for f in static.findings)
