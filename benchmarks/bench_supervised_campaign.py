@@ -1,0 +1,117 @@
+"""Experiment SUP: the cost and value of supervised campaigns.
+
+The supervisor (:mod:`repro.supervisor`) is the production posture for
+landscape sweeps: per-cell subprocess isolation, bounded deterministic
+retries, journaled resume, structured quarantine.  This experiment
+measures what that posture costs and proves what it buys:
+
+* supervision overhead — the same VOLUME panel campaign measured inline
+  (clean serial baseline), under subprocess isolation, and isolated with
+  a journal attached (per-line checksum + flush + fsync);
+* chaos recovery — the campaign re-run under injected ``sim_crash`` /
+  ``sim_oom`` / ``journal_torn`` faults with retries, asserting per-cell
+  values **bit-identical** to the clean serial baseline;
+* resume speedup — a journal-backed re-run that restores every cell
+  without recomputation.
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.supervisor import CampaignConfig, open_journal, run_campaign
+from repro.supervisor.measurements import assemble_panel, plan_panel
+from repro.utils import faults
+
+PANEL = "volume"
+POINTS = 5
+CHAOS = {"sim_crash": 0.2, "sim_oom": 0.1, "journal_torn": 0.1}
+CHAOS_SEED = 9
+RETRIES = 4
+
+
+def timed_campaign(plan, config, journal=None, resume=False):
+    start = time.perf_counter()
+    report = run_campaign(plan.cells, config, journal=journal, resume=resume)
+    return report, time.perf_counter() - start
+
+
+def run_experiment(tmp_dir):
+    plan = plan_panel(PANEL, POINTS)
+    lines = [f"SUP: supervised campaign overhead and recovery ({PANEL} panel)", ""]
+
+    faults.configure_faults(None)
+    baseline, t_inline = timed_campaign(plan, CampaignConfig(isolation="inline"))
+    isolated, t_process = timed_campaign(
+        plan, CampaignConfig(isolation="process", timeout=120.0)
+    )
+    journal = open_journal(plan.cells, seed=0, directory=tmp_dir)
+    journaled, t_journal = timed_campaign(
+        plan, CampaignConfig(isolation="process", timeout=120.0), journal=journal
+    )
+    resumed, t_resume = timed_campaign(
+        plan,
+        CampaignConfig(isolation="process", timeout=120.0),
+        journal=journal,
+        resume=True,
+    )
+
+    faults.configure_faults(CHAOS, seed=CHAOS_SEED)
+    chaos_journal = open_journal(plan.cells, seed=1, directory=tmp_dir)
+    chaotic, t_chaos = timed_campaign(
+        plan,
+        CampaignConfig(seed=0, isolation="process", timeout=120.0, retries=RETRIES),
+        journal=chaos_journal,
+    )
+    faults.configure_faults(None)
+
+    cells = len(plan.cells)
+    rows = [
+        ("inline (clean serial baseline)", t_inline, baseline),
+        ("subprocess isolation", t_process, isolated),
+        ("isolation + journal", t_journal, journaled),
+        ("journal resume (no recompute)", t_resume, resumed),
+        (f"chaos {CHAOS} + retries", t_chaos, chaotic),
+    ]
+    lines.append(f"  {'mode':<38} {'total':>8} {'per-cell':>9} {'summary'}")
+    for label, elapsed, report in rows:
+        lines.append(
+            f"  {label:<38} {elapsed:>7.3f}s {elapsed / cells * 1e3:>7.1f}ms"
+            f"  {report.summary()}"
+        )
+    retried = sum(1 for r in chaotic.results if r.attempts > 1)
+    lines.append("")
+    lines.append(f"  chaos run: {retried} cell(s) needed retries; values bit-identical")
+
+    panel = assemble_panel(plan, chaotic)
+    lines.append("")
+    lines.append(panel.render())
+
+    results = {
+        "baseline": baseline,
+        "isolated": isolated,
+        "journaled": journaled,
+        "resumed": resumed,
+        "chaotic": chaotic,
+        "panel": panel,
+        "retried": retried,
+    }
+    return results, "\n".join(lines)
+
+
+def test_supervised_campaign(once, tmp_path):
+    results, report = once(run_experiment, tmp_path)
+    write_report("supervised_campaign", report)
+
+    baseline = results["baseline"].values()
+    # Isolation, journaling, chaos + retries: all bit-identical to the
+    # clean serial baseline — supervision never changes a measurement.
+    assert results["isolated"].values() == baseline
+    assert results["journaled"].values() == baseline
+    assert results["chaotic"].values() == baseline
+    # The resume restored every cell from the journal.
+    assert results["resumed"].values() == baseline
+    assert results["resumed"].resumed_count == len(baseline)
+    # The assembled panel stays clean: empty gap, no quarantine.
+    assert not results["panel"].gap_violations()
+    assert results["panel"].complete

@@ -30,6 +30,15 @@ Robustness flags: ``--timeout`` / ``--max-configs`` attach a cooperative
 ``--verbose`` / ``--quiet`` flags control the ``repro`` logger, which is
 where budget hits, retries, pool fallbacks, and checkpoint writes are
 reported.
+
+The measured ``landscape`` panels (``trees`` / ``grids`` / ``volume``)
+run as supervised campaigns (:mod:`repro.supervisor`): ``--isolate``
+selects per-cell subprocess isolation, ``--cell-timeout`` /
+``--cell-mem-mb`` / ``--cell-retries`` bound each cell, and
+``--journal`` / ``--resume`` persist completed cells to an append-only
+checksummed journal and restore them bit-identically after a crash or
+``SIGINT`` (every verb exits 130 on interrupt, with all journaled and
+checkpointed progress preserved).
 """
 
 from __future__ import annotations
@@ -141,8 +150,6 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_landscape(args: argparse.Namespace) -> int:
-    from repro.landscape import LandscapePanel
-
     if args.panel == "re":
         from repro.landscape import classify_constant_time
 
@@ -155,102 +162,34 @@ def cmd_landscape(args: argparse.Namespace) -> int:
         )
         print(panel.render())
         return 0
-    if args.panel == "trees":
-        from repro.graphs import path, random_tree
-        from repro.local.algorithms import LinialColoring, TwoHopMaxDegree
-        from repro.graphs.ids import random_ids
-        from repro.local.model import run_local_algorithm
 
-        ns = [2**k for k in range(5, 5 + args.points)]
-        panel = LandscapePanel("LCL landscape on trees")
+    # The measured panels run as supervised campaigns: every (series, n)
+    # cell is crash-isolated, retried, journaled, and — when it still
+    # fails — quarantined into a visible hole instead of aborting the
+    # panel.  Measured values are identical to the pre-supervisor CLI.
+    from repro.supervisor import CampaignConfig, open_journal, run_campaign
+    from repro.supervisor.measurements import assemble_panel, plan_panel
 
-        def locality(graph, algorithm, seed):
-            nodes = list(range(0, graph.num_nodes, max(1, graph.num_nodes // 8)))
-            result = run_local_algorithm(
-                graph, algorithm, ids=random_ids(graph, seed=seed), nodes=nodes
-            )
-            return max(result.radius_per_node)
-
-        panel.add(
-            "two-hop-max-degree",
-            "O(1)",
-            ns,
-            [locality(random_tree(n, 3, seed=n), TwoHopMaxDegree(), n) for n in ns],
+    plan = plan_panel(args.panel, args.points)
+    config = CampaignConfig(
+        seed=args.campaign_seed,
+        timeout=args.cell_timeout,
+        mem_mb=args.cell_mem_mb,
+        retries=args.cell_retries,
+        isolation=args.isolate,
+    )
+    journal = None
+    if args.journal is not None or args.resume:
+        journal = open_journal(
+            plan.cells, seed=args.campaign_seed, directory=args.journal
         )
-        panel.add(
-            "linial-coloring",
-            "Theta(log* n)",
-            ns,
-            [locality(random_tree(n, 3, seed=n), LinialColoring(3), n) for n in ns],
-        )
-    elif args.panel == "volume":
-        from repro.graphs import cycle
-        from repro.graphs.ids import random_ids
-        from repro.local.algorithms.cole_vishkin import orient_path_inputs
-        from repro.volume import (
-            ChainColeVishkin,
-            ComponentCount,
-            NeighborhoodAggregate,
-            run_volume_algorithm,
-        )
-
-        ns = [2**k for k in range(4, 4 + args.points)]
-        panel = LandscapePanel("VOLUME landscape on oriented cycles")
-        rows = [
-            ("neighborhood-max-degree", "O(1)", lambda: NeighborhoodAggregate(2), False),
-            ("chain-CV-3-coloring", "Theta(log* n)", ChainColeVishkin, True),
-            ("component-count", "Theta(n)", ComponentCount, False),
-        ]
-        for name, expected, build, needs_orientation in rows:
-            values = []
-            for n in ns:
-                graph = cycle(n)
-                inputs = orient_path_inputs(graph) if needs_orientation else None
-                result = run_volume_algorithm(
-                    graph, build(), inputs=inputs, ids=random_ids(graph, seed=n)
-                )
-                values.append(result.max_probes_used)
-            panel.add(name, expected, ns, values)
-    else:  # grids
-        from repro.grids import (
-            DimensionLengthProbe,
-            FollowDimensionOrientation,
-            GridProductColoring,
-            OrientedGrid,
-            prod_ids,
-        )
-        from repro.local.model import run_local_algorithm
-
-        sides = [4 + 3 * k for k in range(args.points)]
-        ns = [side * side for side in sides]
-        panel = LandscapePanel("LCL landscape on oriented 2-d grids")
-        follow, coloring, probe = [], [], []
-        for side in sides:
-            grid = OrientedGrid([side, side])
-            inputs = grid.orientation_inputs()
-            follow.append(
-                run_local_algorithm(
-                    grid.graph, FollowDimensionOrientation(), inputs=inputs
-                ).max_radius_used
-            )
-            coloring.append(
-                run_local_algorithm(
-                    grid.graph,
-                    GridProductColoring(dimensions=2),
-                    inputs=inputs,
-                    ids=prod_ids(grid, seed=side),
-                ).max_radius_used
-            )
-            probe.append(
-                run_local_algorithm(
-                    grid.graph, DimensionLengthProbe(), inputs=inputs
-                ).max_radius_used
-            )
-        panel.add("follow-orientation", "O(1)", ns, follow)
-        panel.add("product-CV-coloring", "Theta(log* n)", ns, coloring)
-        panel.add("dim0-side-length", "Theta(n^{1/2})", ns, probe)
-
+    report = run_campaign(plan.cells, config, journal=journal, resume=args.resume)
+    panel = assemble_panel(plan, report)
     print(panel.render())
+    if journal is not None or report.quarantined or report.resumed_count:
+        print(f"  campaign: {report.summary()}")
+    if journal is not None:
+        print(f"  journal: {journal.path}")
     return 1 if panel.gap_violations() else 0
 
 
@@ -553,6 +492,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     landscape.add_argument("--points", type=int, default=5)
     landscape.add_argument("--max-steps", type=int, default=3)
+    landscape.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal completed cells under DIR (default: REPRO_JOURNAL_DIR) "
+            "so an interrupted campaign can --resume"
+        ),
+    )
+    landscape.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore journaled cells bit-identically; only the rest runs",
+    )
+    landscape.add_argument(
+        "--isolate",
+        choices=["process", "inline"],
+        default="process",
+        help="run each cell in a supervised subprocess (default) or inline",
+    )
+    landscape.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock cap (default: REPRO_CELL_TIMEOUT)",
+    )
+    landscape.add_argument(
+        "--cell-mem-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="per-cell address-space cap (default: REPRO_CELL_MEM_MB)",
+    )
+    landscape.add_argument(
+        "--cell-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded deterministic retries per cell (default: REPRO_CELL_RETRIES)",
+    )
+    landscape.add_argument(
+        "--campaign-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="campaign seed (names the journal; splits per-cell RNG streams)",
+    )
     add_budget_flags(landscape)
     landscape.set_defaults(handler=cmd_landscape)
     return parser
@@ -564,6 +551,14 @@ def main(argv: Optional[list] = None) -> int:
     configure_logging(-1 if args.quiet else args.verbose)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Journals and checkpoints are flushed+fsynced per record, so an
+        # interrupt loses at most the in-flight cell/step; the standard
+        # 128+SIGINT exit code tells callers the run is resumable.
+        sys.stdout.flush()
+        print("interrupted: journaled/checkpointed progress is preserved", file=sys.stderr)
+        sys.stderr.flush()
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -29,6 +29,24 @@ class SimulationError(ReproError):
     """A model simulation (LOCAL / VOLUME / PROD-LOCAL) cannot proceed."""
 
 
+class NodeExecutionError(SimulationError):
+    """A node's per-node computation crashed inside the simulator.
+
+    Wraps any non-:class:`ReproError` exception escaping an algorithm's
+    ``run``/``step`` callback so that supervisors and campaign runners
+    receive a *structured* failure — which node crashed, in which
+    algorithm, at what delegation depth — instead of an anonymous
+    ``KeyError`` three frames deep.  The original exception is chained
+    as ``__cause__`` and the full traceback is what a quarantined cell
+    records.
+    """
+
+    def __init__(self, message: str, node: int, algorithm: str):
+        super().__init__(message)
+        self.node = node
+        self.algorithm = algorithm
+
+
 class ProbeError(SimulationError):
     """An invalid probe was issued in the VOLUME / LCA model."""
 
@@ -81,6 +99,29 @@ class CertificateError(ReproError):
     rather than raising, so a hostile certificate can never crash the
     checker; this error signals *producer-side* failures (unserializable
     labels, a result that carries nothing to certify, malformed files).
+    """
+
+
+class LandscapeError(ReproError):
+    """A landscape measurement series or panel is malformed.
+
+    Raised for series that cannot be fitted honestly: empty sample
+    grids, NaN/infinite measurements (a crashed cell must become a
+    quarantined row, never a poisoned fit), or mismatched ``ns`` /
+    ``values`` lengths.  Replaces the former behavior of letting
+    ``fit_growth`` crash with an unguarded ``ValueError`` /
+    ``ZeroDivisionError`` mid-panel.
+    """
+
+
+class SupervisorError(ReproError):
+    """A supervised campaign cannot be configured or safely journaled.
+
+    Signals *caller* errors — an unknown cell runner, a missing journal
+    directory, a journal belonging to a different campaign.  Damage to
+    journal contents never raises this: torn or corrupt journal lines
+    degrade to recomputation of the affected cells, exactly like
+    checkpoint corruption (:class:`CheckpointError` semantics).
     """
 
 

@@ -13,11 +13,14 @@ model, so tests and benchmarks exercise several schemes:
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Callable, List
 
 from repro.exceptions import GraphError
 from repro.graphs.core import Graph
+
+logger = logging.getLogger(__name__)
 
 
 def sequential_ids(graph: Graph) -> List[int]:
@@ -26,9 +29,21 @@ def sequential_ids(graph: Graph) -> List[int]:
 
 
 def random_ids(graph: Graph, seed: int = 0, exponent: int = 3) -> List[int]:
-    """Distinct random IDs from the polynomial range ``[1, n**exponent]``."""
+    """Distinct random IDs from the polynomial range ``[1, n**exponent]``.
+
+    Under an active ``adversarial_ids`` fault
+    (:mod:`repro.utils.faults`), the assignment is silently replaced by
+    a worst-case ordering (ID order = reverse node-index order) — the
+    model's adversary choosing identifiers.  Algorithms must remain
+    correct; chaos tests assert exactly that.
+    """
     if exponent < 1:
         raise GraphError("exponent must be >= 1")
+    from repro.utils import faults
+
+    if faults.maybe_adversarial_ids():
+        logger.warning("injecting adversarial_ids: reverse-ordered assignment")
+        return adversarial_ids(graph, key=lambda v: -v, exponent=exponent)
     n = graph.num_nodes
     rng = random.Random(seed)
     universe = max(n, n**exponent)

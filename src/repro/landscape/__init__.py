@@ -8,6 +8,7 @@ from repro.landscape.fit import (
 from repro.landscape.report import (
     ClassificationPanel,
     LandscapePanel,
+    QuarantinedRow,
     SeriesRow,
     VerdictRow,
     classify_constant_time,
@@ -18,6 +19,7 @@ __all__ = [
     "FitResult",
     "fit_growth",
     "LandscapePanel",
+    "QuarantinedRow",
     "SeriesRow",
     "ClassificationPanel",
     "VerdictRow",

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.exceptions import LandscapeError
 from repro.utils.numbers import iterated_log
 
 #: Candidate shapes, ordered from simplest to fastest-growing; ties in
@@ -92,9 +93,22 @@ def fit_growth(
 
     ``tie_tolerance`` is relative to the series' value range: a simpler
     shape within that margin of the best residual wins (Occam tie-break).
+
+    Malformed series raise a typed :class:`~repro.exceptions.LandscapeError`:
+    mismatched ``ns``/``values`` lengths (a dropped cell must surface as
+    a quarantined row, never as a silently shifted pairing), fewer than
+    two samples, or non-finite measurements.
     """
-    if len(ns) != len(values) or len(ns) < 2:
-        raise ValueError("need two or more (n, value) samples")
+    if len(ns) != len(values):
+        raise LandscapeError(
+            f"mismatched series lengths: {len(ns)} sample point(s) but "
+            f"{len(values)} value(s)"
+        )
+    if len(ns) < 2:
+        raise LandscapeError("need two or more (n, value) samples")
+    bad = [(n, v) for n, v in zip(ns, values) if not math.isfinite(v)]
+    if bad:
+        raise LandscapeError(f"non-finite measurement(s) in series: {bad!r}")
     shapes = shapes or GROWTH_SHAPES
     scale = max((abs(v) for v in values), default=1.0) or 1.0
 

@@ -12,9 +12,11 @@ theorems' red region: no measured series may be ω(1) yet o(log* n).
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.exceptions import LandscapeError
 from repro.landscape.fit import GROWTH_SHAPES, FitResult, fit_growth
 
 logger = logging.getLogger(__name__)
@@ -33,9 +35,30 @@ class SeriesRow:
     values: Sequence[float]
     #: Restrict candidate shapes for this row (panel-specific classes).
     shapes: Optional[Dict[str, Callable[[float], float]]] = None
+    #: Explicit degradation note for partial series (quarantined cells).
+    note: str = ""
     fit: FitResult = field(init=False)
 
     def __post_init__(self) -> None:
+        # Validate the series *here*, with row context, so a malformed
+        # measurement surfaces as a typed LandscapeError naming the
+        # problem rather than an unguarded fit_growth crash mid-panel.
+        if not self.ns or not self.values:
+            raise LandscapeError(f"series {self.problem!r}: empty measurement series")
+        if len(self.ns) != len(self.values):
+            raise LandscapeError(
+                f"series {self.problem!r}: {len(self.ns)} sample point(s) but "
+                f"{len(self.values)} value(s)"
+            )
+        bad = [
+            (n, v)
+            for n, v in zip(self.ns, self.values)
+            if not math.isfinite(float(v))
+        ]
+        if bad:
+            raise LandscapeError(
+                f"series {self.problem!r}: non-finite measurement(s) {bad!r}"
+            )
         self.fit = fit_growth(self.ns, list(self.values), shapes=self.shapes)
 
     @property
@@ -59,12 +82,44 @@ class SeriesRow:
         return all(name in GAP_CLASSES for name in self.fit.tied)
 
 
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """A series the supervisor could not measure: quarantined, not fitted.
+
+    Carries the supervised campaign's fault classification and captured
+    traceback so a partial panel stays *auditable*: the reader sees
+    exactly which series is missing and why, and the gap check can never
+    mistake the absence of data for evidence about the gap.
+    """
+
+    problem: str
+    expected: str
+    #: Supervisor fault taxonomy: ``error`` / ``timeout`` / ``oom`` /
+    #: ``signal`` / ``lost``.
+    classification: str
+    reason: str = ""
+    traceback: str = ""
+
+    def describe(self) -> str:
+        detail = f" ({self.reason})" if self.reason else ""
+        return f"{self.problem}: {self.classification}{detail}"
+
+
 @dataclass
 class LandscapePanel:
-    """A Figure-1 panel: titled collection of series rows."""
+    """A Figure-1 panel: titled collection of series rows.
+
+    A panel assembled from a supervised campaign may be *partial*:
+    series whose cells were quarantined appear in :attr:`quarantined`
+    (never in :attr:`rows`), and series fitted from a subset of the
+    sample grid carry an explicit degradation note.  :meth:`render`
+    surfaces both, and :meth:`gap_violations` only ever inspects real
+    measured rows — a quarantined series cannot count as gap evidence.
+    """
 
     title: str
     rows: List[SeriesRow] = field(default_factory=list)
+    quarantined: List[QuarantinedRow] = field(default_factory=list)
 
     def add(
         self,
@@ -73,10 +128,30 @@ class LandscapePanel:
         ns: Sequence[int],
         values: Sequence[float],
         shapes: Optional[Dict[str, Callable[[float], float]]] = None,
+        note: str = "",
     ) -> SeriesRow:
-        row = SeriesRow(problem, expected, ns, values, shapes=shapes)
+        row = SeriesRow(problem, expected, ns, values, shapes=shapes, note=note)
         self.rows.append(row)
         return row
+
+    def quarantine(
+        self,
+        problem: str,
+        expected: str,
+        classification: str,
+        reason: str = "",
+        traceback: str = "",
+    ) -> QuarantinedRow:
+        """Record a series that could not be measured (no fit, no gap
+        evidence — an explicit hole in the panel)."""
+        row = QuarantinedRow(problem, expected, classification, reason, traceback)
+        self.quarantined.append(row)
+        return row
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned series produced a measured row."""
+        return not self.quarantined and all(not row.note for row in self.rows)
 
     def gap_violations(self, gap_classes: Sequence[str] = GAP_CLASSES) -> List[SeriesRow]:
         """Rows whose fitted class lies in the forbidden ω(1)–o(log* n) gap.
@@ -84,6 +159,11 @@ class LandscapePanel:
         The general-graphs panel legitimately contains such rows (the
         dense region of [11]); the tree / grid / VOLUME panels must not —
         that is exactly what Theorems 1.1, 1.3 and 1.4 assert.
+
+        Only *measured* rows participate: quarantined series carry no
+        fit and are excluded by construction, so a crashed or hung cell
+        can never be mistaken for a gap inhabitant (nor for evidence of
+        an empty gap — :meth:`render` flags the degradation).
         """
         return [
             row
@@ -93,19 +173,29 @@ class LandscapePanel:
 
     def render(self) -> str:
         lines = [f"== {self.title} =="]
-        if not self.rows:
+        if not self.rows and not self.quarantined:
             return lines[0] + "\n  (empty)"
-        ns = self.rows[0].ns
-        header = f"  {'problem':<32} {'expected':<20} {'fitted':<20} " + " ".join(
-            f"n={n}" for n in ns
-        )
-        lines.append(header)
-        for row in self.rows:
-            values = " ".join(f"{v:>{len(f'n={n}')}.4g}" for n, v in zip(row.ns, row.values))
-            fitted = row.fitted + ("~" if len(row.fit.tied) > 1 else "")
-            flag = "" if row.matches_expectation else "  [fit != expected]"
+        if self.rows:
+            ns = self.rows[0].ns
+            header = f"  {'problem':<32} {'expected':<20} {'fitted':<20} " + " ".join(
+                f"n={n}" for n in ns
+            )
+            lines.append(header)
+            for row in self.rows:
+                values = " ".join(
+                    f"{v:>{len(f'n={n}')}.4g}" for n, v in zip(row.ns, row.values)
+                )
+                fitted = row.fitted + ("~" if len(row.fit.tied) > 1 else "")
+                flag = "" if row.matches_expectation else "  [fit != expected]"
+                note = f"  [partial: {row.note}]" if row.note else ""
+                lines.append(
+                    f"  {row.problem:<32} {row.expected:<20} {fitted:<20} "
+                    f"{values}{flag}{note}"
+                )
+        for row in self.quarantined:
             lines.append(
-                f"  {row.problem:<32} {row.expected:<20} {fitted:<20} {values}{flag}"
+                f"  {row.problem:<32} {row.expected:<20} QUARANTINED "
+                f"[{row.classification}]{f' {row.reason}' if row.reason else ''}"
             )
         violations = self.gap_violations()
         if violations:
@@ -115,6 +205,12 @@ class LandscapePanel:
             )
         else:
             lines.append("  gap (omega(1) .. o(log* n)): empty, as the theorem predicts")
+        if not self.complete:
+            holes = len(self.quarantined) + sum(1 for row in self.rows if row.note)
+            lines.append(
+                f"  !! degraded panel: {holes} series with quarantined cells — "
+                "the gap verdict above covers measured rows only"
+            )
         return "\n".join(lines)
 
 

@@ -24,7 +24,12 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.exceptions import AlgorithmError, SimulationError
+from repro.exceptions import (
+    AlgorithmError,
+    NodeExecutionError,
+    ReproError,
+    SimulationError,
+)
 from repro.graphs.balls import Ball, extract_ball
 from repro.graphs.core import Graph, HalfEdgeLabeling
 from repro.utils.rng import SplittableRNG
@@ -228,7 +233,22 @@ def run_local_algorithm(
     targets = range(graph.num_nodes) if nodes is None else nodes
     for v in targets:
         ctx = NodeContext(graph, v, n, inputs, id_list, bit_list)
-        port_outputs = algorithm.run(ctx)
+        try:
+            port_outputs = algorithm.run(ctx)
+        except ReproError:
+            raise
+        except Exception as error:
+            # Structured failure surfacing: a campaign supervisor (or any
+            # caller) sees *which node* of *which algorithm* crashed, with
+            # the original exception chained, instead of an anonymous
+            # low-level error escaping the simulator.
+            raise NodeExecutionError(
+                f"{algorithm.name} crashed at node {v} "
+                f"(radius charged so far: {ctx.charged_radius}): "
+                f"{type(error).__name__}: {error}",
+                node=v,
+                algorithm=algorithm.name,
+            ) from error
         radius_per_node.append(ctx.charged_radius)
         if enforce_radius and ctx.charged_radius > declared_radius:
             raise AlgorithmError(

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Dict, Optional, Sequence
 
+from repro.exceptions import NodeExecutionError
 from repro.graphs.core import Graph, HalfEdgeLabeling
 from repro.lcl.checker import check_solution
 from repro.lcl.nec import NodeEdgeCheckableLCL
@@ -177,11 +178,22 @@ def estimate_local_failure(
     seeds: Sequence[Any],
     inputs: Optional[HalfEdgeLabeling] = None,
     ids: Optional[Sequence[int]] = None,
+    strict: bool = True,
 ) -> Dict[str, float]:
     """Monte-Carlo estimate of the Definition 2.4 failure quantities.
 
     Returns ``{"local": max per-node/edge failure frequency,
-    "global": frequency of any failure at all}`` over the given seeds.
+    "global": frequency of any failure at all,
+    "crashed": frequency of trials whose simulation crashed}`` over the
+    given seeds.
+
+    A trial whose simulation *crashes* (the algorithm raises — surfaced
+    by the simulator as a structured
+    :class:`~repro.exceptions.NodeExecutionError` naming the node) is
+    handled per ``strict``: ``True`` re-raises with the offending seed
+    appended (the campaign supervisor quarantines the cell), ``False``
+    counts the trial as a failure at the crashing node and keeps
+    estimating — a crash is at least as bad as an incorrect label.
     """
     if inputs is None:
         single = next(iter(problem.sigma_in))
@@ -189,8 +201,23 @@ def estimate_local_failure(
     node_failures: Counter = Counter()
     edge_failures: Counter = Counter()
     global_failures = 0
+    crashed_trials = 0
     for seed in seeds:
-        result = run_local_algorithm(graph, algorithm, inputs=inputs, ids=ids, seed=seed)
+        try:
+            result = run_local_algorithm(
+                graph, algorithm, inputs=inputs, ids=ids, seed=seed
+            )
+        except NodeExecutionError as error:
+            if strict:
+                raise NodeExecutionError(
+                    f"{error} [trial seed {seed!r}]",
+                    node=error.node,
+                    algorithm=error.algorithm,
+                ) from error
+            crashed_trials += 1
+            global_failures += 1
+            node_failures[error.node] += 1
+            continue
         report = check_solution(problem, graph, inputs, result.outputs)
         for v in report.failed_nodes:
             node_failures[v] += 1
@@ -204,4 +231,8 @@ def estimate_local_failure(
         worst = max(worst, max(node_failures.values()))
     if edge_failures:
         worst = max(worst, max(edge_failures.values()))
-    return {"local": worst / trials, "global": global_failures / trials}
+    return {
+        "local": worst / trials,
+        "global": global_failures / trials,
+        "crashed": crashed_trials / trials,
+    }

@@ -1,0 +1,65 @@
+"""Supervised, crash-isolated simulation campaigns.
+
+The measurement half of the reproduction — landscape sweeps over the
+problem catalog, the ``benchmarks/`` campaigns — runs many independent
+``(problem, n, seed)`` cells, any one of which can hang, OOM, or raise.
+This package makes the *pipeline* as fault-tolerant as the
+round-elimination engine underneath it:
+
+* :mod:`repro.supervisor.cells` — cell specs/results, the quarantine
+  taxonomy, and the named cell-runner registry;
+* :mod:`repro.supervisor.isolation` — per-cell subprocess isolation
+  with wall-clock timeouts and ``resource.setrlimit`` memory caps;
+* :mod:`repro.supervisor.journal` — the append-only, checksummed JSONL
+  run journal (torn lines degrade to recomputation, never to a wrong
+  resume);
+* :mod:`repro.supervisor.campaign` — bounded deterministic retries,
+  structured quarantine, journaled resume;
+* :mod:`repro.supervisor.measurements` — the built-in landscape panel
+  runners (``lcl-landscape landscape --journal/--resume``).
+
+The chaos contract (enforced by ``tests/test_supervisor_chaos.py`` and
+the CI chaos job): a campaign run under injected ``sim_crash`` /
+``sim_hang`` / ``journal_torn`` faults, interrupted and resumed via the
+journal, yields per-cell results **bit-identical** to a clean serial
+run, with every unrecoverable cell surfaced as a ``QUARANTINED`` row.
+"""
+
+from repro.supervisor.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    campaign_key,
+    open_journal,
+    run_campaign,
+    supervise_cell,
+)
+from repro.supervisor.cells import (
+    CLASSIFICATIONS,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CellResult,
+    CellSpec,
+    cell_rng,
+    register_runner,
+    resolve_runner,
+)
+from repro.supervisor.journal import CampaignJournal, default_journal_dir
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignJournal",
+    "CellResult",
+    "CellSpec",
+    "CLASSIFICATIONS",
+    "STATUS_OK",
+    "STATUS_QUARANTINED",
+    "campaign_key",
+    "cell_rng",
+    "default_journal_dir",
+    "open_journal",
+    "register_runner",
+    "resolve_runner",
+    "run_campaign",
+    "supervise_cell",
+]

@@ -1,0 +1,242 @@
+"""Supervised campaign execution: retries, quarantine, journal, resume.
+
+:func:`run_campaign` is the production posture for landscape sweeps: a
+campaign over many ``(problem, n, seed)`` cells survives any single
+cell hanging, OOMing, or raising.  Each cell is attempted up to
+``1 + retries`` times (every attempt re-derives its RNG from scratch —
+:func:`repro.supervisor.cells.cell_rng` — so a retried cell is
+bit-identical to a first-try cell), and a cell that still fails becomes
+a ``QUARANTINED`` :class:`~repro.supervisor.cells.CellResult` carrying
+its captured traceback and fault classification instead of aborting
+the sweep.
+
+With a journal attached, every terminal cell result is appended —
+checksummed, flushed, fsynced — before the next cell starts, and
+``resume=True`` skips journaled cells entirely, restoring their
+recorded values bit-identically.  Interrupting a campaign (crash,
+``SIGINT``) therefore loses at most the in-flight cell.
+
+Fault-injection counters (``sim_crash`` / ``sim_hang`` / ``sim_oom``)
+are drawn in this process, per attempt, keeping chaos runs
+deterministic; ``journal_torn`` fires inside the journal writer.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import SupervisorError
+from repro.supervisor.cells import (
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CellResult,
+    CellSpec,
+)
+from repro.supervisor.isolation import (
+    AttemptOutcome,
+    run_attempt_inline,
+    run_attempt_process,
+)
+from repro.supervisor.journal import CampaignJournal
+from repro.utils import env, faults
+
+logger = logging.getLogger(__name__)
+
+ENV_CELL_TIMEOUT = "REPRO_CELL_TIMEOUT"
+ENV_CELL_MEM_MB = "REPRO_CELL_MEM_MB"
+ENV_CELL_RETRIES = "REPRO_CELL_RETRIES"
+
+#: Isolation modes.
+ISOLATE_PROCESS = "process"
+ISOLATE_INLINE = "inline"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Supervision parameters for one campaign run.
+
+    ``None`` fields fall back to the ``REPRO_CELL_*`` environment knobs
+    at resolution time.  The configuration shapes *supervision only* —
+    timeouts, memory caps, retries, isolation — never cell values, so a
+    campaign resumed under a different configuration still restores
+    bit-identical results.
+    """
+
+    seed: int = 0
+    timeout: Optional[float] = None
+    mem_mb: Optional[int] = None
+    retries: Optional[int] = None
+    isolation: str = ISOLATE_PROCESS
+
+    def __post_init__(self) -> None:
+        if self.isolation not in (ISOLATE_PROCESS, ISOLATE_INLINE):
+            raise SupervisorError(
+                f"unknown isolation mode {self.isolation!r}; "
+                f"use {ISOLATE_PROCESS!r} or {ISOLATE_INLINE!r}"
+            )
+
+    def resolved_timeout(self) -> Optional[float]:
+        if self.timeout is not None:
+            return self.timeout
+        return env.get_float(ENV_CELL_TIMEOUT)
+
+    def resolved_mem_mb(self) -> Optional[int]:
+        if self.mem_mb is not None:
+            return self.mem_mb
+        return env.get_int(ENV_CELL_MEM_MB)
+
+    def resolved_retries(self) -> int:
+        if self.retries is not None:
+            return max(0, self.retries)
+        declared = env.get_int(ENV_CELL_RETRIES)
+        return max(0, declared if declared is not None else 1)
+
+
+@dataclass
+class CampaignReport:
+    """Every cell's terminal result, in campaign order."""
+
+    results: List[CellResult] = field(default_factory=list)
+
+    @property
+    def ok_results(self) -> List[CellResult]:
+        return [result for result in self.results if result.ok]
+
+    @property
+    def quarantined(self) -> List[CellResult]:
+        return [result for result in self.results if result.quarantined]
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for result in self.results if result.resumed)
+
+    def by_id(self) -> Dict[str, CellResult]:
+        return {result.spec.cell_id(): result for result in self.results}
+
+    def values(self) -> Dict[str, Any]:
+        """``cell_id -> value`` for the OK cells (the comparable core)."""
+        return {result.spec.cell_id(): result.value for result in self.ok_results}
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.results)} cell(s): {len(self.ok_results)} ok "
+            f"({self.resumed_count} resumed), {len(self.quarantined)} quarantined"
+        )
+
+
+def campaign_key(cells: Sequence[CellSpec], seed: int) -> Dict[str, Any]:
+    """The journal identity of a campaign: its work, not its supervision.
+
+    Timeouts/retries/isolation are excluded on purpose — re-running an
+    interrupted campaign with a longer timeout must find its journal.
+    """
+    return {"seed": seed, "cells": sorted(spec.cell_id() for spec in cells)}
+
+
+def open_journal(
+    cells: Sequence[CellSpec],
+    seed: int = 0,
+    directory: Optional[Union[str, os.PathLike]] = None,
+) -> CampaignJournal:
+    """The journal for this campaign under ``directory`` (or
+    ``$REPRO_JOURNAL_DIR``)."""
+    return CampaignJournal(campaign_key(cells, seed), directory=directory)
+
+
+def _run_attempt(
+    spec: CellSpec,
+    config: CampaignConfig,
+    instructions: Sequence[str],
+) -> AttemptOutcome:
+    if config.isolation == ISOLATE_INLINE:
+        return run_attempt_inline(spec, config.seed, instructions)
+    return run_attempt_process(
+        spec,
+        config.seed,
+        timeout=config.resolved_timeout(),
+        mem_mb=config.resolved_mem_mb(),
+        instructions=instructions,
+    )
+
+
+def supervise_cell(spec: CellSpec, config: CampaignConfig) -> CellResult:
+    """Run one cell to a terminal result (OK or quarantined), retrying
+    up to the configured bound."""
+    retries = config.resolved_retries()
+    last = AttemptOutcome(ok=False, classification="lost", reason="never attempted")
+    for attempt in range(1 + retries):
+        instructions = faults.fire_sim_faults()
+        if instructions:
+            logger.warning(
+                "cell %s attempt %d: injecting %s",
+                spec.cell_id(),
+                attempt + 1,
+                ",".join(instructions),
+            )
+        last = _run_attempt(spec, config, instructions)
+        if last.ok:
+            return CellResult(
+                spec=spec, status=STATUS_OK, value=last.value, attempts=attempt + 1
+            )
+        logger.warning(
+            "cell %s attempt %d/%d failed (%s): %s",
+            spec.cell_id(),
+            attempt + 1,
+            1 + retries,
+            last.classification,
+            last.reason,
+        )
+    return CellResult(
+        spec=spec,
+        status=STATUS_QUARANTINED,
+        attempts=1 + retries,
+        classification=last.classification,
+        reason=last.reason,
+        traceback=last.traceback,
+    )
+
+
+def run_campaign(
+    cells: Sequence[CellSpec],
+    config: Optional[CampaignConfig] = None,
+    journal: Optional[CampaignJournal] = None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Run every cell to a terminal result; never abort the sweep.
+
+    With ``resume=True`` (requires a journal), cells already recorded in
+    the journal are restored — values bit-identical, no recomputation —
+    and only the remainder runs.  ``KeyboardInterrupt`` is deliberately
+    *not* swallowed: every completed cell is already journaled, so an
+    interrupt costs at most the in-flight cell and the campaign resumes
+    from the journal.
+    """
+    config = config if config is not None else CampaignConfig()
+    if resume and journal is None:
+        raise SupervisorError("resume requested without a journal")
+    completed: Dict[str, Dict[str, Any]] = {}
+    if resume and journal is not None:
+        completed = journal.completed_cells()
+        if completed:
+            logger.info(
+                "journal %s: resuming %d completed cell(s)",
+                journal.path.name,
+                len(completed),
+            )
+    if journal is not None:
+        journal.ensure_header()
+    report = CampaignReport()
+    for spec in cells:
+        recorded = completed.get(spec.cell_id())
+        if recorded is not None:
+            report.results.append(CellResult.from_payload(recorded))
+            continue
+        result = supervise_cell(spec, config)
+        if journal is not None:
+            journal.append_cell(result.payload())
+        report.results.append(result)
+    logger.info("campaign finished: %s", report.summary())
+    return report

@@ -1,0 +1,207 @@
+"""Crash isolation: run one cell in a supervised subprocess.
+
+Each attempt of a cell runs in its own forked child with
+
+* a wall-clock timeout enforced from the parent (the child is
+  terminated, then killed, when it stalls — a hung simulation can cost
+  at most one cell-timeout, never the campaign);
+* an optional address-space cap applied via ``resource.setrlimit``
+  inside the child before any cell code runs, so a memory blow-up dies
+  as a containable ``MemoryError`` (or, at worst, a killed child)
+  instead of taking the campaign process down with it;
+* simulator-level fault *instructions* decided by the parent
+  (:func:`repro.utils.faults.fire_sim_faults`) and executed by the
+  child (:func:`repro.utils.faults.execute_sim_fault`), which keeps the
+  deterministic occurrence counters in a single process.
+
+The child reports through a one-way pipe: ``("ok", value)`` or
+``("fail", classification, reason, traceback)``.  A child that dies
+without reporting is classified from its exit code (``signal`` for a
+signal death, ``lost`` otherwise).
+
+An ``inline`` mode runs the cell in-process with the same structured
+outcome — the supervisor's clean-serial baseline and the fast path for
+trusted local runs.  Inline cells skip ``sim_hang`` instructions (there
+is no kill path to rescue the process) but honor ``sim_crash`` and
+``sim_oom``.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import multiprocessing.connection
+import traceback as traceback_module
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.supervisor.cells import CellSpec, cell_rng, resolve_runner
+
+logger = logging.getLogger(__name__)
+
+#: Grace period for a terminated child before escalating to SIGKILL.
+_TERMINATE_GRACE_SECONDS = 1.0
+
+
+@dataclass
+class AttemptOutcome:
+    """What one attempt of one cell produced."""
+
+    ok: bool
+    value: Any = None
+    classification: str = ""
+    reason: str = ""
+    traceback: str = ""
+
+
+def _apply_memory_cap(mem_mb: Optional[int]) -> None:
+    if mem_mb is None:
+        return
+    try:
+        import resource
+
+        limit = int(mem_mb) * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ImportError, ValueError, OSError) as error:  # pragma: no cover
+        logger.warning("could not apply %d MiB memory cap: %s", mem_mb, error)
+
+
+def _execute(
+    spec_payload: dict,
+    campaign_seed: int,
+    instructions: Sequence[str],
+) -> Tuple[Any, ...]:
+    """Run the cell body; shared by the child entry and inline mode."""
+    from repro.supervisor.cells import CellSpec as Spec
+    from repro.utils import faults
+
+    spec = Spec.from_payload(spec_payload)
+    try:
+        for index, kind in enumerate(instructions):
+            faults.execute_sim_fault(kind, index)
+        runner = resolve_runner(spec.runner)
+        value = runner(spec, cell_rng(campaign_seed, spec))
+        return ("ok", value)
+    except MemoryError as error:
+        return ("fail", "oom", f"MemoryError: {error}", traceback_module.format_exc())
+    except Exception as error:
+        return (
+            "fail",
+            "error",
+            f"{type(error).__name__}: {error}",
+            traceback_module.format_exc(),
+        )
+
+
+def _child_entry(
+    conn: multiprocessing.connection.Connection,
+    spec_payload: dict,
+    campaign_seed: int,
+    mem_mb: Optional[int],
+    instructions: Sequence[str],
+) -> None:  # pragma: no cover - exercised via subprocesses in tests
+    _apply_memory_cap(mem_mb)
+    try:
+        message = _execute(spec_payload, campaign_seed, instructions)
+    except MemoryError:
+        # Allocation failed even while *building* the failure record:
+        # report the bare minimum.
+        message = ("fail", "oom", "MemoryError", "")
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+def run_attempt_inline(
+    spec: CellSpec,
+    campaign_seed: int,
+    instructions: Sequence[str] = (),
+) -> AttemptOutcome:
+    """Run one attempt in-process (clean-serial baseline / fast path)."""
+    effective = []
+    for kind in instructions:
+        if kind == "sim_hang":
+            logger.warning(
+                "inline cell %s: skipping sim_hang instruction (no kill path)",
+                spec.cell_id(),
+            )
+            continue
+        effective.append(kind)
+    message = _execute(spec.payload(), campaign_seed, effective)
+    if message[0] == "ok":
+        return AttemptOutcome(ok=True, value=message[1])
+    return AttemptOutcome(
+        ok=False,
+        classification=message[1],
+        reason=message[2],
+        traceback=message[3],
+    )
+
+
+def run_attempt_process(
+    spec: CellSpec,
+    campaign_seed: int,
+    timeout: Optional[float],
+    mem_mb: Optional[int],
+    instructions: Sequence[str] = (),
+) -> AttemptOutcome:
+    """Run one attempt in a supervised subprocess."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_child_entry,
+        args=(child_conn, spec.payload(), campaign_seed, mem_mb, tuple(instructions)),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    message: Optional[Tuple[Any, ...]] = None
+    timed_out = False
+    try:
+        if parent_conn.poll(timeout):
+            try:
+                message = parent_conn.recv()
+            except (EOFError, OSError):
+                message = None
+        else:
+            timed_out = True
+    finally:
+        parent_conn.close()
+        if timed_out:
+            process.terminate()
+        process.join(_TERMINATE_GRACE_SECONDS)
+        if process.is_alive():  # pragma: no cover - stubborn child
+            process.kill()
+            process.join()
+
+    if message is not None and message[0] == "ok":
+        return AttemptOutcome(ok=True, value=message[1])
+    if message is not None:
+        return AttemptOutcome(
+            ok=False,
+            classification=str(message[1]),
+            reason=str(message[2]),
+            traceback=str(message[3]),
+        )
+    if timed_out:
+        return AttemptOutcome(
+            ok=False,
+            classification="timeout",
+            reason=f"cell exceeded its {timeout}s wall-clock cap and was killed",
+        )
+    exitcode = process.exitcode
+    if exitcode is not None and exitcode < 0:
+        return AttemptOutcome(
+            ok=False,
+            classification="signal",
+            reason=f"cell subprocess died on signal {-exitcode}",
+        )
+    return AttemptOutcome(
+        ok=False,
+        classification="lost",
+        reason=f"cell subprocess exited (code {exitcode}) without reporting",
+    )

@@ -228,6 +228,36 @@ declare(
     "(the --checkpoint flag overrides it).",
 )
 declare(
+    "REPRO_CELL_TIMEOUT",
+    "float",
+    120.0,
+    "Per-cell wall-clock limit in seconds for supervised campaign cells "
+    "(repro.supervisor); a cell exceeding it is killed and retried, then "
+    "quarantined as 'timeout'.",
+)
+declare(
+    "REPRO_CELL_MEM_MB",
+    "int",
+    None,
+    "Per-cell address-space cap in MiB applied via resource.setrlimit in the "
+    "isolated cell subprocess; unset leaves memory unbounded.",
+)
+declare(
+    "REPRO_CELL_RETRIES",
+    "int",
+    1,
+    "Bounded retry attempts for a failed supervised cell beyond the first "
+    "try (each attempt re-derives its RNG from scratch); exhaustion "
+    "quarantines the cell.",
+)
+declare(
+    "REPRO_JOURNAL_DIR",
+    "str",
+    None,
+    "Default directory for append-only, checksummed campaign run journals "
+    "(the landscape --journal flag overrides it).",
+)
+declare(
     "REPRO_CONFORMANCE_COUNT",
     "int",
     200,

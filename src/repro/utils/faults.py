@@ -32,6 +32,27 @@ Supported kinds
     A checkpoint write in :mod:`repro.roundelim.checkpoint` persists a
     torn (truncated) file, as if the process had been killed mid-write
     (exercises checksum verification and fresh-start recovery).
+``sim_crash``
+    A supervised simulation cell raises :class:`InjectedFault` mid-run
+    (exercises the supervisor's capture-traceback / retry / quarantine
+    path in :mod:`repro.supervisor`).
+``sim_hang``
+    A supervised simulation cell stalls indefinitely (exercises the
+    per-cell wall-clock timeout and kill path).
+``sim_oom``
+    A supervised simulation cell fails allocation (``MemoryError``), as
+    under a tight ``resource.setrlimit`` cap (exercises the ``oom``
+    quarantine classification).
+``journal_torn``
+    A campaign-journal append persists a torn (truncated) line, as if
+    the process died mid-write (exercises per-line checksum recovery on
+    resume: the damaged cell is recomputed, later lines still load).
+``adversarial_ids``
+    :func:`repro.graphs.ids.random_ids` silently returns a worst-case
+    (adversarially ordered) assignment instead of a random one
+    (exercises the Definition 2.1 stance that identifier assignment is
+    adversarial: algorithms must stay *correct*, though measured
+    localities may legitimately shift).
 
 Determinism
 -----------
@@ -48,7 +69,7 @@ import logging
 import os
 import time
 from hashlib import sha256
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.utils import env
 
@@ -64,10 +85,24 @@ KINDS = (
     "slow_chunk",
     "cache_corrupt",
     "checkpoint_truncate",
+    "sim_crash",
+    "sim_hang",
+    "sim_oom",
+    "journal_torn",
+    "adversarial_ids",
 )
+
+#: Simulator-level fault kinds decided by the campaign supervisor (the
+#: parent process draws from the plan and ships the instruction to the
+#: isolated cell, keeping the occurrence counters in one process).
+SIM_KINDS = ("sim_crash", "sim_hang", "sim_oom")
 
 #: How long a ``slow_chunk`` fault stalls a worker.
 SLOW_CHUNK_SECONDS = 0.05
+
+#: How long a ``sim_hang`` fault stalls a cell — far beyond any sane
+#: per-cell timeout, so the supervisor's kill path always fires first.
+SIM_HANG_SECONDS = 3600.0
 
 
 class InjectedFault(RuntimeError):
@@ -196,6 +231,42 @@ def maybe_sleep(kind: str = "slow_chunk", duration: float = SLOW_CHUNK_SECONDS) 
     """Stall when the next occurrence fires (simulated slow chunk)."""
     if get_plan().fire(kind):
         time.sleep(duration)
+
+
+def execute_sim_fault(kind: str, occurrence: int = 0) -> None:
+    """Carry out a simulator-level fault *instruction* inside a cell.
+
+    Unlike the ``maybe_*`` helpers, this does not consult the plan: the
+    supervisor draws from the plan in the parent process (keeping the
+    occurrence counters deterministic in one place) and ships the fired
+    kinds to the isolated cell, which executes them here.
+
+    ``sim_crash`` raises :class:`InjectedFault`; ``sim_hang`` stalls for
+    :data:`SIM_HANG_SECONDS` (the supervisor's timeout kills the cell
+    long before that); ``sim_oom`` raises ``MemoryError`` as a tight
+    ``resource.setrlimit`` cap would on the next allocation.
+    """
+    if kind == "sim_crash":
+        raise InjectedFault(kind, occurrence)
+    if kind == "sim_hang":
+        logger.warning("injected sim_hang: stalling cell")
+        time.sleep(SIM_HANG_SECONDS)
+        return
+    if kind == "sim_oom":
+        raise MemoryError(f"injected fault 'sim_oom' (occurrence {occurrence})")
+    raise ValueError(f"not a simulator-level fault kind: {kind!r}")
+
+
+def fire_sim_faults(plan: Optional[FaultPlan] = None) -> Tuple[str, ...]:
+    """The simulator-level kinds whose next occurrence fires, in
+    :data:`SIM_KINDS` order — the supervisor's per-attempt draw."""
+    plan = plan if plan is not None else get_plan()
+    return tuple(kind for kind in SIM_KINDS if plan.fire(kind))
+
+
+def maybe_adversarial_ids() -> bool:
+    """Whether the next identifier assignment should be adversarial."""
+    return get_plan().fire("adversarial_ids")
 
 
 def corrupt_text(kind: str, text: str) -> str:

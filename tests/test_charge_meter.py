@@ -1,0 +1,135 @@
+"""Charging discipline of the LOCAL simulator under delegation.
+
+Every ball request at delegation depth ``d`` with radius ``r`` charges
+``d + r`` rounds (Lemma 3.9 accounting), all contexts reached from one
+root share a single meter, and the meter is monotone — so an algorithm
+cannot launder extra locality through nested :meth:`NodeContext.delegate`
+calls, at any depth.
+"""
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graphs import cycle
+from repro.local.model import (
+    LocalAlgorithm,
+    NodeContext,
+    _ChargeMeter,
+    run_local_algorithm,
+)
+
+
+class TestChargeMeter:
+    def test_starts_at_zero(self):
+        assert _ChargeMeter().max_charge == 0
+
+    def test_monotone_max(self):
+        meter = _ChargeMeter()
+        for amount, expected in [(2, 2), (1, 2), (5, 5), (0, 5), (5, 5), (7, 7)]:
+            meter.charge(amount)
+            assert meter.max_charge == expected
+
+
+def context_at(graph, node=0):
+    return NodeContext(graph, node, graph.num_nodes, None, None, None)
+
+
+class TestDelegationCharging:
+    def test_depth_zero_local_reads_are_free(self):
+        ctx = context_at(cycle(8))
+        assert ctx.degree == 2
+        ctx.input(0)
+        assert ctx.charged_radius == 0
+
+    def test_ball_charges_its_radius(self):
+        ctx = context_at(cycle(8))
+        ctx.ball(3)
+        assert ctx.charged_radius == 3
+
+    def test_delegated_local_read_charges_the_hop(self):
+        ctx = context_at(cycle(8))
+        inner = ctx.delegate(0)
+        assert inner.degree == 2  # depth-1 read: charge 1
+        assert ctx.charged_radius == 1
+
+    def test_depth_two_ball_charges_depth_plus_radius(self):
+        ctx = context_at(cycle(8))
+        inner = ctx.delegate(0).delegate(0)  # depth 2
+        inner.ball(3)
+        assert ctx.charged_radius == 2 + 3
+
+    def test_meter_shared_across_delegation_tree(self):
+        # Charges from sibling delegated contexts accumulate into the
+        # *root's* meter: the max over everything the node ever saw.
+        ctx = context_at(cycle(8))
+        ctx.delegate(0).ball(1)  # charge 2
+        ctx.delegate(1).delegate(0).ball(4)  # charge 6
+        ctx.ball(3)  # charge 3
+        assert ctx.charged_radius == 6
+
+    @pytest.mark.parametrize("depth", [2, 3, 5, 8])
+    def test_adversarial_delegation_depth_charges_every_hop(self, depth):
+        # A radius-0 ball at depth d still charges d: walking the graph
+        # through delegation is not free locality.
+        ctx = context_at(cycle(2 * depth + 2))
+        inner = ctx
+        for _ in range(depth):
+            inner = inner.delegate(0)
+        inner.ball(0)
+        assert ctx.charged_radius == depth
+
+    def test_charge_monotone_under_interleaving(self):
+        ctx = context_at(cycle(8))
+        observed = []
+        ctx.ball(2)
+        observed.append(ctx.charged_radius)
+        ctx.delegate(0).ball(0)  # charge 1 < current max
+        observed.append(ctx.charged_radius)
+        ctx.delegate(0).delegate(1).ball(2)  # charge 4
+        observed.append(ctx.charged_radius)
+        assert observed == sorted(observed) == [2, 2, 4]
+
+
+class _DepthTwoProbe(LocalAlgorithm):
+    """Simulates an inner 1-round algorithm at a neighbor's neighbor.
+
+    Deepest request: a radius-1 ball at delegation depth 2 — the
+    Lemma 3.9 accounting says exactly 2 + 1 = 3 rounds.
+    """
+
+    name = "depth-two-probe"
+
+    def __init__(self, declared: int = 3):
+        self._declared = declared
+
+    def radius(self, n: int) -> int:
+        return self._declared
+
+    def run(self, ctx: NodeContext):
+        degree = ctx.degree
+        if degree:
+            inner = ctx.delegate(0).delegate(0)
+            inner.ball(1)
+        return {port: "x" for port in range(degree)}
+
+
+class TestSimulatorAccounting:
+    def test_declared_radius_accounting_matches_depth_plus_radius(self):
+        result = run_local_algorithm(cycle(10), _DepthTwoProbe(declared=3))
+        assert result.max_radius_used == 3
+        assert result.declared_radius == 3
+        assert result.within_declared_radius
+        assert result.radius_per_node == [3] * 10
+
+    def test_underdeclared_radius_rejected(self):
+        with pytest.raises(AlgorithmError) as excinfo:
+            run_local_algorithm(cycle(10), _DepthTwoProbe(declared=2))
+        assert "used radius 3" in str(excinfo.value)
+        assert "declared 2" in str(excinfo.value)
+
+    def test_enforcement_can_be_waived_but_charge_still_reported(self):
+        result = run_local_algorithm(
+            cycle(10), _DepthTwoProbe(declared=2), enforce_radius=False
+        )
+        assert result.max_radius_used == 3
+        assert not result.within_declared_radius

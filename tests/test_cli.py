@@ -65,3 +65,97 @@ class TestCommands:
     def test_error_exit_code(self, capsys):
         assert main(["show", "nonsense"]) == 2
         assert "unknown problem" in capsys.readouterr().err
+
+
+class TestSupervisedLandscape:
+    def test_inline_isolation_matches_default_output(self, capsys):
+        assert main(["landscape", "volume", "--points", "3", "--isolate", "inline"]) == 0
+        out = capsys.readouterr().out
+        assert "VOLUME landscape" in out
+        assert "component-count" in out
+
+    def test_journal_then_resume_bit_identical(self, tmp_path, capsys):
+        args = [
+            "landscape", "grids", "--points", "2",
+            "--isolate", "inline", "--journal", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "journal:" in first
+        assert "0 resumed" in first
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "6 resumed" in second  # 3 series x 2 points, all restored
+
+        def panel_lines(text):
+            return [line for line in text.splitlines() if not line.startswith("  campaign:")]
+
+        assert panel_lines(first) == panel_lines(second)
+
+    def test_journal_dir_from_environment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path))
+        assert main(
+            ["landscape", "volume", "--points", "3", "--isolate", "inline", "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert list(tmp_path.glob("run-*.jsonl"))
+
+    def test_campaign_seed_names_a_fresh_journal(self, tmp_path, capsys):
+        base = [
+            "landscape", "volume", "--points", "3",
+            "--isolate", "inline", "--journal", str(tmp_path),
+        ]
+        assert main(base) == 0
+        assert main(base + ["--campaign-seed", "1"]) == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("run-*.jsonl"))) == 2
+
+
+class TestInterruptExitCode:
+    def test_keyboard_interrupt_exits_130_for_any_verb(self, capsys, monkeypatch):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "cmd_show", interrupted)
+        assert main(["show", "mis"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_interrupt_mid_campaign_preserves_journal(self, capsys, monkeypatch):
+        # SIGINT during the landscape verb must still exit 130 while the
+        # journal keeps every completed cell (flushed per record).
+        import repro.supervisor.campaign as campaign_module
+
+        real = campaign_module.supervise_cell
+        state = {"count": 0}
+
+        def interrupt_third(spec, config):
+            state["count"] += 1
+            if state["count"] == 3:
+                raise KeyboardInterrupt
+            return real(spec, config)
+
+        monkeypatch.setattr(campaign_module, "supervise_cell", interrupt_third)
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as journal_dir:
+            argv = [
+                "landscape", "volume", "--points", "3",
+                "--isolate", "inline", "--journal", journal_dir,
+            ]
+            assert main(argv) == 130
+            assert "interrupted" in capsys.readouterr().err
+            from pathlib import Path
+
+            journal = next(Path(journal_dir).glob("run-*.jsonl"))
+            recorded = journal.read_text().count('"kind":"cell"')
+            assert recorded == 2  # the two cells finished before SIGINT
+
+            # The resumed run restores them and completes the panel.
+            monkeypatch.setattr(campaign_module, "supervise_cell", real)
+            assert main(argv + ["--resume"]) == 0
+            out = capsys.readouterr().out
+            assert "2 resumed" in out
+            assert "VOLUME landscape" in out

@@ -22,6 +22,10 @@ EXPECTED_KNOBS = {
     "REPRO_FAULTS_SEED": "int",
     "REPRO_CHECKPOINT_DIR": "str",
     "REPRO_CONFORMANCE_COUNT": "int",
+    "REPRO_CELL_TIMEOUT": "float",
+    "REPRO_CELL_MEM_MB": "int",
+    "REPRO_CELL_RETRIES": "int",
+    "REPRO_JOURNAL_DIR": "str",
 }
 
 

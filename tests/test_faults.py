@@ -207,3 +207,83 @@ class TestChaosCheckpoint:
         assert restored == 0 or all(
             resumed.problem(k) == expected[k] for k in range(restored + 1)
         )
+
+
+class TestSimulatorFaultKinds:
+    """The simulator-level kinds added for supervised campaigns."""
+
+    def test_new_kinds_recognized_by_parse_spec(self):
+        rates = parse_spec(
+            "sim_crash:0.1,sim_hang:0.1,sim_oom:0.1,journal_torn:0.05,"
+            "adversarial_ids:1.0"
+        )
+        assert set(rates) == {
+            "sim_crash",
+            "sim_hang",
+            "sim_oom",
+            "journal_torn",
+            "adversarial_ids",
+        }
+
+    def test_execute_sim_crash_raises_injected_fault(self):
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.execute_sim_fault("sim_crash", 4)
+        assert excinfo.value.kind == "sim_crash"
+        assert excinfo.value.occurrence == 4
+
+    def test_execute_sim_oom_raises_memory_error(self):
+        with pytest.raises(MemoryError):
+            faults.execute_sim_fault("sim_oom")
+
+    def test_execute_rejects_non_sim_kinds(self):
+        with pytest.raises(ValueError):
+            faults.execute_sim_fault("worker_crash")
+
+    def test_fire_sim_faults_deterministic_and_ordered(self):
+        a = FaultPlan({"sim_crash": 0.5, "sim_oom": 0.5, "sim_hang": 0.5}, seed=3)
+        b = FaultPlan({"sim_crash": 0.5, "sim_oom": 0.5, "sim_hang": 0.5}, seed=3)
+        draws_a = [faults.fire_sim_faults(a) for _ in range(100)]
+        draws_b = [faults.fire_sim_faults(b) for _ in range(100)]
+        assert draws_a == draws_b
+        for kinds in draws_a:
+            assert list(kinds) == [k for k in faults.SIM_KINDS if k in kinds]
+        assert any(len(kinds) > 1 for kinds in draws_a)
+
+    def test_fire_sim_faults_quiet_without_rates(self):
+        assert faults.fire_sim_faults(FaultPlan({}, seed=0)) == ()
+
+
+class TestAdversarialIds:
+    def test_random_ids_replaced_under_fault(self):
+        from repro.graphs import cycle
+        from repro.graphs.ids import adversarial_ids, random_ids
+
+        graph = cycle(8)
+        clean = random_ids(graph, seed=1)
+        configure_faults({"adversarial_ids": 1.0})
+        injected = random_ids(graph, seed=1)
+        configure_faults(None)
+        assert injected != clean
+        assert injected == adversarial_ids(graph, key=lambda v: -v)
+        assert len(set(injected)) == graph.num_nodes
+
+    def test_algorithms_stay_correct_under_adversarial_ids(self):
+        # Definition 2.1: identifier assignment is adversarial.  Measured
+        # localities may legitimately shift, but outputs must stay valid.
+        from repro.graphs import HalfEdgeLabeling, cycle
+        from repro.graphs.ids import random_ids
+        from repro.lcl import catalog as lcl_catalog
+        from repro.lcl.checker import check_solution
+        from repro.local.algorithms import LinialColoring
+        from repro.local.model import run_local_algorithm
+
+        graph = cycle(16)
+        problem = lcl_catalog.coloring(3, 2)
+        inputs = HalfEdgeLabeling.constant(graph, next(iter(problem.sigma_in)))
+        configure_faults({"adversarial_ids": 1.0})
+        ids = random_ids(graph, seed=1)
+        configure_faults(None)
+        result = run_local_algorithm(
+            graph, LinialColoring(2), inputs=inputs, ids=ids
+        )
+        assert check_solution(problem, graph, inputs, result.outputs).is_valid

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.exceptions import LandscapeError
 from repro.landscape import GROWTH_SHAPES, LandscapePanel, fit_growth
 from repro.utils.numbers import iterated_log
 
@@ -47,7 +48,7 @@ class TestFitGrowth:
         assert result.best in shapes
 
     def test_requires_samples(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(LandscapeError):
             fit_growth([8], [1.0])
 
     @settings(max_examples=20, deadline=None)

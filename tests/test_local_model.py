@@ -242,3 +242,94 @@ class TestIterativeReplay:
         assert algorithm.radius(100) == 3  # finalize_lookahead = 0
         algorithm.finalize_lookahead = 1
         assert algorithm.radius(100) == 4
+
+
+class CrashAtNode(LocalAlgorithm):
+    """Raises a low-level error at one node; elsewhere outputs 'x'."""
+
+    name = "crash-at-node"
+
+    def __init__(self, bad_node):
+        self.bad_node = bad_node
+
+    def radius(self, n):
+        return 0
+
+    def run(self, ctx):
+        if ctx.node == self.bad_node:
+            raise KeyError("missing lookup-table entry")
+        return {port: "x" for port in range(ctx.degree)}
+
+
+class RaisesSimulationError(LocalAlgorithm):
+    name = "raises-simulation-error"
+
+    def radius(self, n):
+        return 0
+
+    def run(self, ctx):
+        raise SimulationError("deliberate structured failure")
+
+
+class TestStructuredFailureSurfacing:
+    def test_crash_surfaces_as_node_execution_error(self):
+        from repro.exceptions import NodeExecutionError
+
+        with pytest.raises(NodeExecutionError) as excinfo:
+            run_local_algorithm(cycle(6), CrashAtNode(bad_node=4))
+        error = excinfo.value
+        assert error.node == 4
+        assert error.algorithm == "crash-at-node"
+        assert "node 4" in str(error)
+        assert "KeyError" in str(error)
+        assert isinstance(error.__cause__, KeyError)
+
+    def test_repro_errors_pass_through_untranslated(self):
+        from repro.exceptions import NodeExecutionError
+
+        with pytest.raises(SimulationError) as excinfo:
+            run_local_algorithm(cycle(6), RaisesSimulationError())
+        assert not isinstance(excinfo.value, NodeExecutionError)
+
+    def test_estimate_strict_reraises_with_seed(self):
+        from repro.exceptions import NodeExecutionError
+        from repro.lcl import catalog
+        from repro.local.randomized import estimate_local_failure
+
+        with pytest.raises(NodeExecutionError) as excinfo:
+            estimate_local_failure(
+                catalog.coloring(3, 2),
+                cycle(6),
+                CrashAtNode(bad_node=2),
+                seeds=[17, 18],
+            )
+        assert excinfo.value.node == 2
+        assert "trial seed 17" in str(excinfo.value)
+
+    def test_estimate_non_strict_counts_crashes_as_failures(self):
+        from repro.lcl import catalog
+        from repro.local.randomized import estimate_local_failure
+
+        estimate = estimate_local_failure(
+            catalog.coloring(3, 2),
+            cycle(6),
+            CrashAtNode(bad_node=2),
+            seeds=[17, 18, 19],
+            strict=False,
+        )
+        assert estimate["crashed"] == 1.0
+        assert estimate["global"] == 1.0
+        assert estimate["local"] == 1.0
+
+    def test_estimate_reports_zero_crashed_on_clean_runs(self):
+        from repro.lcl import catalog
+        from repro.local.randomized import RandomizedTrialColoring, estimate_local_failure
+
+        estimate = estimate_local_failure(
+            catalog.coloring(3, 2),
+            cycle(6),
+            RandomizedTrialColoring(2, trial_rounds=3),
+            seeds=list(range(5)),
+            ids=random_ids(cycle(6), seed=3),
+        )
+        assert estimate["crashed"] == 0.0

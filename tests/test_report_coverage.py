@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.exceptions import LandscapeError
 from repro.landscape import GROWTH_SHAPES, LandscapePanel, fit_growth
 from repro.landscape.report import GAP_CLASSES, SeriesRow
 from repro.utils.numbers import iterated_log
@@ -62,5 +63,5 @@ class TestFitCorners:
         assert set(result.scores) == set(GROWTH_SHAPES)
 
     def test_mismatched_lengths_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(LandscapeError):
             fit_growth(NS, [1.0])

@@ -1,0 +1,181 @@
+"""Chaos suite for supervised campaigns: the end-to-end recovery contract.
+
+A campaign run under injected ``sim_crash`` / ``sim_oom`` /
+``journal_torn`` faults — crash-isolated, retried, journaled,
+interrupted, and resumed — must yield per-cell results **bit-identical**
+to a clean serial run, with every unrecoverable cell surfaced as a
+``QUARANTINED`` row carrying its traceback, and with
+``gap_violations`` provably ignoring quarantined rows.
+
+Everything here is deterministic: fault decisions are pure functions of
+``(REPRO_FAULTS_SEED, kind, occurrence)``, and each cell's RNG is a pure
+function of ``(campaign seed, cell id)`` rebuilt per attempt.
+"""
+
+import pytest
+
+from repro.exceptions import SupervisorError
+from repro.supervisor import (
+    CampaignConfig,
+    CellSpec,
+    open_journal,
+    register_runner,
+    run_campaign,
+)
+from repro.supervisor.measurements import assemble_panel, plan_panel
+from repro.utils import faults
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    monkeypatch.delenv("REPRO_JOURNAL_DIR", raising=False)
+    faults.reset_faults()
+    yield
+    faults.reset_faults()
+
+
+@register_runner("chaos.bits")
+def _bits(spec, rng):
+    # A value that depends on the per-cell RNG stream: any attempt that
+    # consumed stale generator state would visibly diverge.
+    return rng.child("measurement").bits(48)
+
+
+@register_runner("chaos.broken")
+def _broken(spec, rng):
+    raise ZeroDivisionError(f"irreparably broken cell n={spec.n}")
+
+
+CELLS = [CellSpec.make("chaos.bits", "p", n, seed=n) for n in range(1, 9)]
+
+CHAOS = {"sim_crash": 0.3, "sim_oom": 0.2, "journal_torn": 0.15}
+
+
+def clean_serial_values():
+    """The clean serial baseline: inline isolation, no faults, no journal."""
+    faults.configure_faults(None)
+    report = run_campaign(CELLS, CampaignConfig(seed=7, isolation="inline"))
+    assert not report.quarantined
+    faults.reset_faults()
+    return report.values()
+
+
+class TestChaosRecovery:
+    def test_faulty_run_bit_identical_to_clean_serial(self, tmp_path):
+        baseline = clean_serial_values()
+        # seed=9: several cells crash/OOM and are retried, none beyond
+        # the retry budget (deterministic — see module docstring).
+        faults.configure_faults(CHAOS, seed=9)
+        journal = open_journal(CELLS, seed=7, directory=tmp_path)
+        config = CampaignConfig(seed=7, isolation="process", timeout=60.0, retries=3)
+        report = run_campaign(CELLS, config, journal=journal)
+        assert not report.quarantined, [r.reason for r in report.quarantined]
+        assert any(result.attempts > 1 for result in report.results)
+        assert report.values() == baseline
+
+    def test_interrupted_then_resumed_run_bit_identical(self, tmp_path):
+        baseline = clean_serial_values()
+        journal = open_journal(CELLS, seed=7, directory=tmp_path)
+        config = CampaignConfig(seed=7, isolation="process", timeout=60.0, retries=3)
+        # First pass dies mid-campaign (here: only ever sees a prefix of
+        # the cells) while faults tear journal lines and crash cells.
+        faults.configure_faults(CHAOS, seed=23)
+        run_campaign(CELLS[:5], config, journal=journal)
+        # The resumed pass runs under *different* fault draws — recorded
+        # cells restore from the journal, torn ones recompute.
+        faults.configure_faults(CHAOS, seed=24)
+        resumed = run_campaign(CELLS, config, journal=journal, resume=True)
+        assert not resumed.quarantined, [r.reason for r in resumed.quarantined]
+        assert resumed.values() == baseline
+        assert resumed.resumed_count > 0
+
+    def test_torn_journal_costs_recomputation_never_wrong_values(self, tmp_path):
+        baseline = clean_serial_values()
+        # journal_torn at a high rate: most lines are torn, so the resume
+        # restores few cells — but every value still matches the baseline.
+        faults.configure_faults({"journal_torn": 0.8}, seed=5)
+        journal = open_journal(CELLS, seed=7, directory=tmp_path)
+        config = CampaignConfig(seed=7, isolation="inline")
+        run_campaign(CELLS, config, journal=journal)
+        resumed = run_campaign(CELLS, config, journal=journal, resume=True)
+        assert resumed.values() == baseline
+        assert resumed.resumed_count < len(CELLS)
+
+    def test_unrecoverable_cells_quarantined_with_traceback(self, tmp_path):
+        mixed = CELLS[:3] + [CellSpec.make("chaos.broken", "p", 99, seed=0)]
+        # No injected faults here: the quarantine record must carry the
+        # *cell's own* traceback, not an injection's.
+        faults.configure_faults(None)
+        journal = open_journal(mixed, seed=7, directory=tmp_path)
+        config = CampaignConfig(seed=7, isolation="process", timeout=60.0, retries=2)
+        report = run_campaign(mixed, config, journal=journal)
+        assert len(report.quarantined) == 1
+        bad = report.quarantined[0]
+        assert bad.spec.runner == "chaos.broken"
+        assert bad.classification == "error"
+        assert bad.attempts == 3
+        assert "ZeroDivisionError" in bad.traceback
+        assert "irreparably broken" in bad.reason
+        good = {k: v for k, v in clean_serial_values().items() if k in report.values()}
+        assert report.values() == good
+        # The quarantine verdict itself survives a resume bit-identically.
+        faults.configure_faults(None)
+        resumed = run_campaign(mixed, config, journal=journal, resume=True)
+        assert resumed.resumed_count == 4
+        assert resumed.quarantined[0].traceback == bad.traceback
+
+
+class TestChaosLandscape:
+    def test_landscape_panel_under_chaos_matches_clean_render(self, tmp_path):
+        plan = plan_panel("volume", 3)
+        faults.configure_faults(None)
+        clean = assemble_panel(
+            plan, run_campaign(plan.cells, CampaignConfig(isolation="inline"))
+        )
+        faults.configure_faults(CHAOS, seed=2)
+        journal = open_journal(plan.cells, seed=0, directory=tmp_path)
+        config = CampaignConfig(isolation="process", timeout=60.0, retries=3)
+        chaotic = assemble_panel(
+            plan, run_campaign(plan.cells, config, journal=journal)
+        )
+        assert chaotic.render() == clean.render()
+        assert not chaotic.gap_violations()
+
+    def test_quarantined_series_excluded_from_gap_check(self):
+        plan = plan_panel("volume", 2)
+        report = run_campaign(plan.cells, CampaignConfig(isolation="inline"))
+        violations_before = [
+            row.problem
+            for row in assemble_panel(plan, report).gap_violations()
+        ]
+        # Kill one whole series: it must become a QUARANTINED row and
+        # leave the gap verdict untouched.
+        for result in report.results:
+            if result.spec.problem == plan.series[1].problem:
+                result.status = "QUARANTINED"
+                result.classification = "timeout"
+        panel = assemble_panel(plan, report)
+        assert len(panel.quarantined) == 1
+        assert [row.problem for row in panel.gap_violations()] == violations_before
+        rendered = panel.render()
+        assert "QUARANTINED [timeout]" in rendered
+        assert "degraded panel" in rendered
+
+
+class TestFaultPlanDiscipline:
+    def test_sim_fault_draws_are_deterministic(self):
+        a = faults.FaultPlan(CHAOS, seed=9)
+        b = faults.FaultPlan(CHAOS, seed=9)
+        draws_a = [faults.fire_sim_faults(a) for _ in range(50)]
+        draws_b = [faults.fire_sim_faults(b) for _ in range(50)]
+        assert draws_a == draws_b
+        fired = [kinds for kinds in draws_a if kinds]
+        assert fired, "chaos rates should fire within 50 attempts"
+
+    def test_resume_without_journal_is_caller_error(self):
+        with pytest.raises(SupervisorError):
+            run_campaign(CELLS, resume=True)
