@@ -12,14 +12,16 @@ buys: the warm pass must reproduce the cold outputs exactly while
 reruns everything through the raw kernels.
 """
 
+import json
 import time
 
 import pytest
-from conftest import cache_report_lines, write_report
+from conftest import RESULTS_DIR, cache_report_lines, write_report
 
 from repro.decidability import find_fixed_point_certificate
 from repro.lcl import catalog
-from repro.roundelim.ops import R, R_bar, simplify
+from repro.roundelim.canonical import canonical_hash
+from repro.roundelim.ops import R, R_bar, configure_bitset, simplify
 from repro.roundelim.sequence import ProblemSequence
 
 PROBLEMS = [
@@ -122,6 +124,113 @@ def test_kernel_R_operator(benchmark, roundelim_cache, name, build):
     use_cache = roundelim_cache.get_cache().enabled
     result = benchmark(lambda: R(problem, use_cache=use_cache))
     assert result.sigma_out
+
+
+# --------------------------------------------------------- backend comparison
+# Problems for the bitset-vs-oracle timing rows: ``steps`` walks the
+# ``f``-sequence first, so the timed operator runs on the (much larger)
+# derived alphabet where the compiled kernels matter.  The 3-coloring
+# step problem is the headline case: ≥10 labels, and the oracle spends
+# seconds in ``label_sort_key`` recursion that the bitset path never
+# touches.
+#: ``kernel="f"`` times the full f-step; ``"R"`` stops after R + simplify
+#: (the 3-coloring step problem's R̄ universe legitimately exceeds the
+#: default cap, so only the forward operator is comparable there).
+BACKEND_PROBLEMS = [
+    ("5-edge-coloring", lambda: catalog.edge_coloring(5, 2), 0, "f"),
+    ("3-coloring f^1", lambda: catalog.coloring(3, 2), 1, "R"),
+]
+
+BITSET_TRAJECTORY = "BENCH_bitset.json"
+
+
+def run_backend_experiment(problems=BACKEND_PROBLEMS):
+    """Time ``R`` + ``simplify`` under both backends on each problem.
+
+    Returns the result rows and the report text.  Outputs are asserted
+    identical (the differential contract) before any timing is trusted,
+    so a row can never report a speedup for a kernel that changed the
+    answer.
+    """
+    rows = []
+    lines = ["RE-bitset: compiled backend vs pure-Python oracle", ""]
+    lines.append(
+        f"  {'problem':<18} {'labels':>6} {'oracle':>9} {'bitset':>9} {'speedup':>8}"
+    )
+    # Warm-up: the compiled backend lazily imports its numpy kernels on
+    # first use — pay that once outside the timed regions.
+    configure_bitset(enabled=True)
+    R(catalog.trivial(2), use_cache=False)
+    for name, build, steps, kernel in problems:
+        base = build()
+        problem = (
+            ProblemSequence(base, use_cache=False).problem(steps) if steps else base
+        )
+        timings = {}
+        outputs = {}
+        for backend in ("oracle", "bitset"):
+            configure_bitset(enabled=backend == "bitset")
+            started = time.perf_counter()
+            r = R(problem, use_cache=False)
+            result = simplify(r, domination=True, use_cache=False)
+            if kernel == "f":
+                rbar = R_bar(result, use_cache=False)
+                result = simplify(rbar, domination=True, use_cache=False)
+            timings[backend] = time.perf_counter() - started
+            outputs[backend] = (r, result, canonical_hash(result))
+        configure_bitset(enabled=None)
+        assert outputs["bitset"] == outputs["oracle"], (
+            f"{name}: backends disagree — timings are meaningless"
+        )
+        speedup = timings["oracle"] / timings["bitset"]
+        rows.append(
+            {
+                "problem": name,
+                "labels": len(problem.sigma_out),
+                "oracle_seconds": round(timings["oracle"], 6),
+                "bitset_seconds": round(timings["bitset"], 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        lines.append(
+            f"  {name:<18} {len(problem.sigma_out):>6} "
+            f"{timings['oracle']:>8.3f}s {timings['bitset']:>8.3f}s "
+            f"{speedup:>7.1f}x"
+        )
+    return rows, "\n".join(lines)
+
+
+def append_bitset_trajectory(rows, results_dir=None):
+    """Append one entry to the ``BENCH_bitset.json`` speedup trajectory."""
+    directory = results_dir or RESULTS_DIR
+    directory.mkdir(exist_ok=True)
+    target = directory / BITSET_TRAJECTORY
+    trajectory = []
+    if target.exists():
+        trajectory = json.loads(target.read_text(encoding="utf-8"))
+    trajectory.append(
+        {
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+            "rows": rows,
+        }
+    )
+    target.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def test_bitset_backend_speedup(once, roundelim_cache):
+    rows, report = once(run_backend_experiment)
+    write_report("roundelim_bitset", report)
+    append_bitset_trajectory(rows)
+
+    by_name = {row["problem"]: row for row in rows}
+    # The compiled path must win everywhere it claims support...
+    for row in rows:
+        assert row["speedup"] > 1.0, f"{row['problem']}: bitset slower than oracle"
+    # ...and by ≥5x on the headline catalog walk with a ≥10-label alphabet.
+    headline = by_name["3-coloring f^1"]
+    assert headline["labels"] >= 10
+    assert headline["speedup"] >= 5.0, f"headline speedup regressed: {headline}"
 
 
 def test_kernel_full_f_step(benchmark, roundelim_cache):

@@ -19,6 +19,7 @@ from repro.roundelim.canonical import (
 from repro.roundelim.ops import (
     R,
     R_bar,
+    configure_bitset,
     configure_parallel,
     merge_equivalent_labels,
     remove_dominated_labels,
@@ -47,6 +48,7 @@ __all__ = [
     "canonical_hash",
     "canonical_order",
     "canonically_equal",
+    "configure_bitset",
     "configure_parallel",
     "format_stats",
     "reset_stats",

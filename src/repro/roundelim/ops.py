@@ -54,6 +54,21 @@ configurations before a pool is spun up — below it, or when a pool
 cannot be created, the loops run serially with identical semantics
 (including the early exits inside each selection check).
 
+Compiled backend
+----------------
+When the output universe fits one 64-bit word, the quantifier loops and
+the domination/equivalence hygiene dispatch to the packed-bitmask
+kernels of :mod:`repro.roundelim.bitset` (numpy ``uint64`` folds over
+pair/triple tables) instead of the pure-Python paths.  The dispatch is
+representation-blind: masks follow the same canonical label order the
+oracle sorts by, results are decoded back into the problem's own
+alphabet, and budget charges fire identically — so hashes, cache keys,
+and certificates do not depend on which backend answered
+(``tests/test_bitset_differential.py`` enforces this bit-for-bit).
+``REPRO_BITSET=0`` or :func:`configure_bitset` forces the oracle;
+out-of-range inputs (wide alphabets, degree ≥ 4 boxes) fall back
+automatically and are counted as ``bitset_fallbacks`` in the stats.
+
 Robustness
 ----------
 The pool execution is *hardened* (see :func:`_run_chunks`): chunks have
@@ -102,14 +117,31 @@ from repro.utils.multiset import Multiset, label_sort_key
 
 logger = logging.getLogger(__name__)
 
+#: Per-universe memo for :func:`_nonempty_subsets` (the full power set is a
+#: pure function of the label set, but used to be rebuilt on every call).
+_NONEMPTY_SUBSETS_CACHE: Dict[FrozenSet[Any], List[FrozenSet[Any]]] = {}
+_NONEMPTY_SUBSETS_CACHE_MAX = 32
+#: Observable counters for the memoization regression test.
+_nonempty_subsets_stats: Dict[str, int] = {"calls": 0, "builds": 0}
+
 
 def _nonempty_subsets(labels: Iterable[Any]) -> List[FrozenSet[Any]]:
-    ordered = sorted(set(labels), key=label_sort_key)
-    subsets: List[FrozenSet[Any]] = []
-    for size in range(1, len(ordered) + 1):
-        for combo in itertools.combinations(ordered, size):
-            subsets.append(frozenset(combo))
-    return subsets
+    key = frozenset(labels)
+    _nonempty_subsets_stats["calls"] += 1
+    cached = _NONEMPTY_SUBSETS_CACHE.get(key)
+    if cached is None:
+        _nonempty_subsets_stats["builds"] += 1
+        ordered = sorted(key, key=label_sort_key)
+        cached = []
+        for size in range(1, len(ordered) + 1):
+            for combo in itertools.combinations(ordered, size):
+                cached.append(frozenset(combo))
+        if len(_NONEMPTY_SUBSETS_CACHE) >= _NONEMPTY_SUBSETS_CACHE_MAX:
+            _NONEMPTY_SUBSETS_CACHE.clear()
+        _NONEMPTY_SUBSETS_CACHE[key] = cached
+    # Callers may hold the list across engine reconfigurations; hand out a
+    # fresh copy so the memo entry itself can never be mutated.
+    return list(cached)
 
 
 def _some_selection_in(
@@ -145,6 +177,50 @@ def _all_selections_in(
         if Multiset(chosen) not in allowed:
             return False
     return True
+
+
+# ------------------------------------------------------------ bitset backend
+_ENV_BITSET = "REPRO_BITSET"
+
+#: Lazily resolved :mod:`repro.roundelim.bitset` module; ``False`` when the
+#: import failed (numpy-less environment), ``None`` before the first probe.
+_bitset_module: Any = None
+
+#: Programmatic override for the ``REPRO_BITSET`` knob (``None`` = env).
+_bitset_overrides: Dict[str, Optional[bool]] = {"enabled": None}
+
+
+def configure_bitset(enabled: Optional[bool] = None) -> None:
+    """Override the ``REPRO_BITSET`` knob for this process.
+
+    ``True`` forces the compiled bitset kernels, ``False`` forces the
+    pure-Python oracle, ``None`` clears the override (falling back to the
+    environment knob, default on).  Unsupported problem shapes always fall
+    back to the oracle regardless of this setting.
+    """
+    _bitset_overrides["enabled"] = enabled
+
+
+def _bitset_enabled() -> bool:
+    override = _bitset_overrides["enabled"]
+    if override is not None:
+        return bool(override)
+    return env.get_bool(_ENV_BITSET)
+
+
+def _bitset_backend() -> Any:
+    """The compiled backend module when enabled and importable, else ``None``."""
+    global _bitset_module
+    if not _bitset_enabled():
+        return None
+    if _bitset_module is None:
+        try:
+            from repro.roundelim import bitset as module
+        except ImportError:  # pragma: no cover - numpy-less environments
+            module = False
+            logger.info("bitset backend unavailable (numpy missing); using oracle")
+        _bitset_module = module
+    return _bitset_module or None
 
 
 # ----------------------------------------------------------- parallel kernel
@@ -484,6 +560,21 @@ def _power_problem(
     else:
         raise ProblemDefinitionError(f"unknown universe_mode: {universe_mode!r}")
 
+    backend = _bitset_backend()
+    if backend is not None:
+        try:
+            return backend.power_problem(problem, universe, node_forall, name_prefix)
+        except backend.BitsetUnsupported as why:
+            # Raised before any budget/stats mutation, so the oracle path
+            # below starts from a clean slate.
+            operator_cache.record(name_prefix, bitset_fallbacks=1)
+            logger.debug(
+                "%s(%s): bitset backend declined (%s); using oracle",
+                name_prefix,
+                problem.name,
+                why,
+            )
+
     workers = _effective_workers()
     threshold = _effective_threshold()
     configurations_tested = 0
@@ -738,18 +829,43 @@ def merge_equivalent_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableL
     while True:
         labels = sorted(current.sigma_out, key=label_sort_key)
         dropped = None
-        for i, keep in enumerate(labels):
-            for other in labels[i + 1 :]:
-                if _dominates(current, keep, other) and _dominates(current, other, keep):
-                    dropped = other
+        matrix = _try_domination_matrix(current, labels)
+        if matrix is not None:
+            backend = _bitset_backend()
+            dropped = backend.equivalent_drop(matrix, labels)
+        else:
+            for i, keep in enumerate(labels):
+                for other in labels[i + 1 :]:
+                    if _dominates(current, keep, other) and _dominates(
+                        current, other, keep
+                    ):
+                        dropped = other
+                        break
+                if dropped is not None:
                     break
-            if dropped is not None:
-                break
         if dropped is None:
             return current
         current = current.restrict_outputs(
             [label for label in current.sigma_out if label != dropped]
         )
+
+
+def _try_domination_matrix(problem: NodeEdgeCheckableLCL, labels: List[Any]):
+    """All-pairs domination matrix from the bitset backend, or ``None``.
+
+    ``None`` (backend off, unavailable, or shape unsupported) sends the
+    caller down the oracle's pairwise ``_dominates`` scan; the matrix path
+    reproduces that scan's drop decisions exactly (see
+    :func:`repro.roundelim.bitset.domination_matrix`).
+    """
+    backend = _bitset_backend()
+    if backend is None:
+        return None
+    try:
+        return backend.domination_matrix(problem, labels)
+    except backend.BitsetUnsupported:
+        operator_cache.record("simplify", bitset_fallbacks=1)
+        return None
 
 
 def _dominates(problem: NodeEdgeCheckableLCL, strong: Any, weak: Any) -> bool:
@@ -789,20 +905,26 @@ def remove_dominated_labels(problem: NodeEdgeCheckableLCL) -> NodeEdgeCheckableL
     while True:
         labels = sorted(current.sigma_out, key=label_sort_key)
         dropped = None
-        for weak in reversed(labels):
-            for strong in labels:
-                if strong == weak:
-                    continue
-                if _dominates(current, strong, weak):
-                    # For mutual domination keep the canonical (smaller) label.
-                    if _dominates(current, weak, strong) and label_sort_key(
-                        strong
-                    ) > label_sort_key(weak):
+        matrix = _try_domination_matrix(current, labels)
+        if matrix is not None:
+            backend = _bitset_backend()
+            dropped = backend.dominated_drop(matrix, labels)
+        else:
+            for weak in reversed(labels):
+                for strong in labels:
+                    if strong == weak:
                         continue
-                    dropped = weak
+                    if _dominates(current, strong, weak):
+                        # For mutual domination keep the canonical (smaller)
+                        # label.
+                        if _dominates(current, weak, strong) and label_sort_key(
+                            strong
+                        ) > label_sort_key(weak):
+                            continue
+                        dropped = weak
+                        break
+                if dropped is not None:
                     break
-            if dropped is not None:
-                break
         if dropped is None:
             return current
         current = current.restrict_outputs(

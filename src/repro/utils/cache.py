@@ -74,6 +74,10 @@ STAT_FIELDS = (
     "chunk_timeouts",
     "chunk_failures",
     "serial_rescues",
+    # Maintained by the compiled bitset backend dispatch (REPRO_BITSET):
+    # steps served by the numpy kernels vs. declined-to-oracle fallbacks.
+    "bitset_steps",
+    "bitset_fallbacks",
 )
 
 _ENV_DISABLE = "REPRO_CACHE"

@@ -207,6 +207,22 @@ declare(
     "re-executed serially in-process.",
 )
 declare(
+    "REPRO_BITSET",
+    "bool",
+    True,
+    "Compiled bitset backend for the round-elimination operators and label "
+    "hygiene (numpy bitmask kernels); 0/false/off/no forces the pure-Python "
+    "oracle path.  Unsupported shapes (>64 base labels, node degree >3) "
+    "always fall back to the oracle automatically.",
+)
+declare(
+    "REPRO_BITSET_DIFF_COUNT",
+    "int",
+    100,
+    "Population size for the bitset-vs-oracle differential fuzz sweep "
+    "(tests marked 'fuzz' in tests/test_bitset_differential.py).",
+)
+declare(
     "REPRO_FAULTS",
     "str",
     "",

@@ -53,6 +53,22 @@ class Multiset:
         self._items: tuple[Any, ...] = tuple(sorted(items, key=label_sort_key))
         self._hash = hash(self._items)
 
+    @classmethod
+    def _from_sorted(cls, items: tuple) -> "Multiset":
+        """Internal fast path: trust ``items`` to already be canonical.
+
+        The caller must guarantee ``tuple(sorted(items, key=label_sort_key))
+        == tuple(items)`` — :mod:`repro.roundelim.bitset` does, by ordering
+        its label universe once and emitting configurations through that
+        precomputed order.  Skipping the per-element key computation here is
+        what lets the compiled kernels avoid re-deriving deep recursive sort
+        keys for every allowed configuration they emit.
+        """
+        multiset = object.__new__(cls)
+        multiset._items = tuple(items)
+        multiset._hash = hash(multiset._items)
+        return multiset
+
     @property
     def items(self) -> tuple[Any, ...]:
         """The elements in canonical (sorted) order, with multiplicity."""

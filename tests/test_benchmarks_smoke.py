@@ -61,6 +61,51 @@ def test_bench_roundelim_main_path(tmp_path, monkeypatch):
     assert target.read_text().startswith("RE-fixedpoint")
 
 
+def test_bench_roundelim_backend_comparison(tmp_path, monkeypatch):
+    """Smoke the bitset-vs-oracle experiment: the compiled backend must
+    not be slower than the oracle on the smoke problem, outputs must be
+    identical (asserted inside the experiment), and the run must append
+    a ``BENCH_bitset.json`` trajectory entry."""
+    import json
+
+    bench = importlib.import_module("bench_roundelim")
+
+    smoke = [row for row in bench.BACKEND_PROBLEMS if row[0] == "5-edge-coloring"]
+    assert smoke, "smoke problem disappeared from BACKEND_PROBLEMS"
+    rows, report = bench.run_backend_experiment(problems=smoke)
+
+    assert "RE-bitset" in report
+    for row in rows:
+        assert row["speedup"] > 1.0, (
+            f"{row['problem']}: bitset path slower than the oracle "
+            f"({row['bitset_seconds']}s vs {row['oracle_seconds']}s)"
+        )
+
+    target = bench.append_bitset_trajectory(rows, results_dir=tmp_path)
+    assert target.name == "BENCH_bitset.json"
+    trajectory = json.loads(target.read_text())
+    assert len(trajectory) == 1 and trajectory[0]["rows"] == rows
+
+    bench.append_bitset_trajectory(rows, results_dir=tmp_path)
+    trajectory = json.loads(target.read_text())
+    assert len(trajectory) == 2, "trajectory entries must accumulate"
+
+
+def test_bench_roundelim_main_path_oracle_backend():
+    """The classic experiment must also hold with the bitset knob off."""
+    from repro.roundelim.ops import configure_bitset
+
+    bench = importlib.import_module("bench_roundelim")
+    tiny = [(n, b) for n, b in bench.PROBLEMS if n in ("trivial", "sinkless-orientation")]
+    try:
+        configure_bitset(enabled=False)
+        sizes, certificate, _ = bench.run_experiment(problems=tiny, use_cache=False)
+    finally:
+        configure_bitset(enabled=None)
+    assert sizes["sinkless-orientation"][2] == 2
+    assert certificate.certifies_lower_bound
+
+
 def test_bench_speedup_trees_main_path():
     bench = importlib.import_module("bench_speedup_trees")
 

@@ -1,0 +1,149 @@
+"""Property tests for the :class:`BitsetUniverse` codec.
+
+The codec is the trust anchor of the compiled backend: every kernel
+receives masks produced by ``encode`` and every emitted configuration
+goes back through ``decode``, so the differential guarantees of
+``tests/test_bitset_differential.py`` reduce to three codec properties:
+
+* **losslessness** — ``decode(encode(S)) == S`` for every subset ``S``
+  of the base alphabet;
+* **canonical bit assignment** — the bit order depends only on the label
+  *set* (via ``label_sort_key``), never on construction order, so two
+  shuffles of the same alphabet produce interchangeable masks;
+* **loud overflow** — alphabets beyond the 64-bit packing word raise
+  :exc:`BitsetUnsupported` instead of silently truncating, which is what
+  lets :mod:`repro.roundelim.ops` fall back to the oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roundelim.bitset import WORD_BITS, BitsetUniverse, BitsetUnsupported
+from repro.utils.multiset import label_sort_key
+
+# Labels as the engine actually produces them: strings at step 0, nested
+# frozensets (of frozensets, ...) after round elimination.
+atoms = st.one_of(
+    st.text(min_size=1, max_size=4),
+    st.integers(min_value=-5, max_value=99),
+    st.tuples(st.text(min_size=1, max_size=2), st.integers(0, 9)),
+)
+labels = st.one_of(
+    atoms,
+    st.frozensets(atoms, min_size=1, max_size=4),
+    st.frozensets(st.frozensets(atoms, min_size=1, max_size=3), min_size=1, max_size=3),
+)
+alphabets = st.lists(labels, min_size=1, max_size=WORD_BITS, unique=True)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(alphabets, st.data())
+    def test_encode_decode_identity(self, alphabet, data):
+        codec = BitsetUniverse(alphabet)
+        subset = frozenset(
+            data.draw(st.lists(st.sampled_from(sorted(codec.base, key=label_sort_key))))
+        )
+        assert codec.decode(codec.encode(subset)) == subset
+
+    @settings(max_examples=50, deadline=None)
+    @given(alphabets)
+    def test_all_singletons_round_trip(self, alphabet):
+        codec = BitsetUniverse(alphabet)
+        for label in codec.base:
+            assert codec.decode(codec.encode([label])) == frozenset({label})
+
+    @settings(max_examples=50, deadline=None)
+    @given(alphabets)
+    def test_full_and_empty_masks(self, alphabet):
+        codec = BitsetUniverse(alphabet)
+        assert codec.decode(codec.full_mask) == frozenset(codec.base)
+        assert codec.decode(0) == frozenset()
+        assert codec.encode(codec.base) == codec.full_mask
+        assert codec.encode([]) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(alphabets, st.data())
+    def test_encode_array_matches_scalar_encode(self, alphabet, data):
+        import numpy as np
+
+        codec = BitsetUniverse(alphabet)
+        pool = sorted(codec.base, key=label_sort_key)
+        sets = data.draw(
+            st.lists(st.lists(st.sampled_from(pool)).map(frozenset), max_size=8)
+        )
+        array = codec.encode_array(sets)
+        assert array.dtype == np.uint64
+        assert [int(mask) for mask in array] == [codec.encode(s) for s in sets]
+
+
+class TestCanonicalAssignment:
+    @settings(max_examples=100, deadline=None)
+    @given(alphabets, st.randoms(use_true_random=False))
+    def test_order_insensitive_bit_assignment(self, alphabet, rng):
+        shuffled = list(alphabet)
+        rng.shuffle(shuffled)
+        original = BitsetUniverse(alphabet)
+        reordered = BitsetUniverse(shuffled)
+        assert original.base == reordered.base
+        assert original.index == reordered.index
+        assert original.full_mask == reordered.full_mask
+
+    @settings(max_examples=50, deadline=None)
+    @given(alphabets)
+    def test_bits_follow_label_sort_key(self, alphabet):
+        codec = BitsetUniverse(alphabet)
+        assert list(codec.base) == sorted(set(alphabet), key=label_sort_key)
+        for position, label in enumerate(codec.base):
+            assert codec.encode([label]) == 1 << position
+
+    @settings(max_examples=50, deadline=None)
+    @given(alphabets)
+    def test_duplicates_collapse(self, alphabet):
+        assert BitsetUniverse(alphabet + alphabet).base == BitsetUniverse(alphabet).base
+
+
+class TestOverflowFallback:
+    def test_wide_alphabet_raises(self):
+        with pytest.raises(BitsetUnsupported):
+            BitsetUniverse([f"L{i}" for i in range(WORD_BITS + 1)])
+
+    def test_word_width_alphabet_is_accepted(self):
+        codec = BitsetUniverse([f"L{i:02d}" for i in range(WORD_BITS)])
+        assert len(codec) == WORD_BITS
+        assert codec.full_mask == (1 << WORD_BITS) - 1
+        assert codec.decode(codec.full_mask) == frozenset(codec.base)
+
+    def test_empty_alphabet_raises(self):
+        with pytest.raises(BitsetUnsupported):
+            BitsetUniverse([])
+
+    def test_foreign_bits_rejected_on_decode(self):
+        codec = BitsetUniverse(["a", "b"])
+        with pytest.raises(ValueError):
+            codec.decode(1 << 5)
+
+    def test_foreign_label_rejected_on_encode(self):
+        codec = BitsetUniverse(["a", "b"])
+        with pytest.raises(KeyError):
+            codec.encode(["z"])
+
+    def test_overflow_triggers_oracle_fallback_end_to_end(self):
+        # The operator entry point must decline the wide alphabet and the
+        # engine must still answer via the oracle with the same result.
+        from repro.lcl import catalog
+        from repro.roundelim.ops import R, configure_bitset
+        from repro.utils import cache as operator_cache
+
+        wide = catalog.trivial(2, labels=tuple(f"t{i}" for i in range(WORD_BITS + 6)))
+        operator_cache.reset_stats()
+        try:
+            configure_bitset(enabled=True)
+            compiled_view = R(wide, use_cache=False)
+            assert operator_cache.stats()["operators"]["R"]["bitset_fallbacks"] >= 1
+            configure_bitset(enabled=False)
+            assert compiled_view == R(wide, use_cache=False)
+        finally:
+            configure_bitset(enabled=None)
+            operator_cache.reset_stats()

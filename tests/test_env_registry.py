@@ -26,6 +26,8 @@ EXPECTED_KNOBS = {
     "REPRO_CELL_MEM_MB": "int",
     "REPRO_CELL_RETRIES": "int",
     "REPRO_JOURNAL_DIR": "str",
+    "REPRO_BITSET": "bool",
+    "REPRO_BITSET_DIFF_COUNT": "int",
 }
 
 

@@ -12,7 +12,7 @@ be *loud* — counted in ``stats()`` and logged — but never change results.
 import pytest
 
 from repro.lcl import catalog
-from repro.roundelim.ops import R, R_bar, configure_parallel, simplify
+from repro.roundelim.ops import R, R_bar, configure_bitset, configure_parallel, simplify
 from repro.roundelim.sequence import ProblemSequence
 from repro.utils import cache as operator_cache
 from repro.utils import faults
@@ -30,12 +30,16 @@ def clean_engine(monkeypatch):
     operator_cache.reset_stats()
     operator_cache.configure(enabled=True, disk_dir=None)
     configure_parallel(workers=1, threshold=None, chunk_timeout=None, chunk_retries=None)
+    # The chaos scenarios target the *pool* recovery boundaries; the bitset
+    # backend would answer the quantifier loops without ever fanning out.
+    configure_bitset(enabled=False)
     faults.reset_faults()
     yield
     faults.reset_faults()
     operator_cache.reset()
     operator_cache.reset_stats()
     configure_parallel(workers=None, threshold=None, chunk_timeout=None, chunk_retries=None)
+    configure_bitset(enabled=None)
 
 
 def engine_outputs(problem, use_cache=False):
