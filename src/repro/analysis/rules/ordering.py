@@ -36,7 +36,7 @@ from typing import Iterable, Optional
 from repro.analysis.core import FileContext, Finding, Rule, register
 
 #: File stems whose whole module is an ordered-output surface.
-ORDERED_OUTPUT_STEMS = frozenset({"bitset", "canonical", "codec", "checkpoint"})
+ORDERED_OUTPUT_STEMS = frozenset({"bitset", "canonical", "codec", "checkpoint", "encode"})
 #: Any module inside a package with this segment is in scope.
 ORDERED_OUTPUT_PACKAGES = frozenset({"verify"})
 

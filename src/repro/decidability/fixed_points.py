@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.roundelim.sequence import ProblemSequence
-from repro.roundelim.zero_round import find_zero_round_algorithm
+from repro.roundelim.zero_round import decide_zero_round
 
 
 @dataclass(frozen=True)
@@ -70,10 +70,12 @@ def find_fixed_point_certificate(
     if depth is None:
         return None
     fixed_problem = sequence.problem(depth)
-    zero = find_zero_round_algorithm(fixed_problem)
+    # Decision-only: the certificate records *whether* the fixed point is
+    # 0-round solvable, so the rule table is never needed and the SAT
+    # decision kernel can stop at the first satisfiable clique.
     return FixedPointCertificate(
         problem=problem,
         depth=depth,
         fixed_problem=fixed_problem,
-        zero_round_solvable=zero is not None,
+        zero_round_solvable=decide_zero_round(fixed_problem),
     )

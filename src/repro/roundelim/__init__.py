@@ -29,7 +29,11 @@ from repro.roundelim.ops import (
 from repro.utils.cache import format_stats, reset_stats, stats
 from repro.roundelim.checkpoint import SequenceCheckpoint
 from repro.roundelim.sequence import ProblemSequence
-from repro.roundelim.zero_round import ZeroRoundAlgorithm, find_zero_round_algorithm
+from repro.roundelim.zero_round import (
+    ZeroRoundAlgorithm,
+    decide_zero_round,
+    find_zero_round_algorithm,
+)
 from repro.roundelim.lift import lift_once, lift_to_local_algorithm
 from repro.roundelim.failure_bounds import (
     FailureBoundParameters,
@@ -60,6 +64,7 @@ __all__ = [
     "ProblemSequence",
     "SequenceCheckpoint",
     "ZeroRoundAlgorithm",
+    "decide_zero_round",
     "find_zero_round_algorithm",
     "lift_once",
     "lift_to_local_algorithm",

@@ -1,0 +1,79 @@
+"""SAT-backed decision kernels for the landscape classification.
+
+The brute-force decision procedures at the heart of the pipeline — is
+``f^k(Π)`` 0-round solvable? which input tuple defeats a clique? — are
+re-expressed here as CNF (:mod:`repro.sat.encode`), solved by ``pysat``
+when installed or by the bundled pure-Python DPLL otherwise
+(:mod:`repro.sat.solver` / :mod:`repro.sat.dpll`), and decoded back into
+the *same* witness shapes the enumeration engine produces, so
+certificates and canonical hashes are byte-identical regardless of which
+engine answered.
+
+Dispatch is governed by the ``REPRO_SAT`` knob (default on) or the
+process-local :func:`configure_sat` override; every condition the SAT
+path cannot handle — unsupported shapes, solver budget trips, failed
+model validation — raises a :class:`~repro.sat.errors.SatError` that the
+calling kernel converts into an automatic enumeration fallback, counted
+per-operator as ``sat_fallbacks`` next to the served ``sat_steps``.
+
+This package never imports :mod:`repro.roundelim` or
+:mod:`repro.decidability` (lint rule REP003): the engine kernels import
+*us*, and the import-pure checker half of :mod:`repro.verify` reaches us
+lazily inside function bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.dpll import DpllSolver, solve_formula
+from repro.sat.encode import MAX_DEGREE, MAX_TUPLES, ZeroRoundEncoder
+from repro.sat.errors import (
+    SatBudgetExceeded,
+    SatDecodeError,
+    SatError,
+    SatUnsupported,
+)
+from repro.sat.solver import SatSolver
+from repro.utils import env
+
+__all__ = [
+    "CnfFormula",
+    "DpllSolver",
+    "MAX_DEGREE",
+    "MAX_TUPLES",
+    "SatBudgetExceeded",
+    "SatDecodeError",
+    "SatError",
+    "SatSolver",
+    "SatUnsupported",
+    "ZeroRoundEncoder",
+    "configure_sat",
+    "sat_enabled",
+    "solve_formula",
+]
+
+_ENV_SAT = "REPRO_SAT"
+
+#: Programmatic override for the ``REPRO_SAT`` knob (``None`` = env).
+_sat_overrides: Dict[str, Optional[bool]] = {"enabled": None}
+
+
+def configure_sat(enabled: Optional[bool] = None) -> None:
+    """Override the ``REPRO_SAT`` knob for this process.
+
+    ``True`` forces the SAT decision kernels, ``False`` forces pure
+    enumeration, ``None`` clears the override (falling back to the
+    environment knob, default on).  Unsupported shapes and solver budget
+    trips always fall back to enumeration regardless of this setting.
+    """
+    _sat_overrides["enabled"] = enabled
+
+
+def sat_enabled() -> bool:
+    """Should decision kernels attempt the SAT path for this call?"""
+    override = _sat_overrides["enabled"]
+    if override is not None:
+        return bool(override)
+    return env.get_bool(_ENV_SAT)

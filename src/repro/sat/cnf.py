@@ -1,0 +1,67 @@
+"""A minimal CNF container shared by the encoder and both solver backends.
+
+Variables are positive integers handed out by :meth:`CnfFormula.new_var`;
+a literal is a signed variable (DIMACS convention).  Clauses are stored as
+immutable tuples in insertion order — the encoder streams clauses in a
+deterministic order derived from the canonical label order
+(:func:`repro.utils.multiset.label_sort_key`), so two runs over the same
+problem produce the same variable numbering and the same clause sequence,
+which keeps solver behavior (and therefore fallback/timeout behavior)
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.sat.errors import SatUnsupported
+
+#: Hard ceiling on formula size; the encoder declines larger instances so
+#: the pure-Python solver can never be handed a multi-megabyte formula.
+MAX_VARIABLES = 200_000
+MAX_CLAUSES = 1_000_000
+
+
+class CnfFormula:
+    """A growable CNF formula with validated clause insertion."""
+
+    __slots__ = ("num_vars", "clauses")
+
+    def __init__(self) -> None:
+        self.num_vars: int = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return the next variable (1-based)."""
+        if self.num_vars >= MAX_VARIABLES:
+            raise SatUnsupported(
+                f"formula exceeds {MAX_VARIABLES} variables"
+            )
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append one clause.  An *empty* clause is legal and makes the
+        formula trivially unsatisfiable (the encoder emits one when an
+        input tuple has no candidate configuration at all)."""
+        clause = tuple(literals)
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"literal {literal} names no allocated variable")
+        if len(self.clauses) >= MAX_CLAUSES:
+            raise SatUnsupported(f"formula exceeds {MAX_CLAUSES} clauses")
+        self.clauses.append(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def satisfied_by(self, model: Dict[int, bool]) -> bool:
+        """Does ``model`` (a total assignment) satisfy every clause?"""
+        for clause in self.clauses:
+            if not any(model[abs(lit)] == (lit > 0) for lit in clause):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(vars={self.num_vars}, clauses={self.num_clauses})"

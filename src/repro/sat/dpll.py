@@ -1,0 +1,269 @@
+"""A bundled, dependency-free DPLL solver with incremental assumptions.
+
+This is the fallback engine behind :class:`repro.sat.solver.SatSolver`
+when ``pysat`` is not installed — which the repository treats as the
+*normal* situation: the image bakes in no SAT dependency, CI runs one leg
+explicitly without ``pysat``, and the differential harness pins this
+solver's answers to the enumeration oracle bit-for-bit.
+
+Design points:
+
+* **two-watched-literal propagation** — the only part that matters for
+  speed on the clique-cover formulas, whose clauses are mostly binary
+  implications;
+* **chronological backtracking, no clause learning** — the instances are
+  tiny (hundreds of variables) and determinism is worth more than CDCL
+  sophistication here;
+* **deterministic search order** — decisions pick the first unassigned
+  variable of a static order (the caller's ``decision_order``, defaulting
+  to variable index), *negative* phase first, so the same formula
+  explores the same tree in every process.  The encoder passes its
+  tuple-cover variables first; deciding them off until a cover clause
+  unit-forces one on makes the search walk candidate choices tuple by
+  tuple — the enumeration engine's own backtracking shape — instead of
+  exponentially enumerating selector subsets;
+* **incremental assumptions** — :meth:`DpllSolver.solve` takes a list of
+  assumption literals enqueued as unflippable decision levels, and the
+  solver object can be re-queried with different assumptions (watch lists
+  persist; the trail is rewound to level 0 between calls), which is how
+  the dispatch asks "is this particular clique enough?" per maximal
+  clique without re-encoding;
+* **budgets, not hangs** — a step counter (decisions + propagated
+  literals) raises :exc:`~repro.sat.errors.SatBudgetExceeded` past
+  ``max_steps``, and an optional ``interrupt`` callback (polled every
+  few hundred steps) lets the driver impose a wall-clock deadline without
+  this module ever reading a clock itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.errors import SatBudgetExceeded
+
+#: Default step budget: generous for the decision kernels (whose formulas
+#: solve in well under a thousand steps) while still bounding a
+#: pathological instance to well under a second of pure-Python search.
+DEFAULT_MAX_STEPS = 2_000_000
+
+#: How many steps pass between polls of the driver's interrupt callback.
+_INTERRUPT_POLL_MASK = 0x1FF
+
+
+class DpllSolver:
+    """Deterministic DPLL over a fixed :class:`CnfFormula`."""
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        max_steps: Optional[int] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
+        decision_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.num_vars = formula.num_vars
+        self.max_steps = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        self._interrupt = interrupt
+        order = list(decision_order) if decision_order is not None else []
+        known = set(order)
+        if any(var < 1 or var > self.num_vars for var in order):
+            raise ValueError("decision_order names an unallocated variable")
+        order.extend(
+            var for var in range(1, self.num_vars + 1) if var not in known
+        )
+        self._decision_order = order
+        self._steps = 0
+        #: 0 = unassigned, +1 = true, -1 = false; index 0 unused.
+        self._assign: List[int] = [0] * (self.num_vars + 1)
+        self._trail: List[int] = []
+        self._level_starts: List[int] = []
+        #: clause id -> mutable literal list; positions 0/1 are watched.
+        self._clauses: List[List[int]] = []
+        #: literal -> clause ids currently watching it.
+        self._watches: Dict[int, List[int]] = {}
+        self._initial_units: List[int] = []
+        self._root_conflict = False
+        self._root_propagated = False
+        for clause in formula.clauses:
+            if not clause:
+                self._root_conflict = True
+                continue
+            if len(clause) == 1:
+                self._initial_units.append(clause[0])
+                continue
+            index = len(self._clauses)
+            self._clauses.append(list(clause))
+            self._watches.setdefault(clause[0], []).append(index)
+            self._watches.setdefault(clause[1], []).append(index)
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def steps(self) -> int:
+        """Decisions + propagated literals across all queries so far."""
+        return self._steps
+
+    def _bump(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise SatBudgetExceeded(
+                f"DPLL exceeded its step budget ({self.max_steps})"
+            )
+        if (
+            self._interrupt is not None
+            and self._steps & _INTERRUPT_POLL_MASK == 0
+            and self._interrupt()
+        ):
+            raise SatBudgetExceeded("DPLL interrupted (wall-clock deadline)")
+
+    # ------------------------------------------------------------- assignment
+    def _value(self, literal: int) -> int:
+        value = self._assign[abs(literal)]
+        if value == 0:
+            return 0
+        return 1 if (value > 0) == (literal > 0) else -1
+
+    def _enqueue(self, literal: int) -> bool:
+        """Assign ``literal`` true; False when it is already false."""
+        current = self._value(literal)
+        if current != 0:
+            return current > 0
+        self._bump()
+        self._assign[abs(literal)] = 1 if literal > 0 else -1
+        self._trail.append(literal)
+        return True
+
+    def _new_level(self) -> None:
+        self._level_starts.append(len(self._trail))
+
+    def _cancel_to(self, level: int) -> None:
+        """Rewind the trail so only ``level`` decision levels remain."""
+        if len(self._level_starts) <= level:
+            return
+        start = self._level_starts[level]
+        for literal in self._trail[start:]:
+            self._assign[abs(literal)] = 0
+        del self._trail[start:]
+        del self._level_starts[level:]
+
+    # ------------------------------------------------------------ propagation
+    def _propagate(self, head: int) -> bool:
+        """Watched-literal unit propagation from trail position ``head``.
+
+        Returns False on conflict.
+        """
+        while head < len(self._trail):
+            false_literal = -self._trail[head]
+            head += 1
+            watching = self._watches.get(false_literal)
+            if not watching:
+                continue
+            retained: List[int] = []
+            for scan, clause_id in enumerate(watching):
+                clause = self._clauses[clause_id]
+                # Normalize: keep the false literal at position 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._value(other) == 1:
+                    retained.append(clause_id)
+                    continue
+                moved = False
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) != -1:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause_id)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                retained.append(clause_id)
+                if not self._enqueue(other):
+                    retained.extend(watching[scan + 1 :])
+                    self._watches[false_literal] = retained
+                    return False
+            self._watches[false_literal] = retained
+        return True
+
+    def _propagate_roots(self) -> bool:
+        """Enqueue the formula's unit clauses at level 0 (once)."""
+        if self._root_conflict:
+            return False
+        if self._root_propagated:
+            return True
+        head = len(self._trail)
+        for literal in self._initial_units:
+            if not self._enqueue(literal):
+                self._root_conflict = True
+                return False
+        if not self._propagate(head):
+            self._root_conflict = True
+            return False
+        self._root_propagated = True
+        return True
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self, assumptions: Sequence[int] = ()
+    ) -> Optional[Dict[int, bool]]:
+        """A total model as ``{var: bool}``, or ``None`` when UNSAT.
+
+        ``assumptions`` are literals held true for this query only; a
+        conflict forced by them (directly or via propagation) yields
+        ``None`` without disturbing later queries.
+        """
+        self._cancel_to(0)
+        if not self._propagate_roots():
+            return None
+        for literal in assumptions:
+            current = self._value(literal)
+            if current == 1:
+                continue
+            if current == -1:
+                return None
+            self._new_level()
+            head = len(self._trail)
+            if not self._enqueue(literal) or not self._propagate(head):
+                return None
+        base_levels = len(self._level_starts)
+        # (decision literal, tried-both-phases) per search level.
+        decisions: List[Tuple[int, bool]] = []
+        while True:
+            variable = self._next_unassigned()
+            if variable is None:
+                model = {
+                    var: self._assign[var] > 0
+                    for var in range(1, self.num_vars + 1)
+                }
+                self._cancel_to(base_levels)
+                return model
+            self._new_level()
+            head = len(self._trail)
+            self._enqueue(-variable)
+            decisions.append((-variable, False))
+            while not self._propagate(head):
+                while decisions and decisions[-1][1]:
+                    decisions.pop()
+                if not decisions:
+                    self._cancel_to(base_levels)
+                    return None
+                flipped = -decisions[-1][0]
+                decisions[-1] = (flipped, True)
+                self._cancel_to(base_levels + len(decisions) - 1)
+                self._new_level()
+                head = len(self._trail)
+                self._enqueue(flipped)
+
+    def _next_unassigned(self) -> Optional[int]:
+        for variable in self._decision_order:
+            if self._assign[variable] == 0:
+                return variable
+        return None
+
+
+def solve_formula(
+    formula: CnfFormula,
+    assumptions: Iterable[int] = (),
+    max_steps: Optional[int] = None,
+) -> Optional[Dict[int, bool]]:
+    """One-shot convenience wrapper used by tests."""
+    return DpllSolver(formula, max_steps=max_steps).solve(tuple(assumptions))

@@ -1,0 +1,366 @@
+"""CNF encoding of the Theorem 3.10 base case (0-round solvability).
+
+A deterministic 0-round algorithm for a node-edge-checkable LCL exists
+iff some *self-looped clique* ``C`` of the edge-compatibility graph
+*covers* every input tuple: for each tuple there is an allowed node
+configuration, achievable under ``g``, whose support lies inside ``C``
+(see :mod:`repro.roundelim.zero_round`).  :class:`ZeroRoundEncoder`
+expresses exactly that as CNF:
+
+* one selector variable ``s_ℓ`` per self-looped output label ``ℓ``
+  ("``ℓ`` may be output"), allocated in canonical label order;
+* a binary clause ``(¬s_a ∨ ¬s_b)`` per *non*-adjacent self-looped pair —
+  the selected labels form a clique;
+* one variable ``u_{t,c}`` per (input tuple ``t``, *candidate*
+  configuration ``c``) — candidates are the allowed configurations of
+  ``t``'s degree whose support is self-looped and which are achievable
+  for ``t`` under ``g`` (a clique-independent property, computed once
+  here); plus implications ``(¬u_{t,c} ∨ s_ℓ)`` for every ``ℓ`` in
+  ``c``'s support and one cover clause ``(∨_c u_{t,c})`` per tuple.
+
+The formula is satisfiable iff the problem is 0-round solvable, and a
+query under assumptions ``¬s_ℓ`` for every ``ℓ`` outside a given clique
+answers "does *this* clique cover everything?" — the per-maximal-clique
+question the enumeration engine answers by backtracking.
+
+Fidelity contract
+-----------------
+Tuples are enumerated exactly as the enumeration oracle does (sorted
+degrees, ``combinations_with_replacement`` over inputs sorted by
+:func:`~repro.utils.multiset.label_sort_key`), and per-tuple candidate
+lists are kept in canonical configuration order, so
+:meth:`first_uncoverable` reproduces the *same* witness tuple
+:func:`repro.verify.refute.uncoverable_tuple` finds — certificates are
+byte-identical regardless of which engine answered.  Oversized shapes
+(degree above :data:`MAX_DEGREE`, tuple blow-ups past
+:data:`MAX_TUPLES`) raise :exc:`~repro.sat.errors.SatUnsupported`
+*before* any stats mutation so dispatch can fall back cleanly, and
+:meth:`decode_clique` never trusts a model: totality, clause
+satisfaction, cliqueness, and full cover are all re-validated here,
+independent of the solver.
+
+This module deliberately imports nothing from :mod:`repro.roundelim` or
+:mod:`repro.decidability` (lint rule REP003): the import-pure checker
+half of :mod:`repro.verify` reaches it lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.sat.cnf import CnfFormula
+from repro.sat.errors import SatDecodeError, SatUnsupported
+from repro.utils.multiset import label_sort_key
+
+#: Node degrees the encoder covers; achievability matching is factorial in
+#: the degree, so larger tuples fall back to enumeration.
+MAX_DEGREE = 6
+#: Upper bound on the number of input tuples across all degrees.
+MAX_TUPLES = 20_000
+
+#: A candidate: (configuration as a sorted rank tuple, its support ranks).
+_Candidate = Tuple[Tuple[int, ...], FrozenSet[int]]
+
+
+def _achievable(
+    items: Tuple[int, ...], ports: Tuple[FrozenSet[int], ...]
+) -> bool:
+    """Can the configuration's items be assigned one-per-port within g?
+
+    ``items`` is the multiset of output ranks, ``ports`` the allowed rank
+    set of each port's input label.  Backtracking with duplicate-skip;
+    degree is capped at :data:`MAX_DEGREE` so this stays trivial.
+    """
+    first = ports[0]
+    if all(port is first or port == first for port in ports):
+        return all(rank in first for rank in items)
+    remaining: List[Optional[int]] = list(items)
+
+    def recurse(index: int) -> bool:
+        if index == len(ports):
+            return True
+        tried = set()
+        for position, rank in enumerate(remaining):
+            if rank is None or rank in tried:
+                continue
+            tried.add(rank)
+            if rank in ports[index]:
+                remaining[position] = None
+                if recurse(index + 1):
+                    return True
+                remaining[position] = rank
+        return False
+
+    return recurse(0)
+
+
+class ZeroRoundEncoder:
+    """CNF for "``problem`` is 0-round solvable on the given degrees"."""
+
+    def __init__(
+        self,
+        problem: NodeEdgeCheckableLCL,
+        degrees: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.problem = problem
+        chosen = (
+            tuple(sorted(degrees)) if degrees is not None else problem.degrees()
+        )
+        if not chosen:
+            raise SatUnsupported("problem declares no degrees to cover")
+        if chosen[-1] > MAX_DEGREE:
+            raise SatUnsupported(
+                f"node degree {chosen[-1]} exceeds the encoder cap {MAX_DEGREE}"
+            )
+        self.degrees = chosen
+
+        # Canonical label universe: ranks follow label_sort_key order, so
+        # variable numbering and clause order are process-independent.
+        self._labels: List[Any] = sorted(problem.sigma_out, key=label_sort_key)
+        rank: Dict[Any, int] = {
+            label: index for index, label in enumerate(self._labels)
+        }
+        self._rank = rank
+
+        # Self-loops and adjacency, read off the edge constraint directly
+        # (set-population only: no order reaches any output).
+        looped: set = set()
+        adjacent: set = set()
+        for configuration in problem.edge_constraint:
+            first, second = configuration.items
+            rank_a, rank_b = rank[first], rank[second]
+            if rank_a == rank_b:
+                looped.add(rank_a)
+            else:
+                adjacent.add((rank_a, rank_b) if rank_a < rank_b else (rank_b, rank_a))
+        self._selfloop_ranks: List[int] = sorted(looped)
+        self._adjacent = frozenset(adjacent)
+
+        # g images as rank sets, per input label.
+        g_ranks: Dict[Any, FrozenSet[int]] = {
+            label: frozenset(
+                rank[output]
+                for output in problem.allowed_outputs(label)
+                if output in rank
+            )
+            for label in problem.sigma_in
+        }
+
+        formula = CnfFormula()
+        self._svar: Dict[int, int] = {
+            looped_rank: formula.new_var() for looped_rank in self._selfloop_ranks
+        }
+        for index, rank_a in enumerate(self._selfloop_ranks):
+            svar_a = self._svar[rank_a]
+            for rank_b in self._selfloop_ranks[index + 1 :]:
+                if (rank_a, rank_b) not in self._adjacent:
+                    formula.add_clause((-svar_a, -self._svar[rank_b]))
+
+        # Candidate configurations per degree: allowed, self-looped
+        # support, in canonical (rank tuple) order.
+        selfloop_set = frozenset(self._selfloop_ranks)
+        candidates_by_degree: Dict[int, List[_Candidate]] = {}
+        for degree in chosen:
+            entries: List[_Candidate] = []
+            for configuration in problem.node_constraints.get(degree, frozenset()):
+                ranks = tuple(sorted(rank[item] for item in configuration.items))
+                support = frozenset(ranks)
+                if support <= selfloop_set:
+                    entries.append((ranks, support))
+            entries.sort()
+            candidates_by_degree[degree] = entries
+
+        # Input tuples in the oracle's exact enumeration order, each with
+        # its achievable candidates and its freshly numbered u-variables.
+        inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
+        #: (degree, input tuple, candidates) per tuple, in witness order.
+        self._tuples: List[Tuple[int, Tuple[Any, ...], List[_Candidate]]] = []
+        #: var -> human-readable role, for the relabeling-invariance tests.
+        self._semantics: Dict[int, Tuple[Any, ...]] = {}
+        #: u-variables in allocation (tuple, candidate) order.
+        self._uvars: List[int] = []
+        for looped_rank in self._selfloop_ranks:
+            self._semantics[self._svar[looped_rank]] = (
+                "s",
+                self._labels[looped_rank],
+            )
+        for degree in chosen:
+            entries = candidates_by_degree[degree]
+            for input_tuple in itertools.combinations_with_replacement(
+                inputs_sorted, degree
+            ):
+                if len(self._tuples) >= MAX_TUPLES:
+                    raise SatUnsupported(
+                        f"input tuple count exceeds the encoder cap {MAX_TUPLES}"
+                    )
+                ports = tuple(g_ranks[label] for label in input_tuple)
+                achievable = [
+                    entry for entry in entries if _achievable(entry[0], ports)
+                ]
+                tuple_index = len(self._tuples)
+                cover_clause: List[int] = []
+                for ranks, support in achievable:
+                    uvar = formula.new_var()
+                    cover_clause.append(uvar)
+                    self._uvars.append(uvar)
+                    self._semantics[uvar] = (
+                        "u",
+                        tuple_index,
+                        tuple(self._labels[item] for item in ranks),
+                    )
+                    for looped_rank in sorted(support):
+                        formula.add_clause((-uvar, self._svar[looped_rank]))
+                formula.add_clause(cover_clause)
+                self._tuples.append((degree, input_tuple, achievable))
+        self.formula = formula
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_tuples(self) -> int:
+        return len(self._tuples)
+
+    def selector_var(self, label: Any) -> int:
+        """The ``s`` variable of a self-looped output label."""
+        looped_rank = self._rank.get(label)
+        if looped_rank is None or looped_rank not in self._svar:
+            raise KeyError(f"label {label!r} has no selector (not self-looped)")
+        return self._svar[looped_rank]
+
+    def var_semantics(self) -> Dict[int, Tuple[Any, ...]]:
+        """``var -> ("s", label)`` or ``("u", tuple index, config labels)``."""
+        return dict(self._semantics)
+
+    def decision_order(self) -> List[int]:
+        """Branching order for the bundled DPLL: tuple-cover variables in
+        tuple order first, then selectors.  Deciding candidates per tuple
+        (with the selectors following by unit propagation) makes the
+        search mirror the enumeration engine's per-tuple backtracking;
+        branching on selectors first would enumerate clique subsets,
+        which is exponentially worse on unsatisfiable instances."""
+        return self._uvars + [
+            self._svar[looped_rank] for looped_rank in self._selfloop_ranks
+        ]
+
+    def maximal_cliques(self) -> List[FrozenSet[Any]]:
+        """Maximal self-looped cliques, in the engine's search order.
+
+        Bron–Kerbosch with pivoting over integer ranks; the result is
+        sorted by ``(-size, rank tuple)``.  Ranks follow
+        :func:`~repro.utils.multiset.label_sort_key` order, so this is
+        the *same* clique sequence
+        :func:`repro.roundelim.zero_round.find_zero_round_algorithm`
+        iterates — computed without re-deriving a single sort key.
+        """
+        adjacency: Dict[int, FrozenSet[int]] = {}
+        for vertex in self._selfloop_ranks:
+            adjacency[vertex] = frozenset(
+                other
+                for other in self._selfloop_ranks
+                if other != vertex
+                and (
+                    (vertex, other) if vertex < other else (other, vertex)
+                )
+                in self._adjacent
+            )
+        cliques: List[Tuple[int, ...]] = []
+
+        def expand(grown: set, candidates: set, excluded: set) -> None:
+            if not candidates and not excluded:
+                cliques.append(tuple(sorted(grown)))
+                return
+            pivot = max(
+                candidates | excluded,
+                key=lambda vertex: (len(adjacency[vertex] & candidates), -vertex),
+            )
+            for vertex in sorted(candidates - adjacency[pivot]):
+                expand(
+                    grown | {vertex},
+                    candidates & adjacency[vertex],
+                    excluded & adjacency[vertex],
+                )
+                candidates = candidates - {vertex}
+                excluded = excluded | {vertex}
+
+        if self._selfloop_ranks:
+            expand(set(), set(self._selfloop_ranks), set())
+        cliques.sort(key=lambda ranks: (-len(ranks), ranks))
+        return [
+            frozenset(self._labels[item] for item in ranks) for ranks in cliques
+        ]
+
+    def assumptions_excluding(self, clique: Iterable[Any]) -> List[int]:
+        """Assumption literals restricting selectors to ``clique``."""
+        keep = self._clique_ranks(clique)
+        return [
+            -self._svar[looped_rank]
+            for looped_rank in self._selfloop_ranks
+            if looped_rank not in keep
+        ]
+
+    def first_uncoverable(
+        self, clique: Iterable[Any]
+    ) -> Optional[Tuple[int, Tuple[Any, ...]]]:
+        """The oracle-order first input tuple ``clique`` cannot cover.
+
+        Scans the precomputed candidate table in the exact order
+        :func:`repro.verify.refute.uncoverable_tuple` enumerates, so the
+        returned ``(degree, input tuple)`` witness is identical.
+        """
+        keep = self._clique_ranks(clique)
+        for degree, input_tuple, candidates in self._tuples:
+            if not any(support <= keep for _, support in candidates):
+                return degree, input_tuple
+        return None
+
+    def _clique_ranks(self, clique: Iterable[Any]) -> FrozenSet[int]:
+        ranks = set()
+        for label in clique:
+            looped_rank = self._rank.get(label)
+            if looped_rank is not None:
+                ranks.add(looped_rank)
+        return frozenset(ranks)
+
+    # ------------------------------------------------------------- decoding
+    def decode_clique(self, model: Dict[int, bool]) -> FrozenSet[Any]:
+        """Validate a model and return the selected clique as labels.
+
+        The model is *never* trusted: this re-checks assignment totality,
+        satisfaction of every clause, pairwise edge-compatibility of the
+        selected labels, and full tuple cover — each independently of the
+        solver.  Any failure raises :exc:`SatDecodeError` (the dispatch
+        falls back to enumeration rather than propagate a bad witness).
+        """
+        for variable in range(1, self.formula.num_vars + 1):
+            if variable not in model:
+                raise SatDecodeError(f"model leaves variable {variable} unassigned")
+        if not self.formula.satisfied_by(model):
+            raise SatDecodeError("model does not satisfy the formula")
+        selected = [
+            looped_rank
+            for looped_rank in self._selfloop_ranks
+            if model[self._svar[looped_rank]]
+        ]
+        for index, rank_a in enumerate(selected):
+            for rank_b in selected[index + 1 :]:
+                if (rank_a, rank_b) not in self._adjacent:
+                    raise SatDecodeError(
+                        f"decoded labels {self._labels[rank_a]!r} and "
+                        f"{self._labels[rank_b]!r} are not edge-compatible"
+                    )
+        clique = frozenset(self._labels[looped_rank] for looped_rank in selected)
+        uncovered = self.first_uncoverable(clique)
+        if uncovered is not None:
+            raise SatDecodeError(
+                f"decoded clique does not cover input tuple {uncovered[1]!r} "
+                f"at degree {uncovered[0]}"
+            )
+        return clique
+
+    def __repr__(self) -> str:
+        return (
+            f"ZeroRoundEncoder(problem={self.problem.name!r}, "
+            f"selectors={len(self._svar)}, tuples={self.num_tuples}, "
+            f"formula={self.formula!r})"
+        )

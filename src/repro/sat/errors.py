@@ -1,0 +1,41 @@
+"""Exception vocabulary of the SAT decision-kernel backend.
+
+Every condition under which the SAT path declines to answer is a distinct
+:class:`SatError` subclass, and all of them share one contract with
+:exc:`repro.roundelim.bitset.BitsetUnsupported`: they are raised *before*
+the dispatching caller records a served step, so the caller can fall back
+to the enumeration oracle cleanly and count the event as a
+``sat_fallbacks`` stat.  None of these errors ever escapes a public
+decision API — the enumeration path answers instead.
+"""
+
+from __future__ import annotations
+
+
+class SatError(Exception):
+    """Base class: the SAT backend cannot (or must not) answer this call."""
+
+
+class SatUnsupported(SatError):
+    """The problem shape exceeds the encoder's declared limits.
+
+    Raised before any clause is trusted or any stats/budget mutation, so
+    oversized instances (high node degrees, combinatorial tuple blow-ups)
+    deterministically take the enumeration path.
+    """
+
+
+class SatBudgetExceeded(SatError):
+    """A solver call exhausted its step budget or wall-clock timeout."""
+
+
+class SatDecodeError(SatError):
+    """A solver model failed validation against the encoding semantics.
+
+    The decoder never trusts a model: it re-checks totality, clause
+    satisfaction, and the *semantic* zero-round conditions (self-looped
+    clique, full tuple cover) independently.  Any discrepancy — including
+    a disagreement between a SAT verdict and the enumeration cross-check —
+    raises this, which the dispatch converts into an enumeration fallback
+    rather than a wrong answer.
+    """

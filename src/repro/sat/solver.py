@@ -1,0 +1,170 @@
+"""The solver driver: pysat when installed, bundled DPLL otherwise.
+
+:class:`SatSolver` is the only object the decision-kernel dispatch talks
+to.  It owns backend selection (``REPRO_SAT_SOLVER``: ``auto`` prefers an
+installed ``pysat``, ``pysat`` requires it, ``dpll`` forces the bundled
+solver), the per-call wall-clock deadline (``REPRO_SAT_TIMEOUT``), and
+incremental assumption queries against one loaded formula.
+
+The repository has **no hard SAT dependency**: ``pysat`` is probed lazily
+and its absence is not an error — the DPLL fallback is the normal,
+CI-exercised path.  Whatever backend answers, the model surface is the
+same (``{var: bool}``, total over the formula's variables), so the
+decoder's validation in :mod:`repro.sat.encode` is engine-blind.
+
+A deadline trip raises :exc:`~repro.sat.errors.SatBudgetExceeded`; the
+dispatch converts that into an enumeration fallback (counted as
+``sat_fallbacks``), so a slow solver call can delay an answer but never
+change it.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.dpll import DpllSolver
+from repro.sat.errors import SatBudgetExceeded, SatUnsupported
+from repro.utils import env
+
+logger = logging.getLogger(__name__)
+
+_ENV_SOLVER = "REPRO_SAT_SOLVER"
+_ENV_TIMEOUT = "REPRO_SAT_TIMEOUT"
+
+_VALID_MODES = ("auto", "pysat", "dpll")
+
+
+#: Memoized pysat probe: ``None`` before the first attempt, ``False`` when
+#: the import failed (the normal, dependency-free situation), else the
+#: solver class.  A failed import costs a full importlib walk, so probing
+#: once per process instead of once per query matters to the benchmarks.
+_pysat_probe: Any = None
+
+
+def _pysat_class() -> Optional[Any]:
+    """The preferred pysat solver class, or ``None`` when not installed."""
+    global _pysat_probe
+    if _pysat_probe is None:
+        try:
+            from pysat.solvers import Glucose3  # type: ignore[import-not-found]
+
+            _pysat_probe = Glucose3  # pragma: no cover - needs pysat
+        except Exception:
+            _pysat_probe = False
+    return _pysat_probe or None
+
+
+class SatSolver:
+    """One loaded formula, queryable under different assumption sets."""
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        max_steps: Optional[int] = None,
+        timeout: Optional[float] = None,
+        decision_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        mode = (env.get_str(_ENV_SOLVER) or "auto").strip().lower()
+        if mode not in _VALID_MODES:
+            raise SatUnsupported(
+                f"unknown {_ENV_SOLVER} value {mode!r}; expected one of {_VALID_MODES}"
+            )
+        self.timeout = env.get_float(_ENV_TIMEOUT) if timeout is None else timeout
+        self.num_vars = formula.num_vars
+        self._pysat: Any = None
+        self._dpll: Optional[DpllSolver] = None
+        self._deadline: Optional[float] = None
+        if mode in ("auto", "pysat"):
+            solver_class = _pysat_class()
+            if solver_class is not None:  # pragma: no cover - needs pysat
+                self._pysat = solver_class(
+                    bootstrap_with=[list(c) for c in formula.clauses if c]
+                )
+                self._pysat_unsat = any(not c for c in formula.clauses)
+                self.backend = "pysat"
+                return
+            if mode == "pysat":
+                raise SatUnsupported(
+                    "REPRO_SAT_SOLVER=pysat but pysat is not installed"
+                )
+        self._dpll = DpllSolver(
+            formula,
+            max_steps=max_steps,
+            interrupt=self._past_deadline,
+            decision_order=decision_order,
+        )
+        self.backend = "dpll"
+
+    # ----------------------------------------------------------- deadline
+    def _past_deadline(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def _arm_deadline(self) -> None:
+        if self.timeout is not None:
+            self._deadline = time.monotonic() + self.timeout
+
+    # -------------------------------------------------------------- solve
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+        """A total model, or ``None`` when UNSAT under ``assumptions``.
+
+        Raises :exc:`SatBudgetExceeded` when the step budget or the
+        wall-clock deadline trips first.
+        """
+        self._arm_deadline()
+        if self._dpll is not None:
+            return self._dpll.solve(tuple(assumptions))
+        return self._solve_pysat(assumptions)  # pragma: no cover - needs pysat
+
+    def _solve_pysat(
+        self, assumptions: Sequence[int]
+    ) -> Optional[Dict[int, bool]]:  # pragma: no cover - needs pysat
+        if self._pysat_unsat:
+            return None
+        if self.timeout is not None:
+            timer = threading.Timer(self.timeout, self._pysat.interrupt)
+            timer.start()
+            try:
+                answer = self._pysat.solve_limited(
+                    assumptions=list(assumptions), expect_interrupt=True
+                )
+            finally:
+                timer.cancel()
+            if answer is None:
+                self._pysat.clear_interrupt()
+                raise SatBudgetExceeded(
+                    f"pysat exceeded the {self.timeout}s deadline"
+                )
+        else:
+            answer = self._pysat.solve(assumptions=list(assumptions))
+        if not answer:
+            return None
+        model: Dict[int, bool] = {
+            abs(literal): literal > 0 for literal in self._pysat.get_model()
+        }
+        # Variables absent from every clause are unconstrained; pysat may
+        # omit them.  Default them False, matching the DPLL decision
+        # phase, so both backends decode to the same witness.
+        for variable in range(1, self.num_vars + 1):
+            model.setdefault(variable, False)
+        return model
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def steps(self) -> int:
+        """Search steps spent so far (DPLL backend only; 0 under pysat)."""
+        return self._dpll.steps if self._dpll is not None else 0
+
+    def close(self) -> None:
+        if self._pysat is not None:  # pragma: no cover - needs pysat
+            self._pysat.delete()
+            self._pysat = None
+
+    def __enter__(self) -> "SatSolver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

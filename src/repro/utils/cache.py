@@ -78,6 +78,10 @@ STAT_FIELDS = (
     # steps served by the numpy kernels vs. declined-to-oracle fallbacks.
     "bitset_steps",
     "bitset_fallbacks",
+    # Maintained by the SAT decision-kernel dispatch (REPRO_SAT): decisions
+    # served by the CNF engine vs. declined-to-enumeration fallbacks.
+    "sat_steps",
+    "sat_fallbacks",
 )
 
 _ENV_DISABLE = "REPRO_CACHE"
@@ -176,12 +180,22 @@ def format_stats() -> str:
                 "chunk_timeouts",
                 "chunk_failures",
                 "serial_rescues",
+                "bitset_fallbacks",
+                "sat_fallbacks",
             )
             if c.get(field)
         }
         if robustness:
             detail = " ".join(f"{k}={v}" for k, v in robustness.items())
             lines.append(f"  {'':<10} !! {detail}")
+        engines = {
+            field: int(c[field])
+            for field in ("bitset_steps", "sat_steps")
+            if c.get(field)
+        }
+        if engines:
+            detail = " ".join(f"{k}={v}" for k, v in engines.items())
+            lines.append(f"  {'':<10} engine: {detail}")
     rate = hit_rate()
     lines.append(
         "  overall hit rate: "

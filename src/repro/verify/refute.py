@@ -22,19 +22,31 @@ decision therefore admit small, self-contained evidence:
   and shrinking a clique only makes covering harder, defeating every
   maximal clique defeats every algorithm.
 
-Everything here imports only the LCL formalism — it is shared by the
-certificate producer (:mod:`repro.verify.certify`) and the independent
-checker (:mod:`repro.verify.check`).
+Everything here imports only the LCL formalism at module level — it is
+shared by the certificate producer (:mod:`repro.verify.certify`) and the
+independent checker (:mod:`repro.verify.check`).  The *builder* half
+(:func:`build_refutation`) may consult the CNF engine of
+:mod:`repro.sat` (lazily imported, dispatch under ``REPRO_SAT``) to
+decide each clique, but every recorded witness is re-derived from the
+encoder's oracle-order candidate table and the *checker* half never
+touches the engine: :func:`check_refutation` re-exhausts each witness by
+the same brute force regardless of which engine proposed it.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.lcl.codec import decode_label, encode_label
 from repro.lcl.nec import NodeEdgeCheckableLCL
 from repro.utils.multiset import Multiset, label_sort_key
+
+logger = logging.getLogger(__name__)
+
+#: Operator name under which the SAT dispatch records its stats.
+_STAT_KEY = "refute"
 
 
 def self_looped_cliques(problem: NodeEdgeCheckableLCL) -> List[FrozenSet[Any]]:
@@ -79,6 +91,25 @@ def self_looped_cliques(problem: NodeEdgeCheckableLCL) -> List[FrozenSet[Any]]:
     return cliques
 
 
+#: Observable accounting for the candidate hoist in
+#: :func:`uncoverable_tuple`: ``candidate_lists`` counts how many
+#: ``g(input) ∩ clique`` lists were materialized.  After the hoist that
+#: is one per input label per call; before it, one per *port of every
+#: enumerated tuple* — combinatorially more.  A regression test pins the
+#: post-hoist count.
+_candidate_stats: Dict[str, int] = {"candidate_lists": 0}
+
+
+def _sorted_candidates(
+    problem: NodeEdgeCheckableLCL, clique: FrozenSet[Any], input_label: Any
+) -> Tuple[Any, ...]:
+    """``g(input) ∩ clique`` in deterministic order (counted for tests)."""
+    _candidate_stats["candidate_lists"] += 1
+    return tuple(
+        sorted(problem.allowed_outputs(input_label) & clique, key=label_sort_key)
+    )
+
+
 def uncoverable_tuple(
     problem: NodeEdgeCheckableLCL,
     clique: FrozenSet[Any],
@@ -92,9 +123,19 @@ def uncoverable_tuple(
     """
     chosen_degrees = tuple(sorted(degrees)) if degrees is not None else problem.degrees()
     inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
+    # ``g(i) ∩ clique`` depends only on the input label, never on the
+    # tuple it sits in, so the candidate lists are hoisted out of the
+    # tuple enumeration: |sigma_in| computations per call instead of one
+    # per port per tuple.
+    candidates_by_input = {
+        input_label: _sorted_candidates(problem, clique, input_label)
+        for input_label in inputs_sorted
+    }
     for degree in chosen_degrees:
+        allowed = problem.node_constraints.get(degree, frozenset())
         for input_tuple in itertools.combinations_with_replacement(inputs_sorted, degree):
-            if not _covers(problem, clique, input_tuple):
+            ports = [candidates_by_input[i] for i in input_tuple]
+            if not _covers_candidates(allowed, ports):
                 return degree, input_tuple
     return None
 
@@ -102,14 +143,26 @@ def uncoverable_tuple(
 def _covers(
     problem: NodeEdgeCheckableLCL, clique: FrozenSet[Any], input_tuple: Tuple[Any, ...]
 ) -> bool:
-    """Exhaustive search: can ``clique`` label this input tuple?"""
+    """Exhaustive search: can ``clique`` label this input tuple?
+
+    The standalone per-tuple entry point used by :func:`check_refutation`
+    — it recomputes its candidate lists from scratch so checking one
+    witness shares no state with the builder.
+    """
     allowed = problem.node_constraints.get(len(input_tuple), frozenset())
-    if not allowed:
-        return False
     candidates = [
-        sorted(problem.allowed_outputs(i) & clique, key=label_sort_key)
+        tuple(sorted(problem.allowed_outputs(i) & clique, key=label_sort_key))
         for i in input_tuple
     ]
+    return _covers_candidates(allowed, candidates)
+
+
+def _covers_candidates(
+    allowed: FrozenSet[Multiset], candidates: Sequence[Tuple[Any, ...]]
+) -> bool:
+    """Backtracking over precomputed per-port candidate lists."""
+    if not allowed:
+        return False
     chosen: List[Any] = []
 
     def recurse(index: int) -> bool:
@@ -126,25 +179,102 @@ def _covers(
 
 
 # --------------------------------------------------------------- refutations
+def _witness_entry(
+    clique: FrozenSet[Any], degree: int, input_tuple: Tuple[Any, ...]
+) -> Dict[str, Any]:
+    """The serialized per-clique witness — shared by both engines, so the
+    refutation payload is byte-identical regardless of which one ran."""
+    return {
+        "clique": [encode_label(x) for x in sorted(clique, key=label_sort_key)],
+        "degree": degree,
+        "inputs": [encode_label(x) for x in input_tuple],
+    }
+
+
 def build_refutation(problem: NodeEdgeCheckableLCL) -> Optional[Dict[str, Any]]:
     """A serializable witness that ``Π`` is *not* 0-round solvable.
 
     Returns ``None`` when no refutation exists (i.e. some maximal clique
     covers everything — the problem *is* 0-round solvable).
+
+    Dispatch: under ``REPRO_SAT`` (default on) the per-clique cover
+    questions are answered by incremental assumption queries against one
+    CNF formula (:mod:`repro.sat`, imported lazily so the checker half of
+    this module stays engine-free), with each uncoverable-tuple witness
+    read back from the encoder's oracle-order candidate table — the
+    payload is byte-identical to the enumeration path's, which any
+    :class:`~repro.sat.SatError` falls back to (counted as
+    ``sat_fallbacks`` under the ``refute`` operator).
     """
+    from repro import sat
+    from repro.utils import cache as operator_cache
+
+    if sat.sat_enabled():
+        try:
+            return _build_refutation_sat(problem)
+        except sat.SatError as error:
+            logger.info(
+                "SAT path declined refutation of %s (%s); enumerating",
+                problem.name,
+                error,
+            )
+            operator_cache.record(_STAT_KEY, sat_fallbacks=1)
+    return _build_refutation_enumeration(problem)
+
+
+def _build_refutation_enumeration(
+    problem: NodeEdgeCheckableLCL,
+) -> Optional[Dict[str, Any]]:
+    """The complete exhaustive builder (the differential oracle)."""
     witnesses = []
     for clique in self_looped_cliques(problem):
         witness = uncoverable_tuple(problem, clique)
         if witness is None:
             return None
         degree, input_tuple = witness
-        witnesses.append(
-            {
-                "clique": [encode_label(x) for x in sorted(clique, key=label_sort_key)],
-                "degree": degree,
-                "inputs": [encode_label(x) for x in input_tuple],
-            }
-        )
+        witnesses.append(_witness_entry(clique, degree, input_tuple))
+    return {"witnesses": witnesses}
+
+
+def _build_refutation_sat(problem: NodeEdgeCheckableLCL) -> Optional[Dict[str, Any]]:
+    """SAT-backed refutation builder, pinned to the enumeration order.
+
+    One loaded formula, queried per clique of :func:`self_looped_cliques`
+    (the *checker's* clique order, so the witness list is identical to
+    the enumeration builder's).  A satisfiable clique means the problem
+    is 0-round solvable — no refutation — and the model is validated by
+    the encoder's decoder before being believed.  An unsatisfiable
+    clique contributes the oracle-order first uncoverable tuple, read
+    from the encoder's candidate table
+    (:meth:`~repro.sat.ZeroRoundEncoder.first_uncoverable`), which is a
+    direct recomputation rather than a decoded model — a lying solver
+    can only cause a :class:`~repro.sat.SatDecodeError` fallback, never
+    a wrong witness.
+    """
+    from repro import sat
+    from repro.utils import cache as operator_cache
+
+    encoder = sat.ZeroRoundEncoder(problem, problem.degrees())
+    witnesses: List[Dict[str, Any]] = []
+    with sat.SatSolver(
+        encoder.formula, decision_order=encoder.decision_order()
+    ) as solver:
+        for clique in self_looped_cliques(problem):
+            model = solver.solve(encoder.assumptions_excluding(clique))
+            if model is not None:
+                encoder.decode_clique(model)  # validation only; raises on a lie
+                operator_cache.record(_STAT_KEY, sat_steps=1)
+                return None
+            witness = encoder.first_uncoverable(clique)
+            if witness is None:
+                raise sat.SatDecodeError(
+                    f"solver calls clique "
+                    f"{sorted(clique, key=label_sort_key)!r} uncovering, but "
+                    f"every input tuple has a candidate — refusing the witness"
+                )
+            degree, input_tuple = witness
+            witnesses.append(_witness_entry(clique, degree, input_tuple))
+    operator_cache.record(_STAT_KEY, sat_steps=1)
     return {"witnesses": witnesses}
 
 

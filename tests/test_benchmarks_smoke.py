@@ -91,6 +91,36 @@ def test_bench_roundelim_backend_comparison(tmp_path, monkeypatch):
     assert len(trajectory) == 2, "trajectory entries must accumulate"
 
 
+def test_bench_roundelim_sat_comparison(tmp_path, monkeypatch):
+    """Smoke the SAT-vs-enumeration experiment: the CNF kernel must not
+    be slower than enumeration on the smoke problem, outputs must be
+    identical (asserted inside the experiment), and the run must append
+    a ``BENCH_sat.json`` trajectory entry."""
+    import json
+
+    bench = importlib.import_module("bench_roundelim")
+
+    smoke = [row for row in bench.SAT_PROBLEMS if row[0] == "3-coloring f^1"]
+    assert smoke, "smoke problem disappeared from SAT_PROBLEMS"
+    rows, report = bench.run_sat_experiment(problems=smoke, repetitions=2)
+
+    assert "RE-sat" in report
+    for row in rows:
+        assert row["speedup"] > 1.0, (
+            f"{row['problem']}: SAT path slower than enumeration "
+            f"({row['sat_seconds']}s vs {row['enumeration_seconds']}s)"
+        )
+
+    target = bench.append_sat_trajectory(rows, results_dir=tmp_path)
+    assert target.name == "BENCH_sat.json"
+    trajectory = json.loads(target.read_text())
+    assert len(trajectory) == 1 and trajectory[0]["rows"] == rows
+
+    bench.append_sat_trajectory(rows, results_dir=tmp_path)
+    trajectory = json.loads(target.read_text())
+    assert len(trajectory) == 2, "trajectory entries must accumulate"
+
+
 def test_bench_roundelim_main_path_oracle_backend():
     """The classic experiment must also hold with the bitset knob off."""
     from repro.roundelim.ops import configure_bitset

@@ -5,6 +5,14 @@ half-edge mutations, and compares the Definition 2.4 checker's verdict
 against a from-scratch re-implementation of the definition written in
 this test file — so a bug would need to appear identically in two
 independent codings to slip through.
+
+The SAT block applies the same discipline one layer down: valid solver
+artifacts (models, formulas, refutation payloads) are mutated one bit
+at a time — flipped literal polarity, dropped clause, truncated model —
+and every mutant must be caught by the decoder's validation
+(:exc:`SatDecodeError`) or independently re-proven correct by the
+engine-free checkers; no mutation may ever surface as an accepted but
+wrong witness.
 """
 
 import random
@@ -16,7 +24,10 @@ from hypothesis import strategies as st
 from repro.graphs import HalfEdgeLabeling, cycle, path, random_tree
 from repro.lcl import catalog, check_solution, random_lcl
 from repro.lcl.checker import brute_force_solution
+from repro.lcl.random_problems import solvable_random_lcl
+from repro.sat import CnfFormula, SatDecodeError, SatSolver, ZeroRoundEncoder
 from repro.utils.multiset import Multiset
+from repro.verify.refute import build_refutation, check_refutation, uncoverable_tuple
 
 NO = catalog.NO_INPUT
 
@@ -113,3 +124,115 @@ class TestMutationAgreement:
         assert (1, 2) in report.failed_edges
         assert 4 not in report.failed_nodes
         assert (3, 4) not in report.failed_edges
+
+
+def _satisfiable_query(problem):
+    """An encoder plus one satisfiable clique query's model, or a skip."""
+    encoder = ZeroRoundEncoder(problem)
+    with SatSolver(
+        encoder.formula, decision_order=encoder.decision_order()
+    ) as solver:
+        for clique in encoder.maximal_cliques():
+            model = solver.solve(encoder.assumptions_excluding(clique))
+            if model is not None:
+                return encoder, model
+    pytest.skip(f"{problem.name}: no satisfiable clique query to mutate")
+
+
+def _independently_valid(problem, decoded):
+    """The engine-free re-proof a decoder-accepted mutant must pass."""
+    assert uncoverable_tuple(problem, decoded) is None
+    for a in sorted(decoded, key=str):
+        for b in sorted(decoded, key=str):
+            assert problem.allows_edge(a, b)
+
+
+class TestSatMutations:
+    """Lying solver artifacts must never become accepted wrong witnesses."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_flipped_literal_polarity_in_model(self, seed):
+        problem = solvable_random_lcl(seed, num_labels=4, max_degree=2)
+        encoder, model = _satisfiable_query(problem)
+        for variable in sorted(model):
+            mutated = dict(model)
+            mutated[variable] = not mutated[variable]
+            try:
+                decoded = encoder.decode_clique(mutated)
+            except SatDecodeError:
+                continue
+            # The decoder accepted the flip — then the flip must have
+            # been harmless, which only the engine-free checker can say.
+            _independently_valid(problem, decoded)
+
+    @pytest.mark.parametrize(
+        "name, build",
+        [("mis", lambda: catalog.mis(2)), ("echo", lambda: catalog.echo(2))],
+    )
+    def test_dropped_clause_cannot_smuggle_a_witness(self, name, build):
+        # Weakening the formula by any single clause lets the solver
+        # find models the encoder never licensed; decoding them against
+        # the *original* encoder must reject or re-prove them.
+        problem = build()
+        encoder = ZeroRoundEncoder(problem)
+        cliques = encoder.maximal_cliques()
+        for dropped in range(encoder.formula.num_clauses):
+            weakened = CnfFormula()
+            while weakened.num_vars < encoder.formula.num_vars:
+                weakened.new_var()
+            for index, clause in enumerate(encoder.formula.clauses):
+                if index != dropped:
+                    weakened.add_clause(clause)
+            with SatSolver(
+                weakened, decision_order=encoder.decision_order()
+            ) as solver:
+                for clique in cliques:
+                    model = solver.solve(encoder.assumptions_excluding(clique))
+                    if model is None:
+                        continue
+                    try:
+                        decoded = encoder.decode_clique(model)
+                    except SatDecodeError:
+                        continue
+                    _independently_valid(problem, decoded)
+
+    def test_truncated_model_is_rejected_outright(self):
+        problem = catalog.trivial(3)
+        encoder, model = _satisfiable_query(problem)
+        for variable in sorted(model):
+            mutated = dict(model)
+            del mutated[variable]
+            with pytest.raises(SatDecodeError, match="unassigned"):
+                encoder.decode_clique(mutated)
+
+    def test_mutated_refutation_payloads_are_rejected(self):
+        problem = catalog.maximal_matching(2)
+        refutation = build_refutation(problem)
+        assert refutation is not None and refutation["witnesses"], (
+            "maximal-matching lost its 0-round refutation"
+        )
+        assert check_refutation(problem, refutation) == []
+
+        import copy
+
+        # Dropping a witness hides a clique from the exhaustion claim.
+        dropped = copy.deepcopy(refutation)
+        dropped["witnesses"].pop()
+        assert check_refutation(problem, dropped)
+
+        # Rewriting one recorded clique as a copy of another mismatches
+        # the recomputed maximal clique list — a witness cannot quietly
+        # swap its obligation for an easier one.
+        swapped = copy.deepcopy(refutation)
+        assert len(swapped["witnesses"]) >= 2, "need two cliques to swap"
+        swapped["witnesses"][0]["clique"] = swapped["witnesses"][1]["clique"]
+        assert check_refutation(problem, swapped)
+
+        # An undeclared degree is rejected before any exhaustion runs.
+        bad_degree = copy.deepcopy(refutation)
+        bad_degree["witnesses"][0]["degree"] = 99
+        assert check_refutation(problem, bad_degree)
+
+        # And a problem with a 0-round algorithm must have no refutation
+        # for a mutant to impersonate in the first place.
+        assert build_refutation(catalog.trivial(2)) is None

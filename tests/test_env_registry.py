@@ -28,6 +28,10 @@ EXPECTED_KNOBS = {
     "REPRO_JOURNAL_DIR": "str",
     "REPRO_BITSET": "bool",
     "REPRO_BITSET_DIFF_COUNT": "int",
+    "REPRO_SAT": "bool",
+    "REPRO_SAT_SOLVER": "str",
+    "REPRO_SAT_TIMEOUT": "float",
+    "REPRO_SAT_DIFF_COUNT": "int",
 }
 
 

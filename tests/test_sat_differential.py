@@ -1,0 +1,298 @@
+"""Witness-equivalence harness for the SAT decision kernels.
+
+The CNF engine (:mod:`repro.sat`) promises to be *witness-blind*:
+flipping ``REPRO_SAT`` must never change a single byte of what the
+decision kernels return.  This suite drives every catalog problem and a
+seeded population of random LCLs through both engines and asserts
+
+* identical 0-round verdicts, extracted cliques, and full ``A_det``
+  rule tables (``==`` on the structures themselves);
+* identical refutation payloads **and their certificate checksums** —
+  the strongest end-to-end statement: the bytes a certificate signs are
+  the same bytes regardless of which engine proposed them;
+* the engine-free checkers (:func:`check_zero_round_table`,
+  :func:`check_refutation`) accept whatever either engine produced;
+* identical answers when the solver budget trips mid-decision — the
+  dispatch falls back to enumeration, never to a different answer.
+
+A second block pins the engine accounting (``sat_steps`` must tick when
+the CNF path serves, ``sat_fallbacks`` when it declines), a third pins
+the :func:`uncoverable_tuple` candidate hoist (one candidate list per
+input label per clique, not one per port per enumerated tuple), and a
+lint self-check keeps the encoder inside the REP002 ordered-output
+audit.
+
+The fuzz sweep scales with ``REPRO_SAT_DIFF_COUNT`` (default 100) and is
+marked ``fuzz`` like the conformance harness, so tier-1 runs the catalog
+and accounting tests while nightly jobs widen the population.
+"""
+
+import json
+
+import pytest
+
+from repro import sat
+from repro.analysis import run_lint
+from repro.lcl import catalog
+from repro.lcl.catalog import standard_catalog
+from repro.lcl.random_problems import random_lcl, solvable_random_lcl
+from repro.roundelim.zero_round import decide_zero_round, find_zero_round_algorithm
+from repro.utils import cache as operator_cache
+from repro.utils import env
+from repro.verify import refute
+from repro.verify.certificate import body_checksum
+from repro.verify.refute import (
+    build_refutation,
+    check_refutation,
+    check_zero_round_table,
+    self_looped_cliques,
+    uncoverable_tuple,
+)
+
+CATALOG_PROBLEMS = [(p.name, p) for p in standard_catalog(max_degree=3)]
+
+#: Fuzz population size (``REPRO_SAT_DIFF_COUNT``, default 100).
+DIFF_COUNT = int(env.get_int("REPRO_SAT_DIFF_COUNT") or 100)
+#: Seeds per parametrized fuzz chunk (narrow failure ranges, cheap collection).
+CHUNK = 25
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine():
+    """Zeroed counters; the engine restored to the env knob afterwards."""
+    operator_cache.reset()
+    operator_cache.reset_stats()
+    sat.configure_sat(enabled=None)
+    yield
+    sat.configure_sat(enabled=None)
+    operator_cache.reset()
+    operator_cache.reset_stats()
+
+
+def decision_trace(problem, enabled):
+    """Everything one engine decides for ``problem``, checksums included."""
+    sat.configure_sat(enabled=enabled)
+    try:
+        algorithm = find_zero_round_algorithm(problem)
+        decision = decide_zero_round(problem)
+        refutation = build_refutation(problem)
+    finally:
+        sat.configure_sat(enabled=None)
+    trace = ["decision", decision]
+    if algorithm is None:
+        trace += ["no-algorithm"]
+    else:
+        trace += ["clique", algorithm.clique, "table", algorithm.table]
+    if refutation is None:
+        trace += ["no-refutation"]
+    else:
+        trace += [
+            "refutation",
+            json.dumps(refutation, sort_keys=True),
+            body_checksum(refutation),
+        ]
+    return trace
+
+
+class TestCatalogDifferential:
+    @pytest.mark.parametrize(
+        "name, problem", CATALOG_PROBLEMS, ids=[n for n, _ in CATALOG_PROBLEMS]
+    )
+    def test_decisions_and_witnesses_agree(self, name, problem):
+        enumeration = decision_trace(problem, enabled=False)
+        sat_trace = decision_trace(problem, enabled=True)
+        assert sat_trace == enumeration, f"{name}: engines diverged"
+        # The two sides of the decision are mutually exclusive evidence.
+        assert ("no-algorithm" in sat_trace) != ("no-refutation" in sat_trace)
+
+    @pytest.mark.parametrize(
+        "name, problem", CATALOG_PROBLEMS, ids=[n for n, _ in CATALOG_PROBLEMS]
+    )
+    def test_engine_free_checkers_accept_sat_witnesses(self, name, problem):
+        sat.configure_sat(enabled=True)
+        algorithm = find_zero_round_algorithm(problem)
+        refutation = build_refutation(problem)
+        sat.configure_sat(enabled=False)
+        if algorithm is not None:
+            assert check_zero_round_table(
+                problem, sorted(algorithm.clique, key=repr), algorithm.table
+            ) == []
+        if refutation is not None:
+            assert check_refutation(problem, refutation) == []
+
+    def test_derived_alphabet_agrees(self):
+        # The 17-label step problem of 3-coloring is the headline speedup
+        # case (bench_roundelim measures it); it must also be *exact*.
+        from repro.roundelim.sequence import ProblemSequence
+
+        f1 = ProblemSequence(catalog.coloring(3, 2), use_cache=False).problem(1)
+        assert len(f1.sigma_out) >= 10
+        assert decision_trace(f1, enabled=True) == decision_trace(f1, enabled=False)
+
+    def test_budget_trip_falls_back_to_the_same_answer(self, monkeypatch):
+        # A solver budget that trips mid-decision must not change the
+        # answer: the dispatch falls back to enumeration and counts it.
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        expected = decision_trace(problem, enabled=False)
+        operator_cache.reset_stats()
+        monkeypatch.setattr("repro.sat.dpll.DEFAULT_MAX_STEPS", 1)
+        tripped = decision_trace(problem, enabled=True)
+        assert tripped == expected
+        counters = operator_cache.stats()["operators"]
+        assert counters["zero_round"]["sat_fallbacks"] >= 1
+        assert counters["refute"]["sat_fallbacks"] >= 1
+        assert counters["zero_round"]["sat_steps"] == 0
+
+
+def _fuzz_chunks(count):
+    return [
+        pytest.param(
+            start,
+            min(start + CHUNK, count),
+            id=f"seeds{start}-{min(start + CHUNK, count) - 1}",
+        )
+        for start in range(0, count, CHUNK)
+    ]
+
+
+def _fuzz_problem(seed):
+    """Deterministic variety over generators, shapes, and inputs."""
+    if seed % 4 == 1:
+        return solvable_random_lcl(seed, num_inputs=2)
+    if seed % 4 == 2:
+        return random_lcl(seed, num_labels=4, max_degree=3, num_inputs=1)
+    if seed % 4 == 3:
+        return random_lcl(seed, num_labels=3, max_degree=2, num_inputs=2)
+    return solvable_random_lcl(seed, num_labels=4, max_degree=3)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize(("start", "stop"), _fuzz_chunks(DIFF_COUNT))
+def test_fuzzed_decisions_agree(start, stop):
+    for seed in range(start, stop):
+        problem = _fuzz_problem(seed)
+        enumeration = decision_trace(problem, enabled=False)
+        sat_trace = decision_trace(problem, enabled=True)
+        assert sat_trace == enumeration, f"seed {seed}: engines diverged"
+
+
+class TestEngineAccounting:
+    def test_sat_path_actually_runs(self):
+        sat.configure_sat(enabled=True)
+        find_zero_round_algorithm(dict(CATALOG_PROBLEMS)["4-coloring"])
+        build_refutation(dict(CATALOG_PROBLEMS)["4-coloring"])
+        counters = operator_cache.stats()["operators"]
+        assert counters["zero_round"]["sat_steps"] >= 1
+        assert counters["refute"]["sat_steps"] >= 1
+        assert counters["zero_round"]["sat_fallbacks"] == 0
+
+    def test_enumeration_path_records_no_sat_steps(self):
+        sat.configure_sat(enabled=False)
+        find_zero_round_algorithm(dict(CATALOG_PROBLEMS)["4-coloring"])
+        build_refutation(dict(CATALOG_PROBLEMS)["4-coloring"])
+        counters = operator_cache.stats()["operators"]
+        assert counters.get("zero_round", {}).get("sat_steps", 0) == 0
+        assert counters.get("refute", {}).get("sat_steps", 0) == 0
+
+    def test_unsupported_shape_falls_back_loudly(self):
+        # Degree 7 exceeds the encoder cap (MAX_DEGREE = 6): the CNF
+        # path must decline and enumeration must still answer.
+        wide = catalog.trivial(sat.MAX_DEGREE + 1)
+        sat.configure_sat(enabled=True)
+        algorithm = find_zero_round_algorithm(wide)
+        sat.configure_sat(enabled=False)
+        reference = find_zero_round_algorithm(wide)
+        assert (algorithm is None) == (reference is None)
+        if algorithm is not None:
+            assert (algorithm.clique, algorithm.table) == (
+                reference.clique,
+                reference.table,
+            )
+        counters = operator_cache.stats()["operators"]
+        assert counters["zero_round"]["sat_fallbacks"] >= 1
+
+    def test_env_knob_disables_engine(self, monkeypatch):
+        sat.configure_sat(enabled=None)  # defer to the environment
+        monkeypatch.setenv("REPRO_SAT", "0")
+        find_zero_round_algorithm(dict(CATALOG_PROBLEMS)["4-coloring"])
+        counters = operator_cache.stats()["operators"]
+        assert counters.get("zero_round", {}).get("sat_steps", 0) == 0
+        monkeypatch.setenv("REPRO_SAT", "1")
+        find_zero_round_algorithm(dict(CATALOG_PROBLEMS)["4-coloring"])
+        counters = operator_cache.stats()["operators"]
+        assert counters["zero_round"]["sat_steps"] >= 1
+
+
+class TestCandidateHoist:
+    """Regression guard for the per-tuple candidate recomputation bug.
+
+    ``uncoverable_tuple`` used to rebuild ``g(input) ∩ clique`` for
+    every port of every enumerated tuple; the lists depend only on the
+    input label, so they are now hoisted to one computation per input
+    label per call.
+    """
+
+    def setup_method(self):
+        refute._candidate_stats.update(candidate_lists=0)
+
+    def test_candidate_lists_computed_once_per_input_label(self):
+        problem = dict(CATALOG_PROBLEMS)["echo"]
+        cliques = self_looped_cliques(problem)
+        assert cliques, "echo lost its self-looped cliques"
+        for calls_so_far, clique in enumerate(cliques):
+            uncoverable_tuple(problem, clique)
+            assert refute._candidate_stats["candidate_lists"] == (
+                (calls_so_far + 1) * len(problem.sigma_in)
+            ), "candidate lists recomputed inside the tuple enumeration"
+
+    def test_hoisted_scan_matches_per_tuple_covers(self):
+        # The hoisted enumeration must agree with the checker's
+        # independent per-tuple ``_covers`` on every clique.
+        import itertools
+
+        from repro.utils.multiset import label_sort_key
+
+        problem = dict(CATALOG_PROBLEMS)["maximal-matching"]
+        inputs_sorted = sorted(problem.sigma_in, key=label_sort_key)
+        cliques = self_looped_cliques(problem)
+        assert cliques, "maximal-matching lost its self-looped cliques"
+        for clique in cliques:
+            witness = uncoverable_tuple(problem, clique)
+            expected = None
+            for degree in problem.degrees():
+                for input_tuple in itertools.combinations_with_replacement(
+                    inputs_sorted, degree
+                ):
+                    if not refute._covers(problem, clique, input_tuple):
+                        expected = (degree, input_tuple)
+                        break
+                if expected is not None:
+                    break
+            assert witness == expected
+
+
+class TestLintSelfCheck:
+    """CI satellite: the encoder itself stays inside the REP002 audit."""
+
+    def test_encoder_module_is_order_audited(self):
+        from repro.analysis.rules import ordering
+
+        assert "encode" in ordering.ORDERED_OUTPUT_STEMS
+
+    def test_sat_package_passes_repro_lint(self):
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        package = repo_root / "src" / "repro" / "sat"
+        result = run_lint(sorted(package.glob("*.py")), root=repo_root)
+        assert result.findings == [], "\n".join(f.render() for f in result.findings)
+
+    def test_refute_module_stays_engine_free(self):
+        # REP003: the checker half of repro.verify must not reach the
+        # engine via module-level imports even with the SAT dispatch in
+        # the builder half.
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        result = run_lint([repo_root / "src"], root=repo_root, select=["REP003"])
+        assert result.findings == [], "\n".join(f.render() for f in result.findings)

@@ -1,0 +1,263 @@
+"""Property tests for the 0-round CNF encoder and the bundled solver.
+
+The encoder is the trust anchor of the SAT decision kernels: every
+verdict the dispatch serves starts as clauses produced by
+:class:`ZeroRoundEncoder` and ends as a model validated by
+``decode_clique``, so the differential guarantees of
+``tests/test_sat_differential.py`` reduce to the properties pinned here:
+
+* **round-trip** — on instances with a *planted* deterministic 0-round
+  solution (:func:`solvable_random_lcl`), some maximal-clique query is
+  satisfiable, the model satisfies the formula, and the decoded clique
+  survives the decoder's full validation (totality, clause
+  satisfaction, cliqueness, cover);
+* **relabeling invariance** — renaming output labels changes neither
+  the clause *set* (modulo the variable correspondence induced by the
+  encoder's own semantics) nor, for order-preserving renamings, a
+  single literal of the clause *list*.  This is the CNF-level analogue
+  of :func:`canonical_hash` identity, which the same test asserts;
+* **loud refusal** — shapes beyond the encoder caps raise
+  :exc:`SatUnsupported` before any clause is emitted, which is what
+  lets the dispatch fall back to enumeration;
+* **bounded search** — step budgets, the interrupt callback, and the
+  driver's wall-clock deadline all surface as
+  :exc:`SatBudgetExceeded`, never as a hang or a wrong answer.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lcl import catalog
+from repro.lcl.nec import NodeEdgeCheckableLCL
+from repro.lcl.random_problems import random_lcl, solvable_random_lcl
+from repro.roundelim.canonical import canonical_hash
+from repro.sat import (
+    CnfFormula,
+    DpllSolver,
+    MAX_DEGREE,
+    SatBudgetExceeded,
+    SatSolver,
+    SatUnsupported,
+    ZeroRoundEncoder,
+    solve_formula,
+)
+from repro.utils.multiset import Multiset, label_sort_key
+
+seeds = st.integers(min_value=0, max_value=9_999)
+
+
+def relabel(problem, mapping):
+    """``problem`` with every output label pushed through ``mapping``."""
+    return NodeEdgeCheckableLCL(
+        sigma_in=problem.sigma_in,
+        sigma_out=[mapping[label] for label in problem.sigma_out],
+        node_constraints={
+            degree: [
+                Multiset(mapping[x] for x in configuration.items)
+                for configuration in configurations
+            ]
+            for degree, configurations in problem.node_constraints.items()
+        },
+        edge_constraint=[
+            Multiset(mapping[x] for x in configuration.items)
+            for configuration in problem.edge_constraint
+        ],
+        g={
+            label: [mapping[output] for output in problem.allowed_outputs(label)]
+            for label in problem.sigma_in
+        },
+        name=problem.name,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_planted_instances_solve_and_decode(self, seed):
+        problem = solvable_random_lcl(seed, num_labels=4, max_degree=3)
+        encoder = ZeroRoundEncoder(problem)
+        covering = None
+        with SatSolver(
+            encoder.formula, decision_order=encoder.decision_order()
+        ) as solver:
+            for clique in encoder.maximal_cliques():
+                model = solver.solve(encoder.assumptions_excluding(clique))
+                if model is None:
+                    continue
+                assert encoder.formula.satisfied_by(model)
+                decoded = encoder.decode_clique(model)
+                assert decoded <= clique
+                assert encoder.first_uncoverable(decoded) is None
+                covering = decoded
+                break
+        assert covering is not None, f"planted 0-round solution lost (seed {seed})"
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_global_solve_agrees_with_clique_queries(self, seed):
+        # The un-assumed formula is satisfiable exactly when some
+        # maximal-clique query is: monotonicity of covering in the
+        # clique, which the per-clique dispatch relies on.
+        problem = random_lcl(seed, num_labels=4, max_degree=2, num_inputs=1)
+        encoder = ZeroRoundEncoder(problem)
+        with SatSolver(
+            encoder.formula, decision_order=encoder.decision_order()
+        ) as solver:
+            per_clique = any(
+                solver.solve(encoder.assumptions_excluding(clique)) is not None
+                for clique in encoder.maximal_cliques()
+            )
+            unassumed = solver.solve()
+        if unassumed is not None:
+            assert encoder.formula.satisfied_by(unassumed)
+            encoder.decode_clique(unassumed)
+        assert (unassumed is not None) == per_clique
+
+
+class TestRelabelingInvariance:
+    @staticmethod
+    def _semantic_key(role, map_label):
+        if role[0] == "s":
+            return ("s", map_label(role[1]))
+        return ("u", role[1], Multiset(map_label(x) for x in role[2]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.data())
+    def test_clause_set_invariant_under_any_relabeling(self, seed, data):
+        problem = random_lcl(seed, num_labels=4, max_degree=2, num_inputs=2)
+        labels = sorted(problem.sigma_out, key=label_sort_key)
+        fresh = data.draw(
+            st.permutations([f"relabeled-{index}" for index in range(len(labels))])
+        )
+        mapping = dict(zip(labels, fresh))
+        renamed = relabel(problem, mapping)
+        assert canonical_hash(renamed) == canonical_hash(problem)
+
+        original = ZeroRoundEncoder(problem)
+        relabeled = ZeroRoundEncoder(renamed)
+        assert relabeled.formula.num_vars == original.formula.num_vars
+        assert relabeled.formula.num_clauses == original.formula.num_clauses
+
+        # Translate the original clauses into the relabeled encoder's
+        # variable numbering via each encoder's own semantics.
+        target = {
+            self._semantic_key(role, lambda x: x): var
+            for var, role in relabeled.var_semantics().items()
+        }
+        translate = {
+            var: target[self._semantic_key(role, lambda x: mapping[x])]
+            for var, role in original.var_semantics().items()
+        }
+        translated = {
+            frozenset(
+                (1 if literal > 0 else -1) * translate[abs(literal)]
+                for literal in clause
+            )
+            for clause in original.formula.clauses
+        }
+        expected = {frozenset(clause) for clause in relabeled.formula.clauses}
+        assert translated == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_order_preserving_relabeling_is_a_no_op(self, seed):
+        # A renaming that preserves label_sort_key order preserves every
+        # rank, so the encoder must emit literally identical clauses.
+        problem = random_lcl(seed, num_labels=4, max_degree=2, num_inputs=1)
+        labels = sorted(problem.sigma_out, key=label_sort_key)
+        mapping = {label: f"q{index:03d}" for index, label in enumerate(labels)}
+        renamed = relabel(problem, mapping)
+
+        original = ZeroRoundEncoder(problem)
+        relabeled = ZeroRoundEncoder(renamed)
+        assert relabeled.formula.clauses == original.formula.clauses
+        assert relabeled.decision_order() == original.decision_order()
+        assert [
+            frozenset(mapping[x] for x in clique)
+            for clique in original.maximal_cliques()
+        ] == [frozenset(clique) for clique in relabeled.maximal_cliques()]
+
+
+class TestLoudRefusal:
+    def test_degree_beyond_cap_is_unsupported(self):
+        wide = catalog.trivial(MAX_DEGREE + 1)
+        with pytest.raises(SatUnsupported, match="degree"):
+            ZeroRoundEncoder(wide)
+
+    def test_no_degrees_is_unsupported(self):
+        problem = catalog.trivial(2)
+        with pytest.raises(SatUnsupported, match="degrees"):
+            ZeroRoundEncoder(problem, degrees=())
+
+    def test_tuple_blow_up_is_unsupported(self, monkeypatch):
+        monkeypatch.setattr("repro.sat.encode.MAX_TUPLES", 2)
+        with pytest.raises(SatUnsupported, match="tuple count"):
+            ZeroRoundEncoder(catalog.trivial(3))
+
+    def test_variable_blow_up_is_unsupported(self, monkeypatch):
+        monkeypatch.setattr("repro.sat.cnf.MAX_VARIABLES", 3)
+        formula = CnfFormula()
+        for _ in range(3):
+            formula.new_var()
+        with pytest.raises(SatUnsupported, match="variable"):
+            formula.new_var()
+
+    def test_unknown_solver_mode_is_unsupported(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAT_SOLVER", "minisat")
+        with pytest.raises(SatUnsupported, match="REPRO_SAT_SOLVER"):
+            SatSolver(CnfFormula())
+
+    def test_pysat_mode_without_pysat_is_unsupported(self, monkeypatch):
+        import repro.sat.solver as solver_module
+
+        monkeypatch.setattr(solver_module, "_pysat_probe", False)
+        monkeypatch.setenv("REPRO_SAT_SOLVER", "pysat")
+        with pytest.raises(SatUnsupported, match="pysat"):
+            SatSolver(CnfFormula())
+
+
+def _chain_formula(num_vars):
+    """A long implication chain: one unit clause, then v_i -> v_{i+1}.
+
+    Propagation assigns every variable, costing ``num_vars`` steps —
+    enough to cross the interrupt poll mask deterministically.
+    """
+    formula = CnfFormula()
+    variables = [formula.new_var() for _ in range(num_vars)]
+    formula.add_clause((variables[0],))
+    for previous, current in zip(variables, variables[1:]):
+        formula.add_clause((-previous, current))
+    return formula
+
+
+class TestBoundedSearch:
+    def test_step_budget_trips(self):
+        formula = _chain_formula(64)
+        with pytest.raises(SatBudgetExceeded, match="step budget"):
+            solve_formula(formula, max_steps=8)
+
+    def test_interrupt_callback_trips(self):
+        formula = _chain_formula(600)
+        solver = DpllSolver(formula, interrupt=lambda: True)
+        with pytest.raises(SatBudgetExceeded, match="interrupted"):
+            solver.solve()
+
+    def test_wall_clock_deadline_trips(self):
+        formula = _chain_formula(600)
+        with SatSolver(formula, timeout=0.0) as solver:
+            with pytest.raises(SatBudgetExceeded):
+                solver.solve()
+
+    def test_budget_survivor_is_still_correct(self):
+        formula = _chain_formula(64)
+        model = solve_formula(formula)
+        assert model is not None and formula.satisfied_by(model)
+        assert all(model[var] for var in model)
+
+    def test_assumption_conflict_does_not_poison_later_queries(self):
+        formula = _chain_formula(8)
+        solver = DpllSolver(formula)
+        assert solver.solve(assumptions=(-8,)) is None
+        model = solver.solve()
+        assert model is not None and formula.satisfied_by(model)
