@@ -18,7 +18,19 @@ REP006    every ``REPRO_*`` knob is declared in ``repro.utils.env`` and
 REP007    no bare ``except:``
 REP008    no mutable default arguments
 REP009    only ``ReproError`` subclasses cross the public API
+REP010    no nondeterministic value reaching a serialization sink across
+          calls (interprocedural taint with witness chains)
+REP011    no fork-unsafe state (global mutation, unpicklable captures,
+          parent-scoped knob reads) reachable from pool/cell workers
+REP012    no engine *call* reachable from the certificate checker, even
+          through sanctioned lazy function-level imports
 ========  ==============================================================
+
+REP001–REP009 are single-pass, per-file rules.  REP010–REP012 consume
+the whole-program dataflow engine: per-function summaries
+(:mod:`repro.analysis.summaries`, cached per content hash by
+:mod:`repro.analysis.cache`) propagated to a fixed point over the
+project call graph (:mod:`repro.analysis.dataflow`) on every run.
 
 Entry points: the ``repro-lint`` console script, ``python -m
 repro.analysis``, and the ``lcl-landscape lint`` verb.  See

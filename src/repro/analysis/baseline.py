@@ -1,10 +1,22 @@
 """Grandfathering baseline: adopt the linter without fixing the world first.
 
 A baseline file is a JSON map from finding *fingerprints* (rule + path +
-stripped source line, see :class:`repro.analysis.core.Finding`) to
-occurrence counts.  ``repro-lint --write-baseline FILE`` records the
-current findings; later runs with ``--baseline FILE`` report only *new*
-findings, so the tree ratchets toward clean instead of failing wholesale.
+stripped source line + occurrence index, see
+:class:`repro.analysis.core.Finding`) to occurrence counts.
+``repro-lint --write-baseline FILE`` records the current findings; later
+runs with ``--baseline FILE`` report only *new* findings, so the tree
+ratchets toward clean instead of failing wholesale.
+
+Format history:
+
+* **v1** hashed ``(rule, path, stripped line)`` only — two identical
+  violations on byte-identical lines in one file collapsed into one
+  fingerprint, so baselining the first silently grandfathered its twin.
+* **v2** (current) appends the per-(rule, path, line-text) occurrence
+  index to the hash *for the second occurrence onward*.  First
+  occurrences keep their v1 fingerprint, so v1 files load unchanged and
+  still match everything they matched before; only the previously
+  invisible twins now surface as new findings — which is the fix.
 
 This repository's own CI runs with an **empty** baseline — the tree is
 lint-clean and stays that way — but downstream forks adopting the rules
@@ -19,7 +31,11 @@ from typing import Dict, Iterable
 
 from repro.analysis.core import Finding
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Older formats that load without migration (v1 fingerprints are a
+#: subset of v2: occurrence 0 hashes identically).
+_ACCEPTED_VERSIONS = (1, FORMAT_VERSION)
 
 
 def write_baseline(findings: Iterable[Finding], path: Path) -> Dict[str, int]:
@@ -44,7 +60,7 @@ def load_baseline(path: Path) -> Dict[str, int]:
         body = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:
         raise ValueError(f"cannot read baseline {path}: {error}") from error
-    if not isinstance(body, dict) or body.get("version") != FORMAT_VERSION:
+    if not isinstance(body, dict) or body.get("version") not in _ACCEPTED_VERSIONS:
         raise ValueError(f"baseline {path} has an unsupported format")
     findings = body.get("findings")
     if not isinstance(findings, dict):

@@ -1,19 +1,30 @@
 """The ``repro-lint`` command line (also ``python -m repro.analysis`` and
 the ``lcl-landscape lint`` verb).
 
+All three entrypoints share one flag set (:func:`add_lint_arguments`)
+and one backend (:func:`run_from_args`) — ``tests/test_lint_cli.py``
+asserts the parsers cannot drift apart.
+
 Exit codes: ``0`` clean, ``1`` findings, ``2`` usage or I/O error.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.core import run_lint
-from repro.analysis.report import render_json, render_rule_list, render_text
+from repro.analysis.report import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+    render_unused_suppressions,
+)
 
 DEFAULT_PATHS = ("src/repro",)
 
@@ -41,9 +52,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif targets GitHub code scanning",
     )
     parser.add_argument(
         "--baseline",
@@ -64,6 +75,39 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="anchor for relative paths in reports/fingerprints (default: cwd)",
     )
     parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only findings in files changed vs. git HEAD (the whole "
+            "tree is still analyzed — cheaply, via the cache — so "
+            "whole-program rules stay sound)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental per-file cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental-cache directory (default: REPRO_LINT_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete every incremental-cache record before analyzing",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help=(
+            "list suppression directives that silenced nothing this run "
+            "(stale escapes); exits 1 when any exist"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     parser.add_argument(
@@ -77,6 +121,32 @@ def _split_codes(raw: Optional[str]) -> List[str]:
     if not raw:
         return []
     return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _changed_paths(root: Path) -> Optional[Set[str]]:
+    """Repo-relative paths changed vs. HEAD (staged, unstaged, and
+    untracked); ``None`` when git is unavailable (caller falls back to a
+    full report rather than silently reporting nothing)."""
+    changed: Set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args,
+                cwd=str(root),
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return changed
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -101,17 +171,40 @@ def run_from_args(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    use_cache = False if args.no_cache else None
+    if args.clear_cache:
+        from repro.analysis.cache import LintCache
+
+        cache = LintCache.open((), enabled=use_cache, directory=args.cache_dir, root=root)
+        if cache is not None:
+            removed = cache.clear()
+            print(f"cleared {removed} cache record(s)", file=sys.stderr)
     try:
         result = run_lint(
             paths,
-            root=Path(args.root) if args.root else None,
+            root=root,
             select=_split_codes(args.select) or None,
             disable=_split_codes(args.disable),
             baseline=baseline,
+            use_cache=use_cache,
+            cache_dir=args.cache_dir,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.changed_only:
+        changed = _changed_paths(root)
+        if changed is not None:
+            result.findings = [f for f in result.findings if f.path in changed]
+            result.unused_suppressions = [
+                u for u in result.unused_suppressions if u.path in changed
+            ]
+        else:
+            print(
+                "warning: --changed-only needs a git checkout; reporting all findings",
+                file=sys.stderr,
+            )
     if args.write_baseline:
         counts = write_baseline(result.findings, Path(args.write_baseline))
         print(
@@ -119,7 +212,11 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"({sum(counts.values())} finding(s) grandfathered)"
         )
         return 0
-    print(render_text(result) if args.format == "text" else render_json(result))
+    if args.report_unused_suppressions:
+        print(render_unused_suppressions(result))
+        return 0 if not result.unused_suppressions else 1
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    print(renderers[args.format](result))
     return 0 if result.ok else 1
 
 

@@ -1,4 +1,4 @@
-"""Single-pass AST lint engine: findings, the rule registry, the driver.
+"""Lint engine core: findings, the rule registry, the whole-program driver.
 
 Design
 ------
@@ -12,26 +12,53 @@ Every rule is a class decorated with :func:`register`, declaring
   **once**, dispatching each node to every interested rule — adding a
   rule never adds a traversal;
 * optional per-file hooks (``start_file`` / ``end_file``) and a
-  project-wide ``finalize`` hook for whole-program rules such as the
-  import-graph purity check (REP003).
+  project-wide ``finalize`` hook for whole-program rules: the import
+  graph (REP003), the interprocedural dataflow family (REP010–REP012)
+  which consumes the per-function summaries the driver collects.
+
+Incrementality: per-file work (parse, per-file rule findings, dataflow
+facts, import candidates, suppressions) is cached keyed on the file's
+content sha256 (:mod:`repro.analysis.cache`); whole-program judgments
+are *never* cached — they are recomputed each run from the per-file
+facts, which is what makes invalidation transitively sound by
+construction: change one file and every cross-file conclusion downstream
+of it is rebuilt.  Cold and warm runs produce byte-identical reports.
 
 Findings carry a *fingerprint* — a hash of ``(rule, path, stripped
-source line)`` that survives unrelated edits moving the line — which is
-what the grandfathering baseline (:mod:`repro.analysis.baseline`)
-matches on.  Suppression comments (``# repro-lint: disable=REP001``) are
-honored on the finding's line or on a comment line directly above it;
-``# repro-lint: disable-file=REP001`` silences a rule for a whole file.
+source line, occurrence)`` where ``occurrence`` disambiguates repeated
+identical lines in one file (without it, grandfathering one violation
+silently grandfathered its twin) — which is what the baseline
+(:mod:`repro.analysis.baseline`) matches on.  Suppression comments
+(``# repro-lint: disable=REP001``) are honored on the finding's line or
+the line directly above it; every directive's usage is tracked so stale
+suppressions can be reported.
 """
 
 from __future__ import annotations
 
 import ast
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.analysis.suppressions import Suppressions
+
+if TYPE_CHECKING:
+    from repro.analysis.dataflow import WholeProgram
+    from repro.analysis.summaries import FileFacts
 
 #: Pseudo-rule code attached to files that fail to parse.
 PARSE_ERROR_CODE = "REP000"
@@ -52,12 +79,18 @@ class Finding:
     col: int
     message: str
     source_line: str = ""
+    #: Index among findings sharing (rule, path, stripped line) — keeps
+    #: fingerprints of twin violations on identical lines distinct.
+    occurrence: int = 0
 
     @property
     def fingerprint(self) -> str:
-        digest = hashlib.sha256(
-            f"{self.rule}\x00{self.path}\x00{self.source_line.strip()}".encode("utf-8")
-        ).hexdigest()
+        body = f"{self.rule}\x00{self.path}\x00{self.source_line.strip()}"
+        if self.occurrence:
+            # Occurrence 0 omits the suffix so fingerprints written by
+            # format-1 baselines keep matching the first occurrence.
+            body += f"\x00{self.occurrence}"
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
         return f"{self.rule}:{digest[:16]}"
 
     def render(self) -> str:
@@ -73,19 +106,68 @@ class Finding:
             "fingerprint": self.fingerprint,
         }
 
+    def cache_dict(self) -> Dict[str, Any]:
+        """Lossless serialization for the incremental cache (unlike
+        :meth:`as_dict`, keeps the raw source line; occurrence is
+        reassigned globally on every run and deliberately excluded)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+        }
 
-class FileContext:
-    """Everything the rules may need about one parsed file."""
+    @classmethod
+    def from_cache_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            source_line=payload["source_line"],
+        )
 
-    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
-        self.path = path
+
+class ModuleView:
+    """The context-free face of one linted file: what whole-program
+    rules may rely on whether the file was parsed this run or replayed
+    from the incremental cache."""
+
+    def __init__(self, rel_path: str, module: str, source: str):
         self.rel_path = rel_path
+        self.module = module
         self.source = source
         self.lines = source.splitlines()
-        self.tree = tree
-        self.module = _module_name(path)
-        self.segments: Tuple[str, ...] = tuple(self.module.split("."))
+        self.segments: Tuple[str, ...] = tuple(module.split("."))
         self.suppressions = Suppressions.scan(source)
+
+    @property
+    def is_scaffolding(self) -> bool:
+        """Test / benchmark / example code (vs. library code)."""
+        stem = self.rel_path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        first_dir = self.rel_path.split("/", 1)[0]
+        return (
+            self.segments[0] in _SCAFFOLD_SEGMENTS
+            or first_dir in _SCAFFOLD_SEGMENTS
+            or any(stem.startswith(prefix) for prefix in _SCAFFOLD_PREFIXES)
+        )
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class FileContext(ModuleView):
+    """Everything the rules may need about one *parsed* file."""
+
+    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
+        super().__init__(rel_path, _module_name(path), source)
+        self.path = path
+        self.tree = tree
         #: local name -> fully qualified imported module/object name.
         self.aliases = _collect_aliases(tree)
         self._nested_functions: Optional[frozenset] = None
@@ -93,7 +175,6 @@ class FileContext:
     # -- classification -----------------------------------------------------
     @property
     def is_scaffolding(self) -> bool:
-        """Test / benchmark / example code (vs. library code)."""
         stem = self.path.stem
         first_dir = self.rel_path.split("/", 1)[0]
         return (
@@ -119,11 +200,6 @@ class FileContext:
         return self._nested_functions
 
     # -- helpers ------------------------------------------------------------
-    def source_line(self, lineno: int) -> str:
-        if 1 <= lineno <= len(self.lines):
-            return self.lines[lineno - 1]
-        return ""
-
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
@@ -153,14 +229,35 @@ class FileContext:
 
 
 class Project:
-    """The full set of parsed files, for whole-program (finalize) rules."""
+    """The full set of linted files — parsed contexts and cache-replayed
+    views side by side — plus the per-file dataflow facts the
+    whole-program (finalize) rules consume."""
 
-    def __init__(self, files: Sequence[FileContext]):
-        self.files = list(files)
-        self.by_module: Dict[str, FileContext] = {ctx.module: ctx for ctx in self.files}
+    def __init__(
+        self,
+        views: Sequence[ModuleView],
+        facts: Optional[Dict[str, "FileFacts"]] = None,
+    ):
+        self.views = list(views)
+        self.files = [view for view in self.views if isinstance(view, FileContext)]
+        self.by_module: Dict[str, ModuleView] = {view.module: view for view in self.views}
+        #: module -> FileFacts (cached or freshly extracted).
+        self.facts: Dict[str, "FileFacts"] = facts or {}
+        self._whole_program: Optional["WholeProgram"] = None
 
-    def __iter__(self) -> Iterator[FileContext]:
-        return iter(self.files)
+    def __iter__(self) -> Iterator[ModuleView]:
+        return iter(self.views)
+
+    @property
+    def whole_program(self) -> "WholeProgram":
+        """The interprocedural engine (call graph + propagated
+        summaries), built lazily once per run and shared by every
+        summary-consuming rule."""
+        if self._whole_program is None:
+            from repro.analysis.dataflow import WholeProgram
+
+            self._whole_program = WholeProgram(self.facts)
+        return self._whole_program
 
 
 class Rule:
@@ -262,11 +359,32 @@ def parent_chain(node: ast.AST) -> Iterator[ast.AST]:
 
 # -------------------------------------------------------------------- driver
 @dataclass
+class UnusedSuppression:
+    """A suppression directive that silenced nothing this run."""
+
+    path: str
+    line: int  # 0 for whole-file directives
+    code: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "code": self.code}
+
+    def render(self) -> str:
+        where = "disable-file" if self.line == 0 else f"line {self.line}"
+        return f"{self.path}:{max(self.line, 1)}: unused suppression of {self.code} ({where})"
+
+
+@dataclass
 class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressed: int = 0
     baselined: int = 0
+    unused_suppressions: List[UnusedSuppression] = field(default_factory=list)
+    #: Incremental-cache accounting (never part of rendered reports, so
+    #: cold and warm runs stay byte-identical).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -296,12 +414,27 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return unique
 
 
+def _assign_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Index findings sharing (rule, path, stripped line) so identical
+    twin violations get distinct fingerprints.  Input must be sorted."""
+    counters: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.source_line.strip())
+        seen = counters.get(key, 0)
+        counters[key] = seen + 1
+        out.append(replace(finding, occurrence=seen) if seen else finding)
+    return out
+
+
 def run_lint(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     select: Optional[Sequence[str]] = None,
     disable: Sequence[str] = (),
     baseline: Optional[Dict[str, int]] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> LintResult:
     """Lint ``paths`` (files or directories) and return the findings.
 
@@ -309,7 +442,13 @@ def run_lint(
     codes; ``baseline`` (fingerprint -> count) grandfathers old findings.
     ``root`` anchors the relative paths used in reports, fingerprints,
     and suppression bookkeeping (default: the current directory).
+    ``use_cache`` / ``cache_dir`` control the incremental per-file cache
+    (default: the ``REPRO_LINT_CACHE`` / ``REPRO_LINT_CACHE_DIR`` knobs);
+    cached and uncached runs produce identical results.
     """
+    from repro.analysis.cache import LintCache
+    from repro.analysis.summaries import FileFacts, build_file_facts
+
     root = (root or Path.cwd()).resolve()
     rule_classes = all_rules()
     if select:
@@ -320,6 +459,9 @@ def run_lint(
         rule_classes = [cls for cls in rule_classes if cls.code in wanted]
     rule_classes = [cls for cls in rule_classes if cls.code not in set(disable)]
     rules = [cls() for cls in rule_classes]
+    active_codes = tuple(cls.code for cls in rule_classes)
+
+    cache = LintCache.open(active_codes, enabled=use_cache, directory=cache_dir, root=root)
 
     dispatch: Dict[Type[ast.AST], List[Rule]] = {}
     for rule in rules:
@@ -328,7 +470,8 @@ def run_lint(
 
     result = LintResult()
     raw_findings: List[Finding] = []
-    contexts: List[FileContext] = []
+    views: List[ModuleView] = []
+    facts: Dict[str, FileFacts] = {}
     for file_path in iter_python_files([Path(p) for p in paths]):
         resolved = file_path.resolve()
         try:
@@ -336,26 +479,59 @@ def run_lint(
         except ValueError:
             rel = str(resolved.as_posix())
         try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(file_path))
-        except (OSError, SyntaxError, ValueError) as error:
-            line = getattr(error, "lineno", 1) or 1
+            raw_bytes = file_path.read_bytes()
+        except OSError as error:
             raw_findings.append(
                 Finding(
                     rule=PARSE_ERROR_CODE,
                     path=rel,
-                    line=line,
+                    line=1,
                     col=1,
                     message=f"file cannot be parsed: {error}",
                 )
             )
             result.files_scanned += 1
             continue
-        annotate_parents(tree)
-        ctx = FileContext(resolved, rel, source, tree)
-        contexts.append(ctx)
         result.files_scanned += 1
 
+        cached = cache.lookup(rel, raw_bytes) if cache is not None else None
+        if cached is not None:
+            result.cache_hits += 1
+            raw_findings.extend(cached.findings)
+            view = ModuleView(rel, cached.facts.module, cached.source)
+            views.append(view)
+            facts[cached.facts.module] = cached.facts
+            continue
+        if cache is not None:
+            result.cache_misses += 1
+
+        try:
+            source = raw_bytes.decode("utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            finding = Finding(
+                rule=PARSE_ERROR_CODE,
+                path=rel,
+                line=line,
+                col=1,
+                message=f"file cannot be parsed: {error}",
+            )
+            raw_findings.append(finding)
+            if cache is not None:
+                cache.store(
+                    rel,
+                    raw_bytes,
+                    [finding],
+                    FileFacts(module=Path(rel).stem, rel_path=rel, is_scaffolding=False),
+                    source="",
+                )
+            continue
+        annotate_parents(tree)
+        ctx = FileContext(resolved, rel, source, tree)
+        views.append(ctx)
+
+        file_findings: List[Finding] = []
         active = [rule for rule in rules if rule.applies_to(ctx)]
         if active:
             for rule in active:
@@ -368,25 +544,48 @@ def run_lint(
                     continue
                 for rule in dispatch.get(type(node), ()):  # exact-type dispatch
                     if rule in active:
-                        raw_findings.extend(rule.visit(node, ctx))
+                        file_findings.extend(rule.visit(node, ctx))
             for rule in active:
-                raw_findings.extend(rule.end_file(ctx))
+                file_findings.extend(rule.end_file(ctx))
+        raw_findings.extend(file_findings)
 
-    project = Project(contexts)
+        file_facts = build_file_facts(ctx)
+        facts[ctx.module] = file_facts
+        if cache is not None:
+            cache.store(rel, raw_bytes, file_findings, file_facts, source=source)
+
+    project = Project(views, facts)
     for rule in rules:
         raw_findings.extend(rule.finalize(project))
 
-    # Suppression comments, then the baseline.
-    suppression_index = {ctx.rel_path: ctx.suppressions for ctx in contexts}
+    # Suppression comments (with per-directive usage tracking), then the
+    # occurrence indexes, then the baseline.
+    suppression_index = {view.rel_path: view.suppressions for view in views}
+    used_directives: Dict[str, set] = {}
     kept: List[Finding] = []
     for finding in raw_findings:
         suppressions = suppression_index.get(finding.path)
-        if suppressions is not None and suppressions.is_suppressed(
-            finding.rule, finding.line
-        ):
-            result.suppressed += 1
-            continue
+        if suppressions is not None:
+            directive_line = suppressions.match(finding.rule, finding.line)
+            if directive_line is not None:
+                used_directives.setdefault(finding.path, set()).add(
+                    (directive_line, finding.rule)
+                )
+                result.suppressed += 1
+                continue
         kept.append(finding)
+
+    active_code_set = set(active_codes)
+    for view in sorted(views, key=lambda v: v.rel_path):
+        used = used_directives.get(view.rel_path, set())
+        for line, code in view.suppressions.directive_keys():
+            if code in active_code_set and (line, code) not in used:
+                result.unused_suppressions.append(
+                    UnusedSuppression(path=view.rel_path, line=line, code=code)
+                )
+
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    kept = _assign_occurrences(kept)
     if baseline:
         remaining = dict(baseline)
         unbaselined = []
@@ -397,6 +596,5 @@ def run_lint(
             else:
                 unbaselined.append(finding)
         kept = unbaselined
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     result.findings = kept
     return result

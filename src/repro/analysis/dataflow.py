@@ -1,0 +1,615 @@
+"""Whole-program propagation over the per-function summaries.
+
+This is the *uncached* half of the interprocedural analyzer: it takes
+the per-file :class:`~repro.analysis.summaries.FileFacts` (freshly
+extracted or replayed from the incremental cache — indistinguishable by
+construction) and computes every cross-file judgment from scratch on
+each run:
+
+* a **function index** with re-export-tolerant call resolution
+  (``repro.lcl.encode_problem`` resolves to the unique
+  ``repro.lcl.codec.encode_problem`` when the package ``__init__``
+  re-exports it);
+* **fixed-point summaries** per function — which nondeterminism kinds
+  its return value carries (with the full witness chain), whether it
+  returns an unordered container, and which of its parameters flow into
+  serialization sinks (transitively, through further calls);
+* the three whole-program queries the rules consume:
+  :meth:`WholeProgram.taint_hits` (REP010),
+  :meth:`WholeProgram.fork_hazards` (REP011), and
+  :meth:`WholeProgram.engine_reach` (REP012).
+
+Termination: the summary lattice is finite and the transfer function is
+monotone — taint kinds and param-sink records are only ever *added*, and
+the witness chain attached to a kind is frozen the first time the kind
+appears (a later, different chain for an already-known kind never
+re-triggers propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import contracts
+from repro.analysis.summaries import (
+    Dep,
+    DepSet,
+    FileFacts,
+    FunctionRecord,
+    MAX_EVAL_DEPTH,
+)
+
+#: One step of a human-readable witness chain: ``path:line: what``.
+Chain = Tuple[str, ...]
+
+
+def _step(rel_path: str, line: int, text: str) -> str:
+    return f"{rel_path}:{line}: {text}"
+
+
+@dataclass
+class ParamSink:
+    """A (transitive) flow from one function parameter into a sink."""
+
+    sink: str
+    sink_path: str
+    sink_line: int
+    #: Hops from the parameter to the sink (call sites, then the sink).
+    hops: Chain
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.sink, self.sink_path, self.sink_line)
+
+
+@dataclass
+class Summary:
+    """Propagated facts about one function's return value and params."""
+
+    ret_taints: Dict[str, Chain] = field(default_factory=dict)
+    ret_unordered: bool = False
+    param_sinks: Dict[str, List[ParamSink]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """REP010: a nondeterministic value reaching a serialization sink."""
+
+    kind: str
+    sink: str
+    path: str  # file containing the sink call (finding anchor)
+    line: int  # sink call line (so sink-line suppressions work)
+    chain: Chain
+
+
+@dataclass(frozen=True)
+class ForkHazard:
+    """REP011: fork-reachable code carrying unsafe state."""
+
+    hazard: str
+    path: str
+    line: int
+    root: str  # the fork entrypoint this is reachable from
+    chain: Chain
+
+
+@dataclass(frozen=True)
+class EngineReach:
+    """REP012: a checker function whose call chain enters the engine."""
+
+    caller: str
+    target: str
+    path: str
+    line: int
+    chain: Chain
+
+
+class WholeProgram:
+    """Call graph + fixed-point summaries over a project's FileFacts."""
+
+    def __init__(self, facts: Dict[str, FileFacts]):
+        self.facts = facts
+        #: qualname -> record, across every file.
+        self.functions: Dict[str, FunctionRecord] = {}
+        #: simple function name -> sorted keys (for suffix resolution).
+        self._by_name: Dict[str, List[str]] = {}
+        for module in sorted(facts):
+            for key, record in facts[module].functions.items():
+                self.functions[key] = record
+                self._by_name.setdefault(record.name, []).append(key)
+        for keys in self._by_name.values():
+            keys.sort()
+        self._resolve_cache: Dict[str, Tuple[str, ...]] = {}
+        self.summaries: Dict[str, Summary] = {
+            key: Summary() for key in self.functions
+        }
+        self._callers: Dict[str, Set[str]] = {}
+        self._build_reverse_edges()
+        self._propagate()
+
+    # -- resolution ---------------------------------------------------------
+    def resolve(self, candidate: str) -> Tuple[str, ...]:
+        """Project function keys a callee candidate may denote.
+
+        Exact qualname match first; otherwise the re-export fallback: a
+        candidate ``pkg.name`` (where ``pkg`` is a project package whose
+        ``__init__`` re-exports ``name``) resolves to the *unique* key
+        ``pkg.<submodule...>.name``.  Ambiguous fallbacks resolve to
+        nothing — a lint must not guess."""
+        cached = self._resolve_cache.get(candidate)
+        if cached is not None:
+            return cached
+        result: Tuple[str, ...]
+        if candidate in self.functions:
+            result = (candidate,)
+        elif "." in candidate:
+            prefix, name = candidate.rsplit(".", 1)
+            matches = [
+                key
+                for key in self._by_name.get(name, ())
+                if key.startswith(prefix + ".") and key != candidate
+            ]
+            result = (matches[0],) if len(matches) == 1 else ()
+        else:
+            result = ()
+        self._resolve_cache[candidate] = result
+        return result
+
+    def _resolve_all(self, candidates: Sequence[str]) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for candidate in candidates:
+            for key in self.resolve(candidate):
+                if key not in seen:
+                    seen.append(key)
+        return tuple(seen)
+
+    def _build_reverse_edges(self) -> None:
+        for key, record in self.functions.items():
+            for call in record.calls:
+                for target in self._resolve_all(call.candidates):
+                    self._callers.setdefault(target, set()).add(key)
+
+    # -- dep evaluation -----------------------------------------------------
+    def evaluate(self, deps: DepSet, rel_path: str) -> Tuple[Dict[str, Chain], bool]:
+        """Resolve a dep set against the current summaries: the taint
+        kinds it carries (with witness chains) and whether it holds an
+        unordered container."""
+        taints: Dict[str, Chain] = {}
+        unordered = False
+        for dep in sorted(deps, key=repr):
+            tag = dep[0]
+            if tag == "taint":
+                _, kind, line, desc = dep
+                taints.setdefault(kind, (_step(rel_path, line, desc),))
+            elif tag == "unordered":
+                unordered = True
+            elif tag in ("call", "lcall", "mcall"):
+                _, candidate, line = dep
+                for target in self.resolve(candidate):
+                    summary = self.summaries[target]
+                    for kind, chain in summary.ret_taints.items():
+                        if tag == "lcall" and kind == contracts.TAINT_ORDER:
+                            continue  # sorted()/min()/... launders order
+                        taints.setdefault(
+                            kind,
+                            chain + (_step(rel_path, line, f"returned by {target}"),),
+                        )
+                    if summary.ret_unordered:
+                        if tag == "call":
+                            unordered = True
+                        elif tag == "mcall":
+                            origin = (
+                                _step(
+                                    self.functions[target].rel_path,
+                                    self.functions[target].line,
+                                    f"{target} returns an unordered container",
+                                ),
+                            )
+                            taints.setdefault(
+                                contracts.TAINT_ORDER,
+                                origin
+                                + (
+                                    _step(
+                                        rel_path,
+                                        line,
+                                        "iterating/materializing its unordered return",
+                                    ),
+                                ),
+                            )
+            # ("param", name) and ("fref", ...) carry no taint here.
+        return taints, unordered
+
+    # -- fixed point --------------------------------------------------------
+    def _transfer(self, key: str) -> bool:
+        """Recompute one function's summary; True if it grew."""
+        record = self.functions[key]
+        summary = self.summaries[key]
+        changed = False
+        self._linked_changed = False
+
+        taints, unordered = self.evaluate(record.return_deps, record.rel_path)
+        for kind, chain in taints.items():
+            if kind not in summary.ret_taints:
+                summary.ret_taints[kind] = chain
+                changed = True
+        if unordered and not summary.ret_unordered:
+            summary.ret_unordered = True
+            changed = True
+        # A function returning a raw unordered dep also propagates the
+        # container-ness through plain `call` deps (handled in evaluate).
+
+        # Direct param -> local sink flows.
+        for sink in record.sinks:
+            params = {dep[1] for dep in sink.deps if dep[0] == "param"}
+            for param in params:
+                ps = ParamSink(
+                    sink=sink.sink,
+                    sink_path=record.rel_path,
+                    sink_line=sink.line,
+                    hops=(_step(record.rel_path, sink.line, f"into sink {sink.sink}"),),
+                )
+                if self._add_param_sink(summary, param, ps):
+                    changed = True
+
+        # Transitive param -> callee-param -> ... -> sink flows.
+        for call in record.calls:
+            for target in self._resolve_all(call.candidates):
+                target_record = self.functions[target]
+                target_summary = self.summaries[target]
+                if not target_summary.param_sinks:
+                    continue
+                for position, deps in enumerate(call.args):
+                    index = position + call.offset
+                    if index >= len(target_record.params):
+                        continue
+                    self._link_param_sinks(
+                        summary, record, call.line, target,
+                        target_record.params[index], target_summary, deps,
+                    )
+                for kwname, deps in call.kwargs.items():
+                    if kwname in target_record.params:
+                        self._link_param_sinks(
+                            summary, record, call.line, target,
+                            kwname, target_summary, deps,
+                        )
+                changed |= self._linked_changed
+        return changed
+
+    _linked_changed = False
+
+    def _link_param_sinks(
+        self,
+        summary: Summary,
+        record: FunctionRecord,
+        line: int,
+        target: str,
+        target_param: str,
+        target_summary: Summary,
+        deps: DepSet,
+    ) -> None:
+        for ps in target_summary.param_sinks.get(target_param, ()):  # noqa: B020
+            hop = _step(record.rel_path, line, f"passed to {target}({target_param}=...)")
+            extended = ParamSink(
+                sink=ps.sink,
+                sink_path=ps.sink_path,
+                sink_line=ps.sink_line,
+                hops=(hop,) + ps.hops,
+            )
+            for dep in deps:
+                if dep[0] == "param":
+                    if self._add_param_sink(summary, dep[1], extended):
+                        self._linked_changed = True
+
+    def _add_param_sink(self, summary: Summary, param: str, ps: ParamSink) -> bool:
+        existing = summary.param_sinks.setdefault(param, [])
+        if any(other.key() == ps.key() for other in existing):
+            return False
+        if len(existing) >= MAX_EVAL_DEPTH:
+            return False  # pathological fan-in guard
+        existing.append(ps)
+        return True
+
+    def _propagate(self) -> None:
+        pending: List[str] = sorted(self.functions)
+        queued: Set[str] = set(pending)
+        rounds = 0
+        limit = max(64, len(self.functions) * 16)
+        while pending and rounds < limit:
+            key = pending.pop(0)
+            queued.discard(key)
+            self._linked_changed = False
+            if self._transfer(key):
+                for caller in sorted(self._callers.get(key, ())):
+                    if caller not in queued:
+                        queued.add(caller)
+                        pending.append(caller)
+            rounds += 1
+
+    # -- queries ------------------------------------------------------------
+    def _is_scaffold(self, module: str) -> bool:
+        facts = self.facts.get(module)
+        return bool(facts and facts.is_scaffolding)
+
+    def taint_hits(self) -> List[TaintHit]:
+        """REP010 raw material: every nondeterministic-value-to-sink
+        flow, anchored at the sink call line, with the full witness
+        chain.  Set-order hits whose *origin* lies in an ordered-output
+        module are left to REP002 (which flags the iteration itself)."""
+        hits: List[TaintHit] = []
+        seen: Set[Tuple[str, str, str, int]] = set()
+
+        def emit(kind: str, sink: str, path: str, line: int, chain: Chain) -> None:
+            dedup = (kind, sink, path, line)
+            if dedup in seen:
+                return
+            seen.add(dedup)
+            hits.append(TaintHit(kind=kind, sink=sink, path=path, line=line, chain=chain))
+
+        for key in sorted(self.functions):
+            record = self.functions[key]
+            if self._is_scaffold(record.module):
+                continue
+            # Direct + return-propagated flows into sinks called here.
+            for sink in record.sinks:
+                taints, _ = self.evaluate(sink.deps, record.rel_path)
+                for kind, chain in sorted(taints.items()):
+                    emit(
+                        kind,
+                        sink.sink,
+                        record.rel_path,
+                        sink.line,
+                        chain + (_step(record.rel_path, sink.line, f"into sink {sink.sink}"),),
+                    )
+            # Argument flows: a tainted value passed into a callee whose
+            # parameter (transitively) reaches a sink.
+            for call in record.calls:
+                for target in self._resolve_all(call.candidates):
+                    target_record = self.functions[target]
+                    target_summary = self.summaries[target]
+                    # A call that *resolves* to a sink function is a sink
+                    # even when the spelled name hid the defining module
+                    # (package re-exports) from local extraction.
+                    if contracts.is_sink_function(target):
+                        union: Set[Dep] = set()
+                        for deps in call.args:
+                            union |= deps
+                        for deps in call.kwargs.values():
+                            union |= deps
+                        taints, _ = self.evaluate(frozenset(union), record.rel_path)
+                        for kind, chain in sorted(taints.items()):
+                            emit(
+                                kind,
+                                target,
+                                record.rel_path,
+                                call.line,
+                                chain
+                                + (_step(record.rel_path, call.line, f"into sink {target}"),),
+                            )
+                    if not target_summary.param_sinks:
+                        continue
+                    pairs: List[Tuple[str, DepSet]] = []
+                    for position, deps in enumerate(call.args):
+                        index = position + call.offset
+                        if index < len(target_record.params):
+                            pairs.append((target_record.params[index], deps))
+                    for kwname, deps in call.kwargs.items():
+                        if kwname in target_record.params:
+                            pairs.append((kwname, deps))
+                    for param, deps in pairs:
+                        sinks = target_summary.param_sinks.get(param)
+                        if not sinks:
+                            continue
+                        taints, _ = self.evaluate(deps, record.rel_path)
+                        for kind, chain in sorted(taints.items()):
+                            hop = _step(
+                                record.rel_path,
+                                call.line,
+                                f"passed to {target}({param}=...)",
+                            )
+                            for ps in sinks:
+                                emit(
+                                    kind,
+                                    ps.sink,
+                                    ps.sink_path,
+                                    ps.sink_line,
+                                    chain + (hop,) + ps.hops,
+                                )
+        # Drop set-order hits born inside ordered-output modules: REP002
+        # already flags unordered iteration there, line-precisely.
+        filtered: List[TaintHit] = []
+        for hit in hits:
+            if hit.kind == contracts.TAINT_ORDER:
+                origin_path = hit.chain[0].split(":", 1)[0] if hit.chain else ""
+                if self._path_is_ordered_output(origin_path) and origin_path == hit.path:
+                    continue
+            filtered.append(hit)
+        return filtered
+
+    def _path_is_ordered_output(self, rel_path: str) -> bool:
+        for facts in self.facts.values():
+            if facts.rel_path == rel_path:
+                segments = facts.module.split(".")
+                return contracts.is_ordered_output_module(segments[-1], segments)
+        return False
+
+    # -- fork safety (REP011) ------------------------------------------------
+    def fork_roots(self) -> Dict[str, str]:
+        """Function key -> how it became a fork root."""
+        roots: Dict[str, str] = {}
+
+        def add(key: str, why: str) -> None:
+            roots.setdefault(key, why)
+
+        for key in sorted(self.functions):
+            record = self.functions[key]
+            if key.endswith(contracts.FORK_ENTRYPOINT_SUFFIXES):
+                add(key, "fork-child entrypoint")
+            for decorator in record.decorators:
+                if decorator in contracts.FORK_RUNNER_DECORATORS:
+                    add(key, f"@{decorator} cell runner")
+            for call in record.calls:
+                slots: Tuple[int, ...] = ()
+                for candidate in call.candidates:
+                    simple = candidate.rsplit(".", 1)[-1]
+                    if simple in contracts.FORK_SUBMIT_NAMES:
+                        slots = contracts.FORK_SUBMIT_NAMES[simple]
+                        break
+                if not slots:
+                    continue
+                carried: List[DepSet] = [
+                    call.args[slot] for slot in slots if slot < len(call.args)
+                ]
+                carried.extend(
+                    deps
+                    for kwname, deps in call.kwargs.items()
+                    if kwname in contracts.FORK_SUBMIT_KEYWORDS
+                )
+                for deps in carried:
+                    for dep in deps:
+                        if dep[0] == "fref":
+                            for target in self.resolve(dep[1]):
+                                add(target, f"submitted to pool at {record.rel_path}:{call.line}")
+        return roots
+
+    def _call_reach(
+        self, root: str, stop: Optional[Set[str]] = None
+    ) -> Dict[str, Chain]:
+        """BFS over call (and function-reference) edges from ``root``:
+        reached key -> chain of call-site steps."""
+        chains: Dict[str, Chain] = {root: ()}
+        queue: List[str] = [root]
+        while queue:
+            key = queue.pop(0)
+            record = self.functions[key]
+            targets: List[Tuple[str, int]] = []
+            for call in record.calls:
+                for target in self._resolve_all(call.candidates):
+                    targets.append((target, call.line))
+            for dep in sorted(record.return_deps, key=repr):
+                if dep[0] == "fref":
+                    for target in self.resolve(dep[1]):
+                        targets.append((target, dep[2]))
+            for target, line in targets:
+                if target in chains:
+                    continue
+                if stop is not None and target in stop:
+                    continue
+                chains[target] = chains[key] + (
+                    _step(record.rel_path, line, f"calls {target}"),
+                )
+                queue.append(target)
+        return chains
+
+    def fork_hazards(self, parent_scoped_knobs: FrozenSet[str] = frozenset()) -> List[ForkHazard]:
+        """REP011 raw material: hazards in functions reachable from fork
+        roots — mutating module-level mutable globals, touching
+        unpicklable module-level state, or re-reading parent-scoped
+        REPRO_* knobs in the child."""
+        hazards: List[ForkHazard] = []
+        seen: Set[Tuple[str, int, str]] = set()
+        roots = self.fork_roots()
+        for root in sorted(roots):
+            why = roots[root]
+            for key, chain in sorted(self._call_reach(root).items()):
+                record = self.functions[key]
+                if self._is_scaffold(record.module):
+                    continue
+                facts = self.facts.get(record.module)
+                prefix = (
+                    _step(record.rel_path, record.line, f"{key} (root: {why})"),
+                ) if key == root else (
+                    _step(
+                        self.functions[root].rel_path,
+                        self.functions[root].line,
+                        f"{root} (root: {why})",
+                    ),
+                ) + chain
+
+                def emit(line: int, text: str) -> None:
+                    dedup = (record.rel_path, line, text)
+                    if dedup in seen:
+                        return
+                    seen.add(dedup)
+                    hazards.append(
+                        ForkHazard(
+                            hazard=text,
+                            path=record.rel_path,
+                            line=line,
+                            root=root,
+                            chain=prefix,
+                        )
+                    )
+
+                for name, line in record.global_mutations:
+                    emit(
+                        line,
+                        f"mutates module-level mutable global '{name}' in fork-reachable code",
+                    )
+                if facts is not None:
+                    for name, line in record.global_reads:
+                        if name in facts.unpicklable_globals:
+                            emit(
+                                line,
+                                f"touches unpicklable module-level object '{name}' in fork-reachable code",
+                            )
+                for knob, line in record.env_reads:
+                    if knob in parent_scoped_knobs:
+                        emit(
+                            line,
+                            f"re-reads parent-scoped knob {knob} in fork-reachable code",
+                        )
+        return hazards
+
+    # -- engine freedom (REP012) ---------------------------------------------
+    def engine_reach(self) -> List[EngineReach]:
+        """REP012 raw material: call edges from checker-module functions
+        that (transitively) enter an engine module.  Producer modules
+        (``certify``) are the sanctioned boundary — traversal does not
+        continue through them."""
+        produced: Set[str] = {
+            key
+            for key, record in self.functions.items()
+            if contracts.is_producer_module(record.module)
+        }
+        out: List[EngineReach] = []
+        seen: Set[Tuple[str, str]] = set()
+        for key in sorted(self.functions):
+            record = self.functions[key]
+            if not contracts.is_checker_module(record.module):
+                continue
+            if self._is_scaffold(record.module):
+                continue
+            chains = self._call_reach(key, stop=produced)
+            # Report the *shallowest* engine crossing per checker function.
+            best: Optional[Tuple[int, str, Chain]] = None
+            for target, chain in chains.items():
+                target_module = self.functions[target].module
+                if not contracts.is_engine_module(target_module):
+                    continue
+                if best is None or len(chain) < best[0]:
+                    best = (len(chain), target, chain)
+            if best is None:
+                continue
+            _, target, chain = best
+            dedup = (key, target)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            # Anchor at the first call edge leaving this function.
+            first_line = record.line
+            if chain:
+                first = chain[0]
+                try:
+                    first_line = int(first.split(":", 2)[1])
+                except (IndexError, ValueError):
+                    pass
+            out.append(
+                EngineReach(
+                    caller=key,
+                    target=target,
+                    path=record.rel_path,
+                    line=first_line,
+                    chain=(_step(record.rel_path, record.line, key),) + chain,
+                )
+            )
+        return out

@@ -13,13 +13,19 @@ and ``a.b.c``; ``from a.b import c`` additionally targets ``a.b.c`` when
 that resolves to a project module (attribute vs. submodule imports are
 indistinguishable statically, and the conservative reading is the sound
 one for a purity check).
+
+Split for the incremental cache: :func:`extract_import_edges` derives a
+file's raw import targets from its AST alone (cacheable per content
+hash), while :class:`ImportGraph` filters those candidates against the
+*global* module set at graph-build time — so a cached file never needs
+to know which other files exist.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.core import FileContext, Project
 
@@ -86,46 +92,70 @@ def _resolve_from(node: ast.ImportFrom, importer: str) -> Optional[str]:
     return ".".join(base_parts) or None
 
 
+def extract_import_edges(ctx: FileContext) -> List[ImportEdge]:
+    """Raw import-target candidates for one file, *unfiltered* — every
+    dotted name (with ancestors) the module-level imports could execute.
+    :class:`ImportGraph` later keeps only candidates that name project
+    modules.  Context-free by design so the result caches per file."""
+    importer = ctx.module
+    edges: List[ImportEdge] = []
+    seen: Set[Tuple[str, int]] = set()
+
+    def add(target: str, line: int) -> None:
+        key = (target, line)
+        if key not in seen:
+            seen.add(key)
+            edges.append(ImportEdge(importer, target, ctx.rel_path, line))
+
+    for node in _module_level_imports(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                for candidate in _with_ancestors(alias.name):
+                    add(candidate, node.lineno)
+        else:
+            base = _resolve_from(node, importer)
+            if base is None:
+                continue
+            for candidate in _with_ancestors(base):
+                add(candidate, node.lineno)
+            for alias in node.names:
+                if alias.name != "*":
+                    add(f"{base}.{alias.name}", node.lineno)
+    return edges
+
+
 class ImportGraph:
     """Module -> module edges restricted to modules inside the project."""
 
-    def __init__(self, project: Project):
-        self.project = project
-        self.modules: Set[str] = set(project.by_module)
-        #: importer module -> list of edges.
+    def __init__(
+        self,
+        modules: Set[str],
+        candidate_edges: Dict[str, Sequence[Tuple[str, int]]],
+        rel_paths: Dict[str, str],
+    ):
+        self.modules = set(modules)
+        #: importer module -> list of edges (project-internal only).
         self.edges: Dict[str, List[ImportEdge]] = {}
-        for ctx in project:
-            self.edges[ctx.module] = list(self._edges_for(ctx))
+        for importer in sorted(candidate_edges):
+            rel_path = rel_paths.get(importer, "")
+            kept: List[ImportEdge] = []
+            # A submodule's import executes its package __init__ first.
+            if "." in importer:
+                package = importer.rsplit(".", 1)[0]
+                if package in self.modules:
+                    kept.append(ImportEdge(importer, package, rel_path, 1))
+            for imported, line in candidate_edges[importer]:
+                if imported in self.modules and imported != importer:
+                    kept.append(ImportEdge(importer, imported, rel_path, line))
+            self.edges[importer] = kept
 
-    def _project_targets(self, base: str, names: Optional[List[str]]) -> Iterator[str]:
-        for candidate in _with_ancestors(base):
-            if candidate in self.modules:
-                yield candidate
-        if names:
-            for name in names:
-                dotted = f"{base}.{name}"
-                if dotted in self.modules:
-                    yield dotted
-
-    def _edges_for(self, ctx: FileContext) -> Iterator[ImportEdge]:
-        importer = ctx.module
-        # A submodule's import executes its package __init__ first.
-        if "." in importer:
-            package = importer.rsplit(".", 1)[0]
-            if package in self.modules:
-                yield ImportEdge(importer, package, ctx.rel_path, 1)
-        for node in _module_level_imports(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    for target in self._project_targets(alias.name, None):
-                        yield ImportEdge(importer, target, ctx.rel_path, node.lineno)
-            else:
-                base = _resolve_from(node, importer)
-                if base is None:
-                    continue
-                names = [alias.name for alias in node.names if alias.name != "*"]
-                for target in self._project_targets(base, names):
-                    yield ImportEdge(importer, target, ctx.rel_path, node.lineno)
+    @classmethod
+    def from_project(cls, project: Project) -> "ImportGraph":
+        candidate_edges = {
+            module: facts.import_edges for module, facts in project.facts.items()
+        }
+        rel_paths = {module: facts.rel_path for module, facts in project.facts.items()}
+        return cls(set(project.facts), candidate_edges, rel_paths)
 
     def reachable_from(self, root: str) -> Dict[str, Tuple[ImportEdge, ...]]:
         """BFS closure: reached module -> the edge chain that got there."""

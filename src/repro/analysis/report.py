@@ -1,10 +1,24 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results.
+
+None of the reporters include cache statistics or timings: a warm-cache
+run and a cold run over the same tree must render **byte-identical**
+reports (CI asserts this), so everything emitted here is a pure function
+of the findings.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Any, Dict, List
 
 from repro.analysis.core import LintResult, all_rules
+
+#: SARIF spec pin; GitHub code scanning consumes 2.1.0.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/lcl-landscape/lcl-landscape"
 
 
 def render_text(result: LintResult) -> str:
@@ -34,9 +48,82 @@ def render_json(result: LintResult) -> str:
     return json.dumps(body, indent=2, sort_keys=True)
 
 
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 for GitHub code-scanning annotations.
+
+    Rule metadata comes from the registry (every registered rule is
+    listed, found or not, so the code-scanning UI can show rule help for
+    newly clean rules too); each result carries the finding fingerprint
+    as a ``partialFingerprints`` entry so GitHub tracks findings across
+    pushes the same way the baseline does.
+    """
+    rules_meta: List[Dict[str, Any]] = []
+    rule_index: Dict[str, int] = {}
+    for position, cls in enumerate(all_rules()):
+        rule_index[cls.code] = position
+        rules_meta.append(
+            {
+                "id": cls.code,
+                "name": cls.name,
+                "shortDescription": {"text": cls.name},
+                "fullDescription": {"text": cls.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, Any]] = []
+    for finding in result.findings:
+        entry: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLintFingerprint/v2": finding.fingerprint},
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        results.append(entry)
+    body = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules_meta,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(body, indent=2, sort_keys=True)
+
+
 def render_rule_list() -> str:
     lines = []
     for cls in all_rules():
         lines.append(f"{cls.code}  {cls.name}")
         lines.append(f"       {cls.rationale}")
+    return "\n".join(lines)
+
+
+def render_unused_suppressions(result: LintResult) -> str:
+    lines = [item.render() for item in result.unused_suppressions]
+    lines.append(f"{len(result.unused_suppressions)} unused suppression(s)")
     return "\n".join(lines)

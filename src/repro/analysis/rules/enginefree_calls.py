@@ -1,0 +1,67 @@
+"""REP012 — summary-based engine freedom for the certificate checker.
+
+REP003 proves ``import repro.verify`` cannot *load* the engine: it walks
+module-level import statements only, because function-level imports are
+the sanctioned lazy-loading idiom.  But that sanctioning leaves a gap
+REP003 cannot close by construction: a checker function that does
+
+.. code-block:: python
+
+    def check_certificate(cert):
+        from repro.roundelim.ops import apply_round  # lazily, so REP003 is blind
+        return apply_round(...) == cert.claimed
+
+keeps the import graph clean while still *executing* the engine during
+verification — precisely what certificate independence forbids.  The
+dynamic fresh-interpreter test only catches this if the offending branch
+happens to run.
+
+This rule closes the gap with the call graph instead of the import
+graph: function-level imports register as alias-resolved *call edges* in
+the per-function summaries, so walking calls from every checker-module
+function reaches the lazy case REP003 must ignore.  The producer half
+(``certify``) remains the single sanctioned boundary — traversal stops
+there, matching REP003's exemption.  Each checker function reports its
+shallowest engine crossing, anchored at the first outgoing call edge of
+the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+
+@register
+class EngineFreeCallRule(Rule):
+    code = "REP012"
+    name = "engine call reachable from the certificate checker"
+    rationale = (
+        "A certificate is independent evidence only if *checking* it never "
+        "executes the engine that produced it — including through lazy "
+        "function-level imports that the module-level import rule (REP003) "
+        "deliberately exempts."
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        if not project.facts:
+            return
+        engine = project.whole_program
+        for reach in engine.engine_reach():
+            view = next(
+                (v for v in project.views if v.rel_path == reach.path), None
+            )
+            chain = " -> ".join(reach.chain)
+            yield Finding(
+                rule=self.code,
+                path=reach.path,
+                line=reach.line,
+                col=1,
+                message=(
+                    f"checker function {reach.caller} reaches engine function "
+                    f"{reach.target} through calls ({chain}); checking a "
+                    "certificate must not execute the engine"
+                ),
+                source_line=view.source_line(reach.line) if view is not None else "",
+            )

@@ -1,0 +1,78 @@
+"""REP011 — deep fork/pool safety for worker-reachable code.
+
+REP004 checks the *surface* of a pool submission: the callable handed to
+``_run_chunks`` must be a module-level function (picklable under the
+spawn start method).  This rule checks everything *behind* that surface.
+Starting from the fork roots —
+
+* callables submitted at a ``_run_chunks`` call site (positional worker
+  slots and the ``worker_fn=`` / ``initializer=`` keywords),
+* ``@register_runner`` cell runners (executed inside the isolated
+  supervisor cell subprocess), and
+* the supervisor's child entrypoints themselves
+  (``supervisor.isolation._child_entry`` / ``_execute``) —
+
+it walks the project call graph and flags, anywhere in the reachable
+set:
+
+* **mutation of a module-level mutable global** — the write lands in the
+  child's copy-on-write page and silently vanishes when the worker
+  exits; under spawn it never happens at all.  State must travel through
+  arguments and return values;
+* **touching an unpicklable module-level object** (locks, open file
+  handles) — works by accident under fork, breaks under spawn, and is a
+  shared-state smell either way;
+* **re-reading a parent-scoped ``REPRO_*`` knob in the child** — knobs
+  declared ``scope="parent"`` in :mod:`repro.utils.env` configure the
+  *supervising* process (timeouts, retry budgets, journal locations);
+  reading one child-side picks up whatever environment the child
+  happened to inherit, so a knob change between fork and read splits the
+  campaign's configuration in two.  Resolve parent-side and pass the
+  value down.
+
+Findings anchor at the hazardous line; the message carries the
+reachability chain from the fork root so the reviewer can see *why* the
+function counts as worker-side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+
+@register
+class ForkSafetyRule(Rule):
+    code = "REP011"
+    name = "fork-unsafe state in pool/cell-reachable code"
+    rationale = (
+        "Code reachable from pool workers or isolated supervisor cells runs "
+        "in a forked child: mutated module globals vanish with the child, "
+        "unpicklable module state breaks spawn, and re-read parent-scoped "
+        "knobs can disagree with the supervising process."
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        if not project.facts:
+            return
+        try:
+            from repro.utils.env import parent_scoped_knobs
+
+            parent_knobs = parent_scoped_knobs()
+        except Exception:  # pragma: no cover - env module always importable
+            parent_knobs = frozenset()
+        engine = project.whole_program
+        for hazard in engine.fork_hazards(parent_scoped_knobs=parent_knobs):
+            view = next(
+                (v for v in project.views if v.rel_path == hazard.path), None
+            )
+            chain = " -> ".join(hazard.chain)
+            yield Finding(
+                rule=self.code,
+                path=hazard.path,
+                line=hazard.line,
+                col=1,
+                message=f"{hazard.hazard}; reachable: {chain}",
+                source_line=view.source_line(hazard.line) if view is not None else "",
+            )

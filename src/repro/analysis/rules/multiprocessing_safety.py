@@ -19,17 +19,19 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator, Tuple
 
+from repro.analysis.contracts import FORK_SUBMIT_KEYWORDS, FORK_SUBMIT_NAMES
 from repro.analysis.core import FileContext, Finding, Rule, register
 
 _SUBMIT_ATTRS = frozenset(
     {"submit", "apply_async", "map_async", "imap", "imap_unordered"}
 )
-#: name -> 0-based positional indexes that are shipped to workers.  For
+#: name -> 0-based positional indexes that are shipped to workers (shared
+#: with REP011's fork-root discovery via repro.analysis.contracts).  For
 #: ``_run_chunks`` that is ``worker_fn`` and ``initializer`` — its
 #: ``serial_fn`` (index 2) is the *in-process* rescue fallback and is
 #: explicitly allowed to close over local state.
-_SUBMIT_NAMES = {"_run_chunks": (1, 3)}
-_CALLABLE_KEYWORDS = frozenset({"initializer", "func", "worker_fn"})
+_SUBMIT_NAMES = FORK_SUBMIT_NAMES
+_CALLABLE_KEYWORDS = frozenset({"func"}) | FORK_SUBMIT_KEYWORDS
 
 
 def _callable_args(node: ast.Call) -> Iterator[Tuple[str, ast.expr]]:

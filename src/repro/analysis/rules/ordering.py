@@ -33,18 +33,19 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
+from repro.analysis.contracts import (
+    ORDER_INSENSITIVE_SINKS,
+    ORDERED_OUTPUT_PACKAGES,
+    ORDERED_OUTPUT_STEMS,
+    UNORDERED_VIEW_METHODS,
+    is_ordered_output_module,
+)
 from repro.analysis.core import FileContext, Finding, Rule, register
 
-#: File stems whose whole module is an ordered-output surface.
-ORDERED_OUTPUT_STEMS = frozenset({"bitset", "canonical", "codec", "checkpoint", "encode"})
-#: Any module inside a package with this segment is in scope.
-ORDERED_OUTPUT_PACKAGES = frozenset({"verify"})
-
-#: Calls that consume an iterable order-insensitively.
-_ORDER_INSENSITIVE_SINKS = frozenset(
-    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
-)
-_VIEW_METHODS = frozenset({"keys", "values", "items"})
+# Backwards-compatible aliases (the scope tables now live in
+# repro.analysis.contracts, shared with REP010/REP011/REP012).
+_ORDER_INSENSITIVE_SINKS = ORDER_INSENSITIVE_SINKS
+_VIEW_METHODS = UNORDERED_VIEW_METHODS
 
 
 def _unordered_reason(iterable: ast.expr) -> Optional[str]:
@@ -80,9 +81,7 @@ class UnorderedIterationRule(Rule):
     node_types = (ast.For, ast.comprehension)
 
     def applies_to(self, ctx: FileContext) -> bool:
-        if ctx.path.stem in ORDERED_OUTPUT_STEMS:
-            return True
-        return bool(ORDERED_OUTPUT_PACKAGES & set(ctx.segments[:-1]))
+        return is_ordered_output_module(ctx.path.stem, ctx.segments)
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
         iterable = node.iter

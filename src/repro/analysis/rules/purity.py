@@ -24,16 +24,19 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.analysis.contracts import (
+    CHECKER_PACKAGES,
+    FORBIDDEN_ENGINE_SEGMENTS,
+    PRODUCER_STEMS,
+    is_checker_module,
+    is_engine_module,
+)
 from repro.analysis.core import Finding, Project, Rule, register
 from repro.analysis.imports import ImportGraph
 
-#: Package segments marking the import-pure roots.
-CHECKER_PACKAGES = frozenset({"verify"})
-#: Final segments of modules declared producer-side (lazily loaded, may
-#: use the engine).
-PRODUCER_STEMS = frozenset({"certify"})
-#: Package segments the checker half must never reach.
-FORBIDDEN_SEGMENTS = frozenset({"roundelim", "decidability"})
+# The frontier definition is shared with REP012 (call-level) through
+# repro.analysis.contracts.
+FORBIDDEN_SEGMENTS = FORBIDDEN_ENGINE_SEGMENTS
 
 
 @register
@@ -48,19 +51,17 @@ class EngineFreeImportRule(Rule):
     )
 
     def finalize(self, project: Project) -> Iterable[Finding]:
-        graph = ImportGraph(project)
+        graph = ImportGraph.from_project(project)
         roots: List[str] = [
             module
-            for module, ctx in sorted(project.by_module.items())
-            if CHECKER_PACKAGES & set(module.split("."))
-            and module.split(".")[-1] not in PRODUCER_STEMS
-            and not ctx.is_scaffolding
+            for module, facts in sorted(project.facts.items())
+            if is_checker_module(module) and not facts.is_scaffolding
         ]
         reported = set()
         for root in roots:
             chains = graph.reachable_from(root)
             for reached in sorted(chains):
-                if not FORBIDDEN_SEGMENTS & set(reached.split(".")):
+                if not is_engine_module(reached):
                     continue
                 chain = chains[reached]
                 if not chain:  # the root itself is misplaced; skip

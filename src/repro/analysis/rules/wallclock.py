@@ -14,25 +14,15 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
+from repro.analysis.contracts import WALL_CLOCK_CALLS
 from repro.analysis.core import FileContext, Finding, Rule, register
 
 #: Module segments marking replay-sensitive packages.
 REPLAY_PACKAGES = frozenset({"verify"})
 
-_WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.localtime",
-        "time.gmtime",
-        "time.ctime",
-        "time.strftime",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-    }
-)
+# The wall-clock source list is shared with the interprocedural taint
+# rule (REP010) through repro.analysis.contracts.
+_WALL_CLOCK_CALLS = WALL_CLOCK_CALLS
 
 
 @register

@@ -260,7 +260,7 @@ def run_local_algorithm(
                 f"{algorithm.name} must label exactly the ports of node {v} "
                 f"(got {sorted(port_outputs)}, expected 0..{graph.degree(v) - 1})"
             )
-        for port, label in port_outputs.items():
+        for port, label in sorted(port_outputs.items()):
             outputs[(v, port)] = label
 
     return SimulationResult(

@@ -250,6 +250,10 @@ def power_problem(
     # --- edge constraint: one broadcast over partner-mask summaries -------
     partners = edge_partners(problem)
     partner_table = np.array(
+        # The taint chain here ends in a bitmask OR-fold: encode() maps a
+        # frozenset to bits order-insensitively, so the partner dict's
+        # iteration order cannot reach the canonical bytes.
+        # repro-lint: disable=REP010 -- order-insensitive bitmask fold
         [codec.encode(partners[label]) for label in codec.base], dtype=np.uint64
     )
     # R̄ (exists-at-edges) folds with OR; R (forall-at-edges) with AND —

@@ -339,8 +339,11 @@ def _edge_chunk(
 
 
 def _init_node_worker(allowed: FrozenSet[Multiset], node_forall: bool) -> None:
-    _worker_state["allowed"] = allowed
-    _worker_state["node_forall"] = node_forall
+    # Pool-initializer idiom: these writes happen *inside the child*, after
+    # the fork/spawn, to set up worker-local state for _node_chunk_worker —
+    # the parent's copy is never touched, which is the point.
+    _worker_state["allowed"] = allowed  # repro-lint: disable=REP011 -- child-side init
+    _worker_state["node_forall"] = node_forall  # repro-lint: disable=REP011 -- child-side init
 
 
 def _node_chunk_worker(
@@ -357,9 +360,11 @@ def _init_edge_worker(
     summaries: Dict[FrozenSet[Any], frozenset],
     node_forall: bool,
 ) -> None:
-    _worker_state["universe"] = universe
-    _worker_state["summaries"] = summaries
-    _worker_state["node_forall"] = node_forall
+    # Pool-initializer idiom: child-side worker-local state (see
+    # _init_node_worker above).
+    _worker_state["universe"] = universe  # repro-lint: disable=REP011 -- child-side init
+    _worker_state["summaries"] = summaries  # repro-lint: disable=REP011 -- child-side init
+    _worker_state["node_forall"] = node_forall  # repro-lint: disable=REP011 -- child-side init
 
 
 def _edge_chunk_worker(row_range: Tuple[int, int]) -> List[Tuple[int, int]]:

@@ -43,6 +43,12 @@ class EnvKnob:
     type: str  # one of "bool", "int", "float", "str"
     default: Any
     doc: str
+    #: Where the knob may be read: ``"any"`` (default) or ``"parent"`` —
+    #: parent-scoped knobs configure the supervising process and must be
+    #: resolved *before* forking; re-reading one inside a pool worker or
+    #: an isolated cell child silently picks up whatever environment the
+    #: child inherited, which lint rule REP011 flags.
+    scope: str = "any"
 
     def describe_default(self) -> str:
         return "unset" if self.default is None else repr(self.default)
@@ -52,20 +58,30 @@ class EnvKnob:
 REGISTRY: Dict[str, EnvKnob] = {}
 
 _VALID_TYPES = ("bool", "int", "float", "str")
+_VALID_SCOPES = ("any", "parent")
 
 
-def declare(name: str, type: str, default: Any, doc: str) -> EnvKnob:
+def declare(name: str, type: str, default: Any, doc: str, scope: str = "any") -> EnvKnob:
     """Register a knob (idempotent for identical re-declarations)."""
     if not name.startswith("REPRO_"):
         raise ValueError(f"environment knobs must be REPRO_-prefixed, got {name!r}")
     if type not in _VALID_TYPES:
         raise ValueError(f"knob type must be one of {_VALID_TYPES}, got {type!r}")
-    knob = EnvKnob(name=name, type=type, default=default, doc=" ".join(doc.split()))
+    if scope not in _VALID_SCOPES:
+        raise ValueError(f"knob scope must be one of {_VALID_SCOPES}, got {scope!r}")
+    knob = EnvKnob(
+        name=name, type=type, default=default, doc=" ".join(doc.split()), scope=scope
+    )
     existing = REGISTRY.get(name)
     if existing is not None and existing != knob:
         raise ValueError(f"conflicting re-declaration of knob {name}")
     REGISTRY[name] = knob
     return knob
+
+
+def parent_scoped_knobs() -> frozenset:
+    """Names of knobs that must only be read in the supervising process."""
+    return frozenset(name for name, knob in REGISTRY.items() if knob.scope == "parent")
 
 
 def _require(name: str) -> EnvKnob:
@@ -282,13 +298,16 @@ declare(
     "Per-cell wall-clock limit in seconds for supervised campaign cells "
     "(repro.supervisor); a cell exceeding it is killed and retried, then "
     "quarantined as 'timeout'.",
+    scope="parent",
 )
 declare(
     "REPRO_CELL_MEM_MB",
     "int",
     None,
     "Per-cell address-space cap in MiB applied via resource.setrlimit in the "
-    "isolated cell subprocess; unset leaves memory unbounded.",
+    "isolated cell subprocess; resolved by the supervising parent and handed "
+    "to the child, never re-read there.",
+    scope="parent",
 )
 declare(
     "REPRO_CELL_RETRIES",
@@ -297,6 +316,7 @@ declare(
     "Bounded retry attempts for a failed supervised cell beyond the first "
     "try (each attempt re-derives its RNG from scratch); exhaustion "
     "quarantines the cell.",
+    scope="parent",
 )
 declare(
     "REPRO_JOURNAL_DIR",
@@ -304,6 +324,22 @@ declare(
     None,
     "Default directory for append-only, checksummed campaign run journals "
     "(the landscape --journal flag overrides it).",
+    scope="parent",
+)
+declare(
+    "REPRO_LINT_CACHE",
+    "bool",
+    True,
+    "Incremental per-file cache for repro-lint (content-hash keyed; skips "
+    "re-parsing unchanged files); 0/false/off/no analyzes every file from "
+    "scratch.  Cached and uncached runs produce byte-identical reports.",
+)
+declare(
+    "REPRO_LINT_CACHE_DIR",
+    "str",
+    ".repro-lint-cache",
+    "Directory for repro-lint's incremental cache records (one JSON file "
+    "per linted source file, written atomically).",
 )
 declare(
     "REPRO_CONFORMANCE_COUNT",

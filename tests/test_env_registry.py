@@ -32,6 +32,17 @@ EXPECTED_KNOBS = {
     "REPRO_SAT_SOLVER": "str",
     "REPRO_SAT_TIMEOUT": "float",
     "REPRO_SAT_DIFF_COUNT": "int",
+    "REPRO_LINT_CACHE": "bool",
+    "REPRO_LINT_CACHE_DIR": "str",
+}
+
+#: Knobs that configure the supervising process and must never be
+#: re-read inside a forked worker or cell child (lint rule REP011).
+EXPECTED_PARENT_SCOPED = {
+    "REPRO_CELL_TIMEOUT",
+    "REPRO_CELL_MEM_MB",
+    "REPRO_CELL_RETRIES",
+    "REPRO_JOURNAL_DIR",
 }
 
 
@@ -40,6 +51,17 @@ class TestRegistry:
         assert {name: knob.type for name, knob in env.REGISTRY.items()} == (
             EXPECTED_KNOBS
         )
+
+    def test_parent_scoped_knobs(self):
+        assert env.parent_scoped_knobs() == frozenset(EXPECTED_PARENT_SCOPED)
+        for name in EXPECTED_PARENT_SCOPED:
+            assert env.REGISTRY[name].scope == "parent"
+
+    def test_declare_rejects_bad_scope(self):
+        with pytest.raises(ValueError, match="scope"):
+            # repro-lint: disable=REP006 -- deliberately undeclared fixture knob
+            env.declare("REPRO_BOGUS_SCOPE", "bool", False, "doc", scope="child")
+        assert not any(k.endswith("BOGUS_SCOPE") for k in env.REGISTRY)
 
     def test_every_knob_has_a_docstring(self):
         for knob in env.REGISTRY.values():

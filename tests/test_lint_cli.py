@@ -1,0 +1,191 @@
+"""CLI-surface tests: the three lint entrypoints (``repro-lint``,
+``python -m repro.analysis``, ``lcl-landscape lint``) share one flag set
+and one backend, and the newer flags (SARIF, cache control, changed-only,
+unused-suppression reporting) behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import build_parser as build_lint_parser
+from repro.analysis.cli import main as lint_main
+from repro.analysis.report import SARIF_SCHEMA, SARIF_VERSION
+from repro.cli import build_parser as build_landscape_parser
+from repro.cli import main as landscape_main
+
+BARE_EXCEPT = "def f():\n    try:\n        return 1\n    except:\n        return 2\n"
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def option_strings(parser: argparse.ArgumentParser):
+    """The full flag surface of a parser, for drift comparison."""
+    flags = set()
+    for action in parser._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def find_lint_subparser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices["lint"]
+    raise AssertionError("lcl-landscape has no lint verb")
+
+
+class TestParity:
+    def test_flag_surfaces_cannot_drift(self):
+        """``repro-lint`` and ``lcl-landscape lint`` are built from the
+        same ``add_lint_arguments`` — their flags must stay identical."""
+        standalone = option_strings(build_lint_parser())
+        verb = option_strings(find_lint_subparser(build_landscape_parser()))
+        assert standalone == verb
+
+    def test_new_flags_are_present_everywhere(self):
+        expected = {
+            "--format",
+            "--changed-only",
+            "--no-cache",
+            "--cache-dir",
+            "--clear-cache",
+            "--report-unused-suppressions",
+            "--baseline",
+            "--write-baseline",
+        }
+        for parser in (build_lint_parser(), find_lint_subparser(build_landscape_parser())):
+            assert expected <= option_strings(parser)
+
+    def test_module_entrypoint_matches_standalone(self, tmp_path):
+        """``python -m repro.analysis`` routes through the same main()."""
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = str(src)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                str(tmp_path),
+                "--root",
+                str(tmp_path),
+                "--no-cache",
+                "--format",
+                "json",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 1, proc.stderr
+        body = json.loads(proc.stdout)
+        assert body["summary"]["by_rule"] == {"REP007": 1}
+
+    def test_landscape_verb_and_standalone_render_identically(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        args = [str(tmp_path), "--root", str(tmp_path), "--no-cache", "--format", "json"]
+        assert lint_main(args) == 1
+        standalone_out = capsys.readouterr().out
+        assert landscape_main(["lint"] + args) == 1
+        verb_out = capsys.readouterr().out
+        assert standalone_out == verb_out
+
+
+class TestSarif:
+    def run_sarif(self, tmp_path, capsys, *extra):
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        code = lint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--no-cache", "--format", "sarif"]
+            + list(extra)
+        )
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_sarif_envelope(self, tmp_path, capsys):
+        code, body = self.run_sarif(tmp_path, capsys)
+        assert code == 1
+        assert body["version"] == SARIF_VERSION
+        assert body["$schema"] == SARIF_SCHEMA
+        (run,) = body["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_results_reference_registered_rules(self, tmp_path, capsys):
+        _, body = self.run_sarif(tmp_path, capsys)
+        (run,) = body["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert "REP010" in rule_ids and "REP011" in rule_ids and "REP012" in rule_ids
+        (res,) = run["results"]
+        assert res["ruleId"] == "REP007"
+        assert rules[res["ruleIndex"]]["id"] == "REP007"
+        assert res["partialFingerprints"]["reproLintFingerprint/v2"]
+        location = res["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "mod.py"
+        assert location["region"]["startLine"] == 4
+
+
+class TestUnusedSuppressions:
+    def test_stale_directive_exits_one(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "VALUE = 1  # repro-lint: disable=REP007\n")
+        code = lint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--no-cache",
+             "--report-unused-suppressions"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP007" in out and "mod.py" in out
+
+    def test_active_directive_exits_zero(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "mod.py",
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except:  # repro-lint: disable=REP007\n"
+            "        return 2\n",
+        )
+        code = lint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--no-cache",
+             "--report-unused-suppressions"]
+        )
+        assert code == 0
+        assert "0 unused suppression(s)" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_clear_cache_flag_reports_removal(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "VALUE = 1\n")
+        args = [
+            str(tmp_path), "--root", str(tmp_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert lint_main(args) == 0
+        capsys.readouterr()
+        assert lint_main(args + ["--clear-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "cleared" in captured.err
+
+    def test_changed_only_without_git_reports_everything(self, tmp_path, capsys):
+        """Outside a git checkout the filter must fail open (report all)
+        rather than silently reporting nothing."""
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        code = lint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--no-cache", "--changed-only"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REP007" in captured.out
+        assert "warning: --changed-only" in captured.err

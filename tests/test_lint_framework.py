@@ -209,3 +209,143 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "REP007" in out
+
+
+#: Two byte-identical violations in one module: under the v1 fingerprint
+#: scheme these collapsed into one hash, so baselining the first
+#: silently grandfathered its twin.
+TWINS = BARE_EXCEPT + BARE_EXCEPT
+
+
+class TestOccurrenceFingerprints:
+    def test_twin_findings_get_distinct_fingerprints(self, tmp_path):
+        write(tmp_path, "mod.py", TWINS)
+        findings = run_lint([tmp_path], root=tmp_path).findings
+        assert [f.rule for f in findings] == ["REP007", "REP007"]
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_first_occurrence_keeps_its_v1_fingerprint(self, tmp_path):
+        """The occurrence suffix is only added for the second twin
+        onward, so singleton fingerprints — i.e. every fingerprint a v1
+        baseline can contain — are unchanged."""
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        singleton = run_lint([tmp_path], root=tmp_path).findings[0]
+        write(tmp_path, "mod.py", TWINS)
+        first, second = run_lint([tmp_path], root=tmp_path).findings
+        assert first.fingerprint == singleton.fingerprint
+        assert second.fingerprint != singleton.fingerprint
+
+    def test_v1_baseline_no_longer_hides_the_twin(self, tmp_path):
+        """A v1 baseline written before the twin existed matches exactly
+        the first occurrence; the twin surfaces as a new finding."""
+        write(tmp_path, "mod.py", TWINS)
+        first = run_lint([tmp_path], root=tmp_path).findings[0]
+        v1 = tmp_path / "baseline-v1.json"
+        v1.write_text(
+            json.dumps({"version": 1, "findings": {first.fingerprint: 1}}),
+            encoding="utf-8",
+        )
+        result = run_lint([tmp_path], root=tmp_path, baseline=load_baseline(v1))
+        assert result.baselined == 1
+        assert len(result.findings) == 1
+        assert result.findings[0].line > first.line
+
+    def test_v2_baseline_grandfathers_both_twins(self, tmp_path):
+        write(tmp_path, "mod.py", TWINS)
+        first = run_lint([tmp_path], root=tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        counts = write_baseline(first.findings, baseline_file)
+        assert len(counts) == 2 and all(n == 1 for n in counts.values())
+        second = run_lint(
+            [tmp_path], root=tmp_path, baseline=load_baseline(baseline_file)
+        )
+        assert second.findings == [] and second.baselined == 2
+
+    def test_occurrence_is_stable_under_reordering_unrelated_findings(self, tmp_path):
+        """Occurrence indices are assigned per (rule, path, line text)
+        after the final sort, so adding an unrelated finding elsewhere
+        must not renumber the twins."""
+        write(tmp_path, "mod.py", TWINS)
+        before = run_lint([tmp_path], root=tmp_path).findings
+        write(tmp_path, "aaa.py", "def g(x={}):\n    return x\n")
+        after = [
+            f for f in run_lint([tmp_path], root=tmp_path).findings
+            if f.rule == "REP007"
+        ]
+        assert [f.fingerprint for f in before] == [f.fingerprint for f in after]
+
+
+class TestSuppressionEdgeCases:
+    def test_justification_suffix_is_accepted(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            BARE_EXCEPT.replace(
+                "except:", "except:  # repro-lint: disable=REP007 -- probing legacy API"
+            ),
+        )
+        result = run_lint([tmp_path], root=tmp_path)
+        assert result.findings == [] and result.suppressed == 1
+
+    def test_same_line_wins_and_file_directive_goes_stale(self, tmp_path):
+        """When a same-line directive already silences the finding, a
+        redundant whole-file directive for the same code is *unused* —
+        the stale-suppression report must surface it for removal."""
+        write(
+            tmp_path,
+            "mod.py",
+            "# repro-lint: disable-file=REP007\n"
+            + BARE_EXCEPT.replace("except:", "except:  # repro-lint: disable=REP007"),
+        )
+        result = run_lint([tmp_path], root=tmp_path)
+        assert result.findings == [] and result.suppressed == 1
+        assert [(u.line, u.code) for u in result.unused_suppressions] == [(0, "REP007")]
+
+    def test_multi_code_directive_reports_only_the_unused_code(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def f(x=[]):  # repro-lint: disable=REP007, REP008\n    return x\n",
+        )
+        result = run_lint([tmp_path], root=tmp_path)
+        assert result.findings == [] and result.suppressed == 1
+        assert [u.code for u in result.unused_suppressions] == ["REP007"]
+
+    def test_inactive_codes_are_not_reported_stale(self, tmp_path):
+        """A directive for a rule that is not running this invocation
+        cannot be judged stale (it may well be load-bearing)."""
+        write(
+            tmp_path,
+            "mod.py",
+            "def f(x=[]):  # repro-lint: disable=REP007, REP008\n    return x\n",
+        )
+        result = run_lint([tmp_path], root=tmp_path, select=["REP008"])
+        assert result.unused_suppressions == []
+
+    def test_directive_inside_a_string_literal_is_inert(self, tmp_path):
+        """Only genuine comments are directives: a directive-shaped
+        string literal (a lint-test fixture, a docstring quoting the
+        syntax) must neither silence findings nor be reported stale."""
+        write(
+            tmp_path,
+            "mod.py",
+            'FIXTURE = "except:  # repro-lint: disable=REP007"\n'
+            + BARE_EXCEPT,
+        )
+        result = run_lint([tmp_path], root=tmp_path)
+        assert [f.rule for f in result.findings] == ["REP007"]
+        assert result.suppressed == 0
+        assert result.unused_suppressions == []
+
+    def test_unused_directives_survive_the_warm_cache(self, tmp_path):
+        """Directive usage is recomputed per run from replayed facts —
+        a warm run must report the same stale directives as a cold one."""
+        write(tmp_path, "mod.py", "VALUE = 1  # repro-lint: disable=REP007\n")
+        cold = run_lint([tmp_path], root=tmp_path, cache_dir=tmp_path / "cache")
+        warm = run_lint([tmp_path], root=tmp_path, cache_dir=tmp_path / "cache")
+        assert warm.cache_hits == 1
+        assert (
+            [(u.path, u.line, u.code) for u in cold.unused_suppressions]
+            == [(u.path, u.line, u.code) for u in warm.unused_suppressions]
+            == [("mod.py", 1, "REP007")]
+        )
