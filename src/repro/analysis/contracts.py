@@ -217,6 +217,7 @@ FORK_RUNNER_DECORATORS = frozenset({"register_runner"})
 FORK_ENTRYPOINT_SUFFIXES: Tuple[str, ...] = (
     "supervisor.isolation._child_entry",
     "supervisor.isolation._execute",
+    "scheduler.worker._worker_main",
 )
 
 #: Module-level constructor calls considered unpicklable when a

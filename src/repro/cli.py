@@ -183,11 +183,39 @@ def cmd_landscape(args: argparse.Namespace) -> int:
         journal = open_journal(
             plan.cells, seed=args.campaign_seed, directory=args.journal
         )
-    report = run_campaign(plan.cells, config, journal=journal, resume=args.resume)
+    if args.scheduler:
+        from repro.scheduler import SchedulerConfig, run_scheduled_campaign
+
+        def live_progress(line: str) -> None:
+            # Carriage-return live line on stderr; panel output stays
+            # clean on stdout.
+            print(f"\r{line}", end="", file=sys.stderr, flush=True)
+
+        progress = live_progress if sys.stderr.isatty() else None
+        try:
+            report = run_scheduled_campaign(
+                plan.cells,
+                config,
+                scheduler=SchedulerConfig(workers=args.workers),
+                journal=journal,
+                resume=args.resume,
+                progress=progress,
+            )
+        finally:
+            if progress is not None:
+                print(file=sys.stderr, flush=True)
+        scheduler_stats = report.stats.summary()
+    else:
+        scheduler_stats = None
+        report = run_campaign(
+            plan.cells, config, journal=journal, resume=args.resume
+        )
     panel = assemble_panel(plan, report)
     print(panel.render())
     if journal is not None or report.quarantined or report.resumed_count:
         print(f"  campaign: {report.summary()}")
+    if scheduler_stats is not None:
+        print(f"  scheduler: {scheduler_stats}")
     if journal is not None:
         print(f"  journal: {journal.path}")
     return 1 if panel.gap_violations() else 0
@@ -539,6 +567,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="SEED",
         help="campaign seed (names the journal; splits per-cell RNG streams)",
+    )
+    landscape.add_argument(
+        "--scheduler",
+        action="store_true",
+        help=(
+            "run the campaign across concurrent worker processes with "
+            "lease-based crash recovery (results and journal are "
+            "byte-identical to a serial run)"
+        ),
+    )
+    landscape.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker process count for --scheduler "
+            "(default: REPRO_SCHED_WORKERS, else min(cpus, 4))"
+        ),
     )
     add_budget_flags(landscape)
     landscape.set_defaults(handler=cmd_landscape)

@@ -125,6 +125,31 @@ class SupervisorError(ReproError):
     """
 
 
+class SchedulerError(SupervisorError):
+    """The multi-worker campaign scheduler detected an integrity violation.
+
+    Raised when the lease-based scheduler (:mod:`repro.scheduler`)
+    observes something that must never happen under the determinism
+    contract — most importantly two completions of the same cell whose
+    payloads are *not* bit-identical (duplicate completions are expected
+    under at-least-once execution; divergent ones mean a cell runner is
+    nondeterministic).  Worker crashes, expired leases, and duplicate-
+    but-identical completions never raise this: they are recovered,
+    counted, and logged.
+    """
+
+
+class SchedulerHalted(SchedulerError):
+    """A scheduled campaign was hard-stopped before finishing.
+
+    Raised by the test-only crash hook (``halt_after``) that simulates
+    the scheduler process dying mid-campaign: workers are killed
+    immediately, no drain or journal finalization runs, and per-worker
+    journal shards are deliberately left on disk for the next
+    ``resume=True`` run to recover.
+    """
+
+
 class CheckpointError(ReproError):
     """A sequence checkpoint cannot be written or safely resumed from.
 

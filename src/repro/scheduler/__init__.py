@@ -1,0 +1,41 @@
+"""Lease-based multi-worker campaign scheduler with crash recovery.
+
+This package runs a supervised campaign (:mod:`repro.supervisor`)
+across N concurrent worker processes instead of serially, while keeping
+the supervisor's headline contract: the final journal and report are
+**byte-identical** to an undisturbed serial
+:func:`~repro.supervisor.campaign.run_campaign` of the same cells and
+seed — even while workers crash, hang, stall their heartbeats, or
+double-complete cells.
+
+The moving parts:
+
+* :mod:`repro.scheduler.queue` — a task queue sharded by canonical
+  cell id, with not-before times so retry backoff never blocks a
+  worker;
+* :mod:`repro.scheduler.leases` — lease records with deadlines renewed
+  by worker heartbeats; an expired lease means a dead or stalled
+  worker, and its cell is reclaimed and re-dispatched;
+* :mod:`repro.scheduler.worker` — the worker process: runs one cell
+  attempt at a time (reusing the supervisor's isolation machinery),
+  journals each completion to its own shard *before* reporting it;
+* :mod:`repro.scheduler.engine` — the parent event loop:
+  :func:`run_scheduled_campaign`.
+
+Use :func:`run_scheduled_campaign` exactly like ``run_campaign``; the
+extra :class:`SchedulerConfig` shapes concurrency only, never results.
+"""
+
+from repro.scheduler.engine import (
+    SchedulerConfig,
+    SchedulerReport,
+    SchedulerStats,
+    run_scheduled_campaign,
+)
+
+__all__ = [
+    "SchedulerConfig",
+    "SchedulerReport",
+    "SchedulerStats",
+    "run_scheduled_campaign",
+]

@@ -1,0 +1,718 @@
+"""The scheduler engine: dispatch, leases, recovery, merge, finalize.
+
+:func:`run_scheduled_campaign` is the multi-worker counterpart of
+:func:`repro.supervisor.campaign.run_campaign`, with the same contract
+(every cell reaches a terminal result; failures are quarantined, never
+raised) plus crash recovery:
+
+* cells are dispatched from a queue sharded by canonical cell id, one
+  in-flight cell per worker, each under a heartbeat-renewed **lease**;
+* a worker that dies or stops heartbeating forfeits its lease and the
+  cell is **reclaimed** and re-dispatched (at-least-once execution) —
+  a reclaim is a worker-level loss, so it never consumes one of the
+  cell's retries;
+* failed attempts are retried with the same deterministic seeded
+  backoff serial supervision applies
+  (:func:`repro.supervisor.campaign.retry_delay`), realized as
+  ``not_before`` dispatch times so a backing-off cell never blocks a
+  worker;
+* **duplicate completions** (an expected consequence of at-least-once
+  execution, and an injectable chaos kind) are deduplicated by cell
+  id; the discarded copy is asserted bit-identical to the kept one —
+  a divergence means a nondeterministic cell runner and raises
+  :class:`~repro.exceptions.SchedulerError`;
+* workers journal completions to per-worker **shards** before
+  reporting them; on resume the shards are merged into the canonical
+  journal, and when the campaign finishes the journal is atomically
+  rewritten into canonical campaign order — byte-identical to the
+  journal of an undisturbed serial run;
+* ``SIGTERM`` / ``KeyboardInterrupt`` trigger a graceful **drain**:
+  no new dispatches, a bounded wait for in-flight cells, shard merge,
+  then the interrupt propagates; a resumed run loses nothing that was
+  completed.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import multiprocessing.connection
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, cast
+
+from repro.exceptions import SchedulerError, SchedulerHalted, SupervisorError
+from repro.scheduler import worker as worker_module
+from repro.scheduler.leases import LeaseTable
+from repro.scheduler.queue import ShardedTaskQueue, Task
+from repro.supervisor.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    retry_delay,
+    verify_resume_key,
+)
+from repro.supervisor.cells import (
+    STATUS_QUARANTINED,
+    CellResult,
+    CellSpec,
+)
+from repro.supervisor.journal import CampaignJournal, load_cell_records
+from repro.utils import env, faults
+
+logger = logging.getLogger(__name__)
+
+ENV_SCHED_WORKERS = "REPRO_SCHED_WORKERS"
+ENV_SCHED_LEASE_SECS = "REPRO_SCHED_LEASE_SECS"
+
+#: Event-loop tick: the upper bound on how stale the engine's view of
+#: worker deaths and lease expiries can be.
+_TICK_SECONDS = 0.02
+
+#: Grace period for a terminated worker before escalating to SIGKILL.
+_TERMINATE_GRACE_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Concurrency parameters for one scheduled campaign.
+
+    Shapes *scheduling only* — worker count, lease deadlines, drain
+    budget — never cell values or journal contents, so the same
+    campaign run under any scheduler configuration (including serial
+    ``run_campaign``) produces the same results.
+    """
+
+    workers: Optional[int] = None
+    lease_secs: Optional[float] = None
+    heartbeat_secs: Optional[float] = None
+    #: Worker-level losses tolerated per cell before it is quarantined
+    #: as ``lost`` (guards against a cell that reliably kills workers).
+    max_reclaims: int = 5
+    #: How long a graceful drain waits for in-flight cells.
+    drain_secs: float = 5.0
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        declared = env.get_int(ENV_SCHED_WORKERS)
+        if declared is not None:
+            return max(1, declared)
+        return min(multiprocessing.cpu_count(), 4)
+
+    def resolved_lease_secs(self) -> float:
+        if self.lease_secs is not None:
+            return self.lease_secs
+        declared = env.get_float(ENV_SCHED_LEASE_SECS)
+        assert declared is not None  # the knob declares a default
+        return declared
+
+    def resolved_heartbeat_secs(self) -> float:
+        if self.heartbeat_secs is not None:
+            return self.heartbeat_secs
+        # Three beats per lease window: a single lost heartbeat never
+        # expires a healthy worker's lease.
+        return self.resolved_lease_secs() / 3.0
+
+
+@dataclass
+class SchedulerStats:
+    """Operational counters for one scheduled run (diagnostics only —
+    asserted by chaos tests, excluded from result comparisons)."""
+
+    dispatches: int = 0
+    reclaims: int = 0
+    worker_deaths: int = 0
+    expired_leases: int = 0
+    respawns: int = 0
+    duplicates: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.dispatches} dispatch(es), {self.reclaims} reclaim(s) "
+            f"({self.worker_deaths} worker death(s), {self.expired_leases} "
+            f"expired lease(s)), {self.respawns} respawn(s), "
+            f"{self.duplicates} duplicate completion(s)"
+        )
+
+
+@dataclass
+class SchedulerReport(CampaignReport):
+    """A campaign report plus the scheduler's operational counters."""
+
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: Any
+    conn: multiprocessing.connection.Connection
+    busy: Optional[Task] = None
+    #: Set once the pipe has raised EOF — no more messages can arrive.
+    pipe_closed: bool = False
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+def _payload_core(body: Dict[str, Any]) -> Dict[str, Any]:
+    """A cell record body minus journal framing (``kind`` / ``schema``),
+    the comparable core used for dedup assertions."""
+    return {
+        k: v for k, v in sorted(body.items()) if k not in ("kind", "schema")
+    }
+
+
+def _fresh_result(payload: Dict[str, Any]) -> CellResult:
+    """A :class:`CellResult` for a payload produced *this run* (the
+    ``from_payload`` constructor is for journal restores and marks
+    results resumed)."""
+    result = CellResult.from_payload(payload)
+    result.resumed = False
+    return result
+
+
+class _Engine:
+    """One scheduled campaign run's mutable state and event loop."""
+
+    def __init__(
+        self,
+        cells: Sequence[CellSpec],
+        config: CampaignConfig,
+        scheduler: SchedulerConfig,
+        journal: Optional[CampaignJournal],
+        progress: Optional[Callable[[str], None]],
+        halt_after: Optional[int],
+    ):
+        self.cells = list(cells)
+        self.config = config
+        self.scheduler = scheduler
+        self.journal = journal
+        self.progress = progress
+        self.halt_after = halt_after
+        self.stats = SchedulerStats()
+        # Supervision resolved once, in the parent: workers receive
+        # literal values and never read (parent-scoped) knobs.
+        self.timeout = config.resolved_timeout()
+        self.mem_mb = config.resolved_mem_mb()
+        self.retries = config.resolved_retries()
+        self.policy = config.resolved_backoff()
+        self.isolation = config.isolation
+        self.lease_secs = scheduler.resolved_lease_secs()
+        self.heartbeat_secs = scheduler.resolved_heartbeat_secs()
+        workers = scheduler.resolved_workers()
+        self.target_workers = max(1, min(workers, max(1, len(self.cells))))
+        self.leases = LeaseTable(self.lease_secs)
+        self.queue = ShardedTaskQueue(nshards=max(self.target_workers, 1))
+        self.handles: Dict[int, _WorkerHandle] = {}
+        self.next_worker_id = 0
+        #: cell_id -> terminal record body (journal-ready payload).
+        self.payloads: Dict[str, Dict[str, Any]] = {}
+        #: cell_id -> CellResult for the report.
+        self.results: Dict[str, CellResult] = {}
+        self.fresh_count = 0
+        self._tempdir: Optional[Any] = None
+        self._context: Any
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._context = multiprocessing.get_context("spawn")
+
+    # -- shard files ---------------------------------------------------------
+    def _shard_path(self, worker_id: int) -> Path:
+        if self.journal is not None:
+            return self.journal.shard_path(worker_id)
+        if self._tempdir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-sched-")
+        return Path(self._tempdir.name) / f"shard-{worker_id:03d}.jsonl"
+
+    def _shard_paths(self) -> List[Path]:
+        if self.journal is not None:
+            return self.journal.shard_paths()
+        if self._tempdir is None:
+            return []
+        return sorted(Path(self._tempdir.name).glob("shard-*.jsonl"))
+
+    def _delete_shards(self) -> None:
+        for path in self._shard_paths():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+
+    # -- resume --------------------------------------------------------------
+    def restore(self, resume: bool) -> None:
+        """Load completed cells from the canonical journal and any
+        leftover shards of a previous (crashed) scheduled run."""
+        if self.journal is None:
+            return
+        if not resume:
+            # Stale shards from an abandoned run must not leak into
+            # this campaign's merge.
+            self._delete_shards()
+            self.journal.ensure_header()
+            return
+        completed = self.journal.completed_cells()
+        merged = 0
+        for path in self._shard_paths():
+            for body in load_cell_records(path):
+                cell_id = str(body["cell"])
+                existing = completed.get(cell_id)
+                if existing is None:
+                    core = _payload_core(body)
+                    self.journal.append_cell(core)
+                    completed[cell_id] = body
+                    merged += 1
+                elif _payload_core(existing) != _payload_core(body):
+                    raise SchedulerError(
+                        f"shard {path.name} and journal disagree on cell "
+                        f"{cell_id!r}: duplicate completions must be "
+                        f"bit-identical (nondeterministic runner?)"
+                    )
+                else:
+                    self.stats.duplicates += 1
+        if merged:
+            logger.info(
+                "recovered %d completed cell(s) from %d journal shard(s)",
+                merged,
+                len(self._shard_paths()),
+            )
+        self._delete_shards()
+        self.journal.ensure_header()
+        known = {spec.cell_id() for spec in self.cells}
+        for cell_id, body in completed.items():
+            if cell_id in known:
+                self.payloads[cell_id] = body
+                self.results[cell_id] = CellResult.from_payload(body)
+
+    # -- workers -------------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = self.next_worker_id
+        self.next_worker_id += 1
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=worker_module._worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                self.config.seed,
+                str(self._shard_path(worker_id)),
+                self.timeout,
+                self.mem_mb,
+                self.isolation,
+                self.heartbeat_secs,
+            ),
+            # Workers fork per-attempt subprocesses, which daemonic
+            # processes may not do; the engine kills them explicitly.
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(
+            worker_id=worker_id, process=process, conn=parent_conn
+        )
+        self.handles[worker_id] = handle
+        return handle
+
+    def _stop_worker(self, handle: _WorkerHandle, kill: bool = False) -> None:
+        self.handles.pop(handle.worker_id, None)
+        if kill and handle.process.is_alive():
+            handle.process.kill()
+        elif handle.process.is_alive():
+            try:
+                handle.conn.send((worker_module.MSG_STOP,))
+            except (BrokenPipeError, OSError):
+                handle.process.terminate()
+        handle.process.join(_TERMINATE_GRACE_SECONDS)
+        if handle.process.is_alive():  # pragma: no cover - stubborn worker
+            handle.process.kill()
+            handle.process.join()
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- terminal results ----------------------------------------------------
+    def _record_terminal(
+        self, payload: Dict[str, Any], result: Optional[CellResult] = None
+    ) -> None:
+        cell_id = str(payload["cell"])
+        self.payloads[cell_id] = payload
+        self.results[cell_id] = (
+            result if result is not None else _fresh_result(payload)
+        )
+        self.fresh_count += 1
+        if self.progress is not None:
+            done = len(self.payloads)
+            quarantined = sum(
+                1 for r in self.results.values() if r.quarantined
+            )
+            self.progress(
+                f"[{done}/{len(self.cells)}] "
+                f"ok={done - quarantined} quarantined={quarantined} "
+                f"reclaims={self.stats.reclaims} "
+                f"workers={len(self.handles)}"
+            )
+        if self.halt_after is not None and self.fresh_count >= self.halt_after:
+            raise SchedulerHalted(
+                f"halt_after={self.halt_after} reached with "
+                f"{len(self.payloads)}/{len(self.cells)} cell(s) recorded"
+            )
+
+    def _quarantine(self, task: Task, classification: str, reason: str,
+                    traceback: str = "") -> None:
+        result = CellResult(
+            spec=task.spec,
+            status=STATUS_QUARANTINED,
+            attempts=task.attempt + 1,
+            classification=classification,
+            reason=reason,
+            traceback=traceback,
+            delays=tuple(task.delays),
+        )
+        payload = result.payload()
+        if self.journal is not None:
+            # Quarantines are journaled by the parent (workers only
+            # journal completions they produced).
+            self.journal.append_cell(payload)
+        self._record_terminal(payload, result)
+
+    # -- message handling ----------------------------------------------------
+    def _handle_done(self, handle: _WorkerHandle, payload: Dict[str, Any]) -> None:
+        cell_id = str(payload["cell"])
+        self.leases.release(cell_id)
+        if handle.busy is not None and handle.busy.cell_id() == cell_id:
+            handle.busy = None
+        existing = self.payloads.get(cell_id)
+        if existing is not None:
+            self.stats.duplicates += 1
+            if _payload_core(existing) != _payload_core(payload):
+                raise SchedulerError(
+                    f"duplicate completions of cell {cell_id!r} are not "
+                    f"bit-identical (nondeterministic runner?)"
+                )
+            logger.warning(
+                "cell %s: duplicate completion deduplicated", cell_id
+            )
+            return
+        self._record_terminal(payload)
+
+    def _handle_fail(
+        self,
+        handle: _WorkerHandle,
+        spec_payload: Dict[str, Any],
+        attempt: int,
+        delays: List[float],
+        classification: str,
+        reason: str,
+        traceback: str,
+    ) -> None:
+        spec = CellSpec.from_payload(spec_payload)
+        cell_id = spec.cell_id()
+        self.leases.release(cell_id)
+        if handle.busy is not None and handle.busy.cell_id() == cell_id:
+            reclaims = handle.busy.reclaims
+            handle.busy = None
+        else:  # pragma: no cover - fail raced a reclaim
+            reclaims = 0
+        logger.warning(
+            "cell %s attempt %d/%d failed (%s): %s",
+            cell_id,
+            attempt + 1,
+            1 + self.retries,
+            classification,
+            reason,
+        )
+        task = Task(
+            spec=spec,
+            attempt=attempt,
+            delays=list(delays),
+            reclaims=reclaims,
+        )
+        if attempt < self.retries:
+            pause = retry_delay(
+                self.policy, self.config.seed, cell_id, attempt, classification
+            )
+            task.delays.append(pause)
+            task.attempt = attempt + 1
+            self.queue.push(task, not_before=time.monotonic() + pause)
+            return
+        task.attempt = self.retries
+        self._quarantine(task, classification, reason, traceback)
+
+    def _reclaim(self, handle: _WorkerHandle, why: str) -> None:
+        """A worker was lost (death or expired lease): reclaim its cell
+        and re-dispatch, without consuming one of the cell's retries."""
+        task = handle.busy
+        handle.busy = None
+        if task is None:
+            return
+        cell_id = task.cell_id()
+        self.leases.release(cell_id)
+        if cell_id in self.payloads:
+            # Its completion already arrived (e.g. the worker died
+            # right after reporting) — nothing to reclaim.
+            return
+        self.stats.reclaims += 1
+        task.reclaims += 1
+        if task.reclaims > self.scheduler.max_reclaims:
+            self._quarantine(
+                task,
+                "lost",
+                f"worker lost {task.reclaims} time(s) while running this "
+                f"cell (last: {why})",
+            )
+            return
+        logger.warning(
+            "cell %s: reclaiming lease from worker %d (%s); re-dispatching",
+            cell_id,
+            handle.worker_id,
+            why,
+        )
+        self.queue.push(task, not_before=time.monotonic())
+
+    # -- event loop ----------------------------------------------------------
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        for handle in list(self.handles.values()):
+            if handle.busy is not None or not handle.alive():
+                continue
+            task = self.queue.pop_ready(now)
+            if task is None:
+                return
+            sim_instructions = faults.fire_sim_faults()
+            sched_instructions = faults.fire_sched_faults()
+            if sim_instructions or sched_instructions:
+                logger.warning(
+                    "cell %s dispatch to worker %d: injecting %s",
+                    task.cell_id(),
+                    handle.worker_id,
+                    ",".join(sim_instructions + sched_instructions),
+                )
+            try:
+                handle.conn.send(
+                    (
+                        worker_module.MSG_RUN,
+                        task.spec.payload(),
+                        task.attempt,
+                        list(task.delays),
+                        sim_instructions,
+                        sched_instructions,
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                # The worker died between liveness check and send; the
+                # death sweep will respawn it.  Requeue untouched.
+                self.queue.push(task, not_before=now)
+                continue
+            handle.busy = task
+            self.leases.grant(task.cell_id(), handle.worker_id, now)
+            self.stats.dispatches += 1
+
+    def _drain_messages(self, timeout: float) -> None:
+        watched = [
+            self.handles[worker_id]
+            for worker_id in sorted(self.handles)
+            if not self.handles[worker_id].pipe_closed
+        ]
+        if not watched:
+            time.sleep(timeout)
+            return
+        by_conn = {handle.conn: handle for handle in watched}
+        ready = multiprocessing.connection.wait(
+            [handle.conn for handle in watched], timeout=timeout
+        )
+        for conn in ready:
+            handle = by_conn[cast(multiprocessing.connection.Connection, conn)]
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.pipe_closed = True
+                continue
+            tag = message[0]
+            now = time.monotonic()
+            if tag == worker_module.MSG_HEARTBEAT:
+                self.leases.renew_worker(message[1], now)
+            elif tag == worker_module.MSG_DONE:
+                self._handle_done(handle, message[2])
+            elif tag == worker_module.MSG_FAIL:
+                self._handle_fail(handle, *message[2:])
+            else:  # pragma: no cover - protocol drift guard
+                raise SchedulerError(f"unknown worker message tag {tag!r}")
+
+    def _sweep_failures(self) -> None:
+        now = time.monotonic()
+        # Expired leases first: a wedged-but-alive worker (stalled
+        # heartbeats, hung cell beyond its timeout) must be killed
+        # before its lease's cell can be safely re-dispatched.
+        for lease in self.leases.expired(now):
+            handle = self.handles.get(lease.worker_id)
+            if handle is None:  # pragma: no cover - already swept
+                self.leases.release(lease.cell_id)
+                continue
+            if not handle.process.is_alive():
+                continue  # already dead; the death sweep below reclaims it
+            self.stats.expired_leases += 1
+            logger.warning(
+                "worker %d lease on %s expired; killing worker",
+                lease.worker_id,
+                lease.cell_id,
+            )
+            handle.process.kill()
+            handle.process.join(_TERMINATE_GRACE_SECONDS)
+        # Dead workers: reclaim only after their pipe has been fully
+        # drained, so a completion sent just before death still counts.
+        for worker_id in sorted(self.handles):
+            handle = self.handles[worker_id]
+            if handle.alive():
+                continue
+            if not handle.pipe_closed and handle.conn.poll():
+                continue  # messages still buffered; next tick drains them
+            self.stats.worker_deaths += 1
+            self._reclaim(handle, "worker process died")
+            self._stop_worker(handle, kill=True)
+            if len(self.payloads) < len(self.cells):
+                self.stats.respawns += 1
+                self._spawn_worker()
+
+    def run(self) -> None:
+        remaining = [
+            spec for spec in self.cells if spec.cell_id() not in self.payloads
+        ]
+        for spec in remaining:
+            self.queue.push(Task(spec=spec))
+        if not remaining:
+            return
+        for _ in range(max(1, min(self.target_workers, len(remaining)))):
+            self._spawn_worker()
+        while len(self.payloads) < len(self.cells):
+            self._dispatch_ready()
+            self._drain_messages(_TICK_SECONDS)
+            self._sweep_failures()
+
+    def drain(self) -> None:
+        """Graceful shutdown: no new dispatches, bounded wait for
+        in-flight cells, then merge shards so nothing completed is lost."""
+        deadline = time.monotonic() + self.scheduler.drain_secs
+        while (
+            any(handle.busy is not None for handle in self.handles.values())
+            and time.monotonic() < deadline
+        ):
+            self._drain_messages(_TICK_SECONDS)
+            self._sweep_failures()
+        self.merge_shards_into_journal()
+
+    def merge_shards_into_journal(self) -> None:
+        """Append every shard-only completion to the canonical journal
+        (durable, append-order) and drop the shards — the interrupted-
+        run finalizer; a finished run rewrites canonically instead."""
+        if self.journal is None:
+            return
+        recorded = self.journal.completed_cells()
+        for path in self._shard_paths():
+            for body in load_cell_records(path):
+                cell_id = str(body["cell"])
+                if cell_id not in recorded:
+                    core = _payload_core(body)
+                    self.journal.append_cell(core)
+                    recorded[cell_id] = body
+        self._delete_shards()
+
+    def finalize(self) -> None:
+        """All cells terminal: rewrite the journal into canonical
+        campaign order (byte-identical to a clean serial run's) and
+        drop the shards."""
+        if self.journal is not None:
+            ordered = [
+                self.payloads[spec.cell_id()] for spec in self.cells
+            ]
+            self.journal.rewrite_cells(ordered)
+            self._delete_shards()
+
+    def shutdown(self, kill: bool = False) -> None:
+        for handle in list(self.handles.values()):
+            self._stop_worker(handle, kill=kill)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def report(self) -> SchedulerReport:
+        ordered = [self.results[spec.cell_id()] for spec in self.cells]
+        return SchedulerReport(results=ordered, stats=self.stats)
+
+
+def run_scheduled_campaign(
+    cells: Sequence[CellSpec],
+    config: Optional[CampaignConfig] = None,
+    scheduler: Optional[SchedulerConfig] = None,
+    journal: Optional[CampaignJournal] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    _halt_after: Optional[int] = None,
+) -> SchedulerReport:
+    """Run every cell to a terminal result across N worker processes.
+
+    Same contract as :func:`~repro.supervisor.campaign.run_campaign`
+    (never abort; quarantine failures; ``resume=True`` restores
+    journaled cells bit-identically), with worker crashes, hangs, and
+    stalls absorbed via lease reclamation.  ``_halt_after`` is the
+    test-only crash hook: after that many newly recorded cells the
+    engine kills its workers and raises
+    :class:`~repro.exceptions.SchedulerHalted` *without* merging or
+    finalizing — simulating the scheduler process dying — so tests can
+    exercise shard recovery on the next ``resume=True`` run.
+    """
+    config = config if config is not None else CampaignConfig()
+    scheduler = scheduler if scheduler is not None else SchedulerConfig()
+    if resume and journal is None:
+        raise SupervisorError("resume requested without a journal")
+    if resume and journal is not None:
+        verify_resume_key(journal, cells, config.seed)
+    # Materialize the fault plan pre-fork so workers inherit the parent's
+    # configured plan rather than rebuilding from the environment.
+    faults.get_plan()
+    engine = _Engine(
+        cells=cells,
+        config=config,
+        scheduler=scheduler,
+        journal=journal,
+        progress=progress,
+        halt_after=_halt_after,
+    )
+    engine.restore(resume)
+
+    def _sigterm_to_interrupt(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous_sigterm: Any = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:  # pragma: no cover - not in the main thread
+        previous_sigterm = None
+    try:
+        engine.run()
+        engine.shutdown()
+        engine.finalize()
+    except KeyboardInterrupt:
+        logger.warning("interrupt: draining scheduled campaign")
+        engine.drain()
+        engine.shutdown(kill=True)
+        raise
+    except SchedulerHalted:
+        # The simulated hard stop: workers die, shards stay on disk.
+        engine.shutdown(kill=True)
+        raise
+    finally:
+        engine.shutdown(kill=True)
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+    report = engine.report()
+    logger.info(
+        "scheduled campaign finished: %s; %s",
+        report.summary(),
+        engine.stats.summary(),
+    )
+    return report

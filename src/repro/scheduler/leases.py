@@ -1,0 +1,96 @@
+"""Lease records: which worker owns which cell, and until when.
+
+A lease is the scheduler's unit of failure detection.  When a cell is
+dispatched, the worker is granted a lease with a deadline; every
+heartbeat from that worker renews its leases.  A worker that dies
+(SIGKILL, segfault) or silently stalls stops heartbeating, its lease
+expires, and the engine reclaims the cell for re-dispatch — that is
+what makes execution *at-least-once* rather than at-most-once.
+
+All timestamps are ``time.monotonic()`` values owned by the engine
+(leases never read the clock themselves), so the table is trivially
+testable with synthetic times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import SchedulerError
+
+
+@dataclass
+class Lease:
+    """One worker's temporary ownership of one cell."""
+
+    cell_id: str
+    worker_id: int
+    granted_at: float
+    deadline: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+class LeaseTable:
+    """All live leases, keyed by cell id (a cell has at most one owner).
+
+    The single-owner invariant is load-bearing: granting a cell that is
+    already leased means the engine double-dispatched it, which would
+    make "duplicate completion" indistinguishable from an engine bug —
+    so :meth:`grant` raises :class:`SchedulerError` instead.
+    """
+
+    def __init__(self, lease_secs: float):
+        if lease_secs <= 0:
+            raise SchedulerError(f"lease_secs must be positive, got {lease_secs}")
+        self.lease_secs = float(lease_secs)
+        self._by_cell: Dict[str, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_cell)
+
+    def grant(self, cell_id: str, worker_id: int, now: float) -> Lease:
+        """Grant ``worker_id`` a fresh lease on ``cell_id``."""
+        existing = self._by_cell.get(cell_id)
+        if existing is not None:
+            raise SchedulerError(
+                f"cell {cell_id!r} is already leased to worker "
+                f"{existing.worker_id} (double dispatch)"
+            )
+        lease = Lease(
+            cell_id=cell_id,
+            worker_id=worker_id,
+            granted_at=now,
+            deadline=now + self.lease_secs,
+        )
+        self._by_cell[cell_id] = lease
+        return lease
+
+    def renew_worker(self, worker_id: int, now: float) -> int:
+        """Heartbeat: push every lease held by ``worker_id`` forward.
+        Returns how many leases were renewed."""
+        renewed = 0
+        for lease in self._by_cell.values():
+            if lease.worker_id == worker_id:
+                lease.deadline = now + self.lease_secs
+                renewed += 1
+        return renewed
+
+    def release(self, cell_id: str) -> None:
+        """Drop the lease on ``cell_id`` (completion or reclaim)."""
+        self._by_cell.pop(cell_id, None)
+
+    def of_worker(self, worker_id: int) -> List[Lease]:
+        """Every lease currently held by ``worker_id``."""
+        return [
+            lease
+            for lease in self._by_cell.values()
+            if lease.worker_id == worker_id
+        ]
+
+    def expired(self, now: float) -> List[Lease]:
+        """Every lease whose deadline has passed — stalled or dead
+        workers whose cells must be reclaimed."""
+        return [lease for lease in self._by_cell.values() if lease.expired(now)]

@@ -1,0 +1,86 @@
+"""The scheduler's task queue, sharded by canonical cell id.
+
+Sharding serves determinism, not throughput: a cell's shard is a pure
+function of its canonical id (``sha256(cell_id) % nshards``), so the
+*relative* dispatch order of cells is stable across runs and across
+resume boundaries — a retried or reclaimed cell rejoins the same shard
+it came from, behind the cells that were already waiting there.
+
+Retry backoff becomes a ``not_before`` dispatch time rather than a
+sleep: a backing-off cell parks in its shard without blocking a worker,
+and :meth:`ShardedTaskQueue.pop_ready` simply skips it until its time
+arrives.  Durability lives in the journal and shards, not here — after
+a crash the queue is reconstructed as "all cells minus journaled ones".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import List, Optional
+
+from repro.supervisor.cells import CellSpec
+
+
+@dataclass
+class Task:
+    """One cell's place in line, with its retry history.
+
+    ``attempt`` counts *cell-body attempts that failed* (the same
+    counter serial ``supervise_cell`` uses), while ``reclaims`` counts
+    worker-level losses — a reclaimed dispatch never ran the cell body
+    to a verdict, so it must not consume a retry.
+    """
+
+    spec: CellSpec
+    attempt: int = 0
+    delays: List[float] = field(default_factory=list)
+    not_before: float = 0.0
+    reclaims: int = 0
+
+    def cell_id(self) -> str:
+        return self.spec.cell_id()
+
+
+def shard_of(cell_id: str, nshards: int) -> int:
+    """The canonical shard of a cell — a pure function of its id."""
+    digest = sha256(cell_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, nshards)
+
+
+class ShardedTaskQueue:
+    """FIFO-per-shard queue with round-robin dispatch across shards."""
+
+    def __init__(self, nshards: int):
+        self.nshards = max(1, int(nshards))
+        self._shards: List[List[Task]] = [[] for _ in range(self.nshards)]
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def push(self, task: Task, not_before: float = 0.0) -> None:
+        """Enqueue ``task`` at the back of its canonical shard, not to
+        be dispatched before ``not_before`` (monotonic time)."""
+        task.not_before = not_before
+        self._shards[shard_of(task.cell_id(), self.nshards)].append(task)
+
+    def pop_ready(self, now: float) -> Optional[Task]:
+        """The next dispatchable task, round-robining across shards and
+        skipping tasks still inside their backoff window; ``None`` when
+        nothing is ready (the queue may still be non-empty)."""
+        for offset in range(self.nshards):
+            index = (self._cursor + offset) % self.nshards
+            shard = self._shards[index]
+            for position, task in enumerate(shard):
+                if task.not_before <= now:
+                    shard.pop(position)
+                    self._cursor = (index + 1) % self.nshards
+                    return task
+        return None
+
+    def next_ready_at(self) -> Optional[float]:
+        """The earliest ``not_before`` among queued tasks, or ``None``
+        when the queue is empty — lets the engine size its waits."""
+        times = [task.not_before for shard in self._shards for task in shard]
+        return min(times) if times else None

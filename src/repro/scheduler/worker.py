@@ -1,0 +1,159 @@
+"""The scheduler worker process: one cell attempt at a time.
+
+A worker is a forked child of the scheduler engine that loops over
+dispatch messages from its pipe, runs each cell attempt through the
+supervisor's isolation machinery (:mod:`repro.supervisor.isolation` —
+so per-cell timeouts, memory caps, and ``sim_*`` fault instructions
+behave exactly as under serial supervision), and reports back.
+
+Two disciplines make crash recovery sound:
+
+* **Journal-then-report.**  A completed cell is appended to the
+  worker's journal shard — flushed and fsynced — *before* the
+  completion message is sent, so a worker killed between the two leaves
+  a durable record that resume finds, and a worker killed before the
+  append leaves nothing (the lease expires and the cell re-runs).
+  At-least-once execution with durable completions.
+* **No environment reads.**  Everything a worker needs (resolved
+  timeout, memory cap, isolation mode, shard path, heartbeat period)
+  is resolved by the parent and shipped as literal values, so
+  parent-scoped knobs are never read on the fork side.
+
+Heartbeats run on a daemon thread, sharing the pipe under a lock; the
+``heartbeat_stall`` chaos instruction silences the thread *and* stalls
+the dispatch, so the parent's only signal is the expiring lease — the
+exact failure mode of a live-but-wedged worker.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing.connection
+import os
+import signal
+import threading
+import time
+from typing import Optional
+
+from repro.supervisor.cells import STATUS_OK, CellResult, CellSpec
+from repro.supervisor.isolation import run_attempt_inline, run_attempt_process
+from repro.supervisor.journal import ShardWriter
+from repro.utils import faults
+
+logger = logging.getLogger(__name__)
+
+#: Dispatch message tag (parent -> worker).
+MSG_RUN = "run"
+#: Orderly shutdown tag (parent -> worker).
+MSG_STOP = "stop"
+#: Heartbeat tag (worker -> parent).
+MSG_HEARTBEAT = "hb"
+#: Completion tag (worker -> parent): carries the terminal OK payload.
+MSG_DONE = "done"
+#: Failed-attempt tag (worker -> parent): the parent decides retry vs
+#: quarantine, so the message carries the full attempt outcome.
+MSG_FAIL = "fail"
+
+
+def _heartbeat_loop(
+    conn: multiprocessing.connection.Connection,
+    worker_id: int,
+    period: float,
+    stop: threading.Event,
+    send_lock: threading.Lock,
+) -> None:
+    while not stop.wait(period):
+        try:
+            with send_lock:
+                conn.send((MSG_HEARTBEAT, worker_id))
+        except (BrokenPipeError, OSError):  # parent went away
+            return
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection,
+    worker_id: int,
+    campaign_seed: int,
+    shard_path: str,
+    timeout: Optional[float],
+    mem_mb: Optional[int],
+    isolation: str,
+    heartbeat_secs: float,
+) -> None:  # pragma: no cover - exercised via subprocesses in tests
+    writer = ShardWriter(shard_path)
+    send_lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(conn, worker_id, heartbeat_secs, stop_heartbeat, send_lock),
+        daemon=True,
+    )
+    beat.start()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == MSG_STOP:
+            return
+        _, spec_payload, attempt, delays, sim_instructions, sched_instructions = (
+            message
+        )
+        if "worker_abort" in sched_instructions:
+            # Die exactly as a SIGKILLed worker would: mid-lease, after
+            # accepting the cell, before any journaling.
+            logger.warning("worker %d: injected worker_abort", worker_id)
+            os.kill(os.getpid(), signal.SIGKILL)
+        if "heartbeat_stall" in sched_instructions:
+            # Wedge silently: no heartbeats, no progress, no crash.  The
+            # parent's lease deadline is the only way out.
+            logger.warning("worker %d: injected heartbeat_stall", worker_id)
+            stop_heartbeat.set()
+            time.sleep(faults.HEARTBEAT_STALL_SECONDS)
+        spec = CellSpec.from_payload(spec_payload)
+        if isolation == "inline":
+            outcome = run_attempt_inline(spec, campaign_seed, sim_instructions)
+        else:
+            outcome = run_attempt_process(
+                spec,
+                campaign_seed,
+                timeout=timeout,
+                mem_mb=mem_mb,
+                instructions=sim_instructions,
+            )
+        if outcome.ok:
+            result = CellResult(
+                spec=spec,
+                status=STATUS_OK,
+                value=outcome.value,
+                attempts=attempt + 1,
+                delays=tuple(delays),
+            )
+            payload = result.payload()
+            repeats = 2 if "duplicate_completion" in sched_instructions else 1
+            for _ in range(repeats):
+                # Durability before visibility: the shard record must
+                # exist before the parent can count the cell done.
+                writer.append_cell(payload)
+                try:
+                    with send_lock:
+                        conn.send((MSG_DONE, worker_id, payload))
+                except (BrokenPipeError, OSError):
+                    return
+        else:
+            try:
+                with send_lock:
+                    conn.send(
+                        (
+                            MSG_FAIL,
+                            worker_id,
+                            spec_payload,
+                            attempt,
+                            list(delays),
+                            outcome.classification,
+                            outcome.reason,
+                            outcome.traceback,
+                        )
+                    )
+            except (BrokenPipeError, OSError):
+                return

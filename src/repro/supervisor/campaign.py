@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import logging
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import SupervisorError
+from repro.supervisor.backoff import BackoffPolicy, is_transient
 from repro.supervisor.cells import (
     STATUS_OK,
     STATUS_QUARANTINED,
@@ -70,6 +72,15 @@ class CampaignConfig:
     mem_mb: Optional[int] = None
     retries: Optional[int] = None
     isolation: str = ISOLATE_PROCESS
+    #: Retry backoff shape; ``None`` fields fall back to the
+    #: ``REPRO_SCHED_BACKOFF_*`` knobs.  Backoff shapes *when* a retry
+    #: fires, never what it computes, so it is supervision (excluded
+    #: from :func:`campaign_key`) — but the applied delays are recorded
+    #: in each result payload for auditability.
+    backoff_base: Optional[float] = None
+    backoff_factor: Optional[float] = None
+    backoff_max: Optional[float] = None
+    backoff_jitter: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.isolation not in (ISOLATE_PROCESS, ISOLATE_INLINE):
@@ -93,6 +104,14 @@ class CampaignConfig:
             return max(0, self.retries)
         declared = env.get_int(ENV_CELL_RETRIES)
         return max(0, declared if declared is not None else 1)
+
+    def resolved_backoff(self) -> BackoffPolicy:
+        return BackoffPolicy.resolved(
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            max_delay=self.backoff_max,
+            jitter=self.backoff_jitter,
+        )
 
 
 @dataclass
@@ -146,6 +165,27 @@ def open_journal(
     return CampaignJournal(campaign_key(cells, seed), directory=directory)
 
 
+def verify_resume_key(
+    journal: CampaignJournal, cells: Sequence[CellSpec], seed: int
+) -> None:
+    """Refuse to resume from a journal recorded for different work.
+
+    A journal opened via :func:`open_journal` always matches by
+    construction, but a hand-constructed :class:`CampaignJournal` (or a
+    caller who edited the cell grid or seed after opening one) would
+    otherwise silently skip nothing and recompute everything — or
+    worse, mix records.  Mismatch is caller confusion, not damage, so
+    it raises loudly instead of degrading.
+    """
+    expected = campaign_key(cells, seed)
+    if journal.campaign_key != expected:
+        raise SupervisorError(
+            f"journal {journal.path.name} was recorded for a different "
+            f"campaign (seed/cell grid mismatch); refusing to resume. "
+            f"Journal key: {journal.campaign_key!r}; current: {expected!r}"
+        )
+
+
 def _run_attempt(
     spec: CellSpec,
     config: CampaignConfig,
@@ -162,10 +202,24 @@ def _run_attempt(
     )
 
 
+def retry_delay(
+    policy: BackoffPolicy, seed: int, cell_id: str, attempt: int, classification: str
+) -> float:
+    """The backoff before retrying ``cell_id`` after failed attempt
+    ``attempt`` (0-based): the policy's deterministic delay for
+    transient failures, ``0.0`` for permanent (``error``) ones, which
+    will recur no matter how long we wait."""
+    if not is_transient(classification):
+        return 0.0
+    return policy.delay(seed, cell_id, attempt)
+
+
 def supervise_cell(spec: CellSpec, config: CampaignConfig) -> CellResult:
     """Run one cell to a terminal result (OK or quarantined), retrying
-    up to the configured bound."""
+    up to the configured bound with deterministic seeded backoff."""
     retries = config.resolved_retries()
+    policy = config.resolved_backoff()
+    delays: List[float] = []
     last = AttemptOutcome(ok=False, classification="lost", reason="never attempted")
     for attempt in range(1 + retries):
         instructions = faults.fire_sim_faults()
@@ -179,7 +233,11 @@ def supervise_cell(spec: CellSpec, config: CampaignConfig) -> CellResult:
         last = _run_attempt(spec, config, instructions)
         if last.ok:
             return CellResult(
-                spec=spec, status=STATUS_OK, value=last.value, attempts=attempt + 1
+                spec=spec,
+                status=STATUS_OK,
+                value=last.value,
+                attempts=attempt + 1,
+                delays=tuple(delays),
             )
         logger.warning(
             "cell %s attempt %d/%d failed (%s): %s",
@@ -189,6 +247,13 @@ def supervise_cell(spec: CellSpec, config: CampaignConfig) -> CellResult:
             last.classification,
             last.reason,
         )
+        if attempt < retries:
+            pause = retry_delay(
+                policy, config.seed, spec.cell_id(), attempt, last.classification
+            )
+            delays.append(pause)
+            if pause > 0.0:
+                time.sleep(pause)
     return CellResult(
         spec=spec,
         status=STATUS_QUARANTINED,
@@ -196,6 +261,7 @@ def supervise_cell(spec: CellSpec, config: CampaignConfig) -> CellResult:
         classification=last.classification,
         reason=last.reason,
         traceback=last.traceback,
+        delays=tuple(delays),
     )
 
 
@@ -217,6 +283,8 @@ def run_campaign(
     config = config if config is not None else CampaignConfig()
     if resume and journal is None:
         raise SupervisorError("resume requested without a journal")
+    if resume and journal is not None:
+        verify_resume_key(journal, cells, config.seed)
     completed: Dict[str, Dict[str, Any]] = {}
     if resume and journal is not None:
         completed = journal.completed_cells()

@@ -140,6 +140,9 @@ class CellResult:
     classification: str = ""
     reason: str = ""
     traceback: str = ""
+    #: Backoff delays (seconds) applied before each retry attempt, in
+    #: attempt order — deterministic, so replays stay auditable.
+    delays: Tuple[float, ...] = ()
     #: Whether this result was restored from a journal rather than run.
     resumed: bool = field(default=False, compare=False)
 
@@ -161,6 +164,7 @@ class CellResult:
             "classification": self.classification,
             "reason": self.reason,
             "traceback": self.traceback,
+            "delays": list(self.delays),
         }
 
     @staticmethod
@@ -173,6 +177,7 @@ class CellResult:
             classification=str(payload.get("classification", "")),
             reason=str(payload.get("reason", "")),
             traceback=str(payload.get("traceback", "")),
+            delays=tuple(float(d) for d in payload.get("delays", [])),
             resumed=True,
         )
 

@@ -327,6 +327,57 @@ declare(
     scope="parent",
 )
 declare(
+    "REPRO_SCHED_WORKERS",
+    "int",
+    None,
+    "Concurrent worker processes for the lease-based campaign scheduler "
+    "(repro.scheduler); defaults to min(cpu_count, 4).  Resolved by the "
+    "scheduling parent, never re-read in a worker.",
+    scope="parent",
+)
+declare(
+    "REPRO_SCHED_LEASE_SECS",
+    "float",
+    5.0,
+    "Lease duration in seconds for scheduler-dispatched cells; a worker "
+    "whose heartbeats stop for this long is presumed dead, killed, and its "
+    "cell re-dispatched (at-least-once execution with bit-identical dedup).",
+    scope="parent",
+)
+declare(
+    "REPRO_SCHED_BACKOFF_BASE",
+    "float",
+    0.05,
+    "Base delay in seconds for the deterministic seeded retry backoff "
+    "between cell attempts; 0 disables backoff.  Applied only to transient "
+    "failures (timeout/oom/signal/lost), never to deterministic errors.",
+    scope="parent",
+)
+declare(
+    "REPRO_SCHED_BACKOFF_FACTOR",
+    "float",
+    2.0,
+    "Exponential growth factor for the retry backoff: attempt k waits "
+    "base * factor**k (capped, jittered).",
+    scope="parent",
+)
+declare(
+    "REPRO_SCHED_BACKOFF_MAX",
+    "float",
+    30.0,
+    "Upper bound in seconds on any single retry-backoff delay.",
+    scope="parent",
+)
+declare(
+    "REPRO_SCHED_BACKOFF_JITTER",
+    "float",
+    0.5,
+    "Multiplicative jitter fraction in [0, 1] for retry backoff; the delay "
+    "is scaled by a deterministic per-(cell, attempt) draw in [1-jitter, 1] "
+    "derived from the campaign seed, so replays back off identically.",
+    scope="parent",
+)
+declare(
     "REPRO_LINT_CACHE",
     "bool",
     True,

@@ -53,6 +53,19 @@ Supported kinds
     (exercises the Definition 2.1 stance that identifier assignment is
     adversarial: algorithms must stay *correct*, though measured
     localities may legitimately shift).
+``worker_abort``
+    A scheduler worker process SIGKILLs itself mid-lease, after
+    accepting a cell but before completing it (exercises lease expiry
+    detection, reclamation, worker respawn, and re-dispatch in
+    :mod:`repro.scheduler`).
+``heartbeat_stall``
+    A scheduler worker stops heartbeating *and* stalls its cell — a
+    silent hang rather than a crash (exercises the lease-deadline kill
+    path and at-least-once re-dispatch).
+``duplicate_completion``
+    A scheduler worker reports — and journals — the same completed cell
+    twice (exercises dedup by cell id with the bit-identical assertion
+    in the scheduler and the shard merge).
 
 Determinism
 -----------
@@ -90,6 +103,9 @@ KINDS = (
     "sim_oom",
     "journal_torn",
     "adversarial_ids",
+    "worker_abort",
+    "heartbeat_stall",
+    "duplicate_completion",
 )
 
 #: Simulator-level fault kinds decided by the campaign supervisor (the
@@ -97,12 +113,22 @@ KINDS = (
 #: isolated cell, keeping the occurrence counters in one process).
 SIM_KINDS = ("sim_crash", "sim_hang", "sim_oom")
 
+#: Scheduler-level fault kinds decided by the scheduler parent at
+#: dispatch time and shipped to the worker as instructions (same
+#: one-process counter discipline as :data:`SIM_KINDS`).
+SCHED_KINDS = ("worker_abort", "heartbeat_stall", "duplicate_completion")
+
 #: How long a ``slow_chunk`` fault stalls a worker.
 SLOW_CHUNK_SECONDS = 0.05
 
 #: How long a ``sim_hang`` fault stalls a cell — far beyond any sane
 #: per-cell timeout, so the supervisor's kill path always fires first.
 SIM_HANG_SECONDS = 3600.0
+
+#: How long a ``heartbeat_stall`` fault silences a worker — far beyond
+#: any sane lease deadline, so the scheduler's reclaim path always
+#: fires first.
+HEARTBEAT_STALL_SECONDS = 3600.0
 
 
 class InjectedFault(RuntimeError):
@@ -262,6 +288,17 @@ def fire_sim_faults(plan: Optional[FaultPlan] = None) -> Tuple[str, ...]:
     :data:`SIM_KINDS` order — the supervisor's per-attempt draw."""
     plan = plan if plan is not None else get_plan()
     return tuple(kind for kind in SIM_KINDS if plan.fire(kind))
+
+
+def fire_sched_faults(plan: Optional[FaultPlan] = None) -> Tuple[str, ...]:
+    """The scheduler-level kinds whose next occurrence fires, in
+    :data:`SCHED_KINDS` order — the scheduler's per-dispatch draw.
+
+    Drawn in the scheduler parent (which owns the occurrence counters)
+    and shipped to the worker as instructions, so a chaos run fires the
+    same faults at the same dispatches regardless of worker count."""
+    plan = plan if plan is not None else get_plan()
+    return tuple(kind for kind in SCHED_KINDS if plan.fire(kind))
 
 
 def maybe_adversarial_ids() -> bool:

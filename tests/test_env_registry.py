@@ -32,6 +32,12 @@ EXPECTED_KNOBS = {
     "REPRO_SAT_SOLVER": "str",
     "REPRO_SAT_TIMEOUT": "float",
     "REPRO_SAT_DIFF_COUNT": "int",
+    "REPRO_SCHED_WORKERS": "int",
+    "REPRO_SCHED_LEASE_SECS": "float",
+    "REPRO_SCHED_BACKOFF_BASE": "float",
+    "REPRO_SCHED_BACKOFF_FACTOR": "float",
+    "REPRO_SCHED_BACKOFF_MAX": "float",
+    "REPRO_SCHED_BACKOFF_JITTER": "float",
     "REPRO_LINT_CACHE": "bool",
     "REPRO_LINT_CACHE_DIR": "str",
 }
@@ -43,6 +49,12 @@ EXPECTED_PARENT_SCOPED = {
     "REPRO_CELL_MEM_MB",
     "REPRO_CELL_RETRIES",
     "REPRO_JOURNAL_DIR",
+    "REPRO_SCHED_WORKERS",
+    "REPRO_SCHED_LEASE_SECS",
+    "REPRO_SCHED_BACKOFF_BASE",
+    "REPRO_SCHED_BACKOFF_FACTOR",
+    "REPRO_SCHED_BACKOFF_MAX",
+    "REPRO_SCHED_BACKOFF_JITTER",
 }
 
 

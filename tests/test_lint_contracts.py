@@ -132,11 +132,12 @@ class TestForkRegistry:
             assert keyword in params, keyword
 
     def test_fork_entrypoints_exist(self):
-        from repro.supervisor import isolation
+        import importlib
 
         for suffix in contracts.FORK_ENTRYPOINT_SUFFIXES:
-            name = suffix.rsplit(".", 1)[-1]
-            assert hasattr(isolation, name), suffix
+            module_path, name = suffix.rsplit(".", 1)
+            module = importlib.import_module(f"repro.{module_path}")
+            assert hasattr(module, name), suffix
 
 
 def _defined_names(tree: ast.Module):

@@ -382,12 +382,77 @@ class TestSupervision:
         assert resumed.resumed_count == 2
         assert resumed.values() == full.values()
 
+    def test_resume_refuses_mismatched_campaign_key(self, tmp_path):
+        cells = cells_for("test.rng-bits", [2, 3])
+        journal = open_journal(cells, seed=5, directory=tmp_path)
+        run_campaign(cells, CampaignConfig(seed=5, isolation="inline"), journal=journal)
+        # Same journal object, different campaign seed: the recorded
+        # values would be silently wrong for seed=6, so resume refuses.
+        with pytest.raises(SupervisorError, match="different campaign"):
+            run_campaign(
+                cells,
+                CampaignConfig(seed=6, isolation="inline"),
+                journal=journal,
+                resume=True,
+            )
+        # The matching key still resumes cleanly (the happy path).
+        resumed = run_campaign(
+            cells,
+            CampaignConfig(seed=5, isolation="inline"),
+            journal=journal,
+            resume=True,
+        )
+        assert resumed.resumed_count == 2
+
     def test_campaign_key_excludes_supervision(self):
         cells = cells_for("test.square", [2])
         assert campaign_key(cells, 0) == {
             "seed": 0,
             "cells": ["test.square:p:n=2:seed=0"],
         }
+
+
+class TestBackoffDelays:
+    def test_transient_failures_record_positive_seeded_delays(self):
+        faults.configure_faults({"sim_oom": 1.0}, seed=1)
+        spec = CellSpec.make("test.square", "p", 3, seed=0)
+        config = CampaignConfig(
+            seed=5, retries=2, isolation="inline", backoff_base=0.001
+        )
+        result = supervise_cell(spec, config)
+        assert result.quarantined and result.classification == "oom"
+        assert len(result.delays) == 2
+        assert all(d > 0.0 for d in result.delays)
+        assert result.delays[0] < result.delays[1]  # exponential growth
+        # Deterministic: the same cell re-run draws the same delays.
+        faults.configure_faults({"sim_oom": 1.0}, seed=1)
+        again = supervise_cell(spec, config)
+        assert again.delays == result.delays
+
+    def test_permanent_failures_retry_without_pausing(self):
+        spec = CellSpec.make("test.always-raises", "p", 3, seed=0)
+        result = supervise_cell(spec, CampaignConfig(retries=2, isolation="inline"))
+        assert result.quarantined and result.classification == "error"
+        assert result.delays == (0.0, 0.0)
+
+    def test_successful_first_attempt_records_no_delays(self):
+        result = supervise_cell(
+            CellSpec.make("test.square", "p", 3, seed=0),
+            CampaignConfig(retries=2, isolation="inline"),
+        )
+        assert result.ok and result.delays == ()
+
+    def test_delays_survive_payload_roundtrip(self):
+        faults.configure_faults({"sim_oom": 1.0}, seed=1)
+        spec = CellSpec.make("test.square", "p", 3, seed=0)
+        config = CampaignConfig(
+            seed=5, retries=1, isolation="inline", backoff_base=0.001
+        )
+        result = supervise_cell(spec, config)
+        restored = CellResult.from_payload(
+            json.loads(json.dumps(result.payload()))
+        )
+        assert restored.delays == result.delays
 
 
 # ---------------------------------------------------------------- measurements
